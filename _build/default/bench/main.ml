@@ -1,0 +1,126 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (Tables I and II, Figs. 1-4, the run-time discussion), the
+   ablation studies from DESIGN.md, and Bechamel micro-benchmarks of the
+   flow's expensive steps.
+
+   Usage:
+     bench/main.exe                  run everything on the full suite
+     bench/main.exe quick            one benchmark per family
+     bench/main.exe table1 fig4 ...  selected experiments only
+   Experiments: table1 table2 fig1 fig2 fig3 fig4 runtime
+                ablation-solver ablation-cg ablation-retime ablation-ddcg
+                ablation-skew ablation-pvt baselines freq-sweep micro *)
+
+let log fmt = Printf.eprintf (fmt ^^ "\n%!")
+
+let wants args name =
+  args = [] || List.exists (String.equal name) args
+
+let run_suite quick =
+  let benches = if quick then Circuits.Suite.quick () else Circuits.Suite.all () in
+  List.map
+    (fun b ->
+      log "[suite] running %s ..." b.Circuits.Suite.bench_name;
+      let r = Experiments.Runner.run b in
+      log "[suite] %s done in %.1fs" b.Circuits.Suite.bench_name
+        r.Experiments.Runner.total_time_s;
+      r)
+    benches
+
+let print_tables ts = List.iter (fun t -> Report.Table.print t; print_newline ()) ts
+
+(* --- Bechamel micro-benchmarks ------------------------------------- *)
+
+let micro () =
+  let open Bechamel in
+  let bench = match Circuits.Suite.find "s5378" with
+    | Some b -> b
+    | None -> assert false
+  in
+  let design = bench.Circuits.Suite.build () in
+  let config = Phase3.Flow.default_config ~period:bench.Circuits.Suite.period_ns in
+  let asg = Phase3.Assignment.solve design in
+  let converted = Phase3.Convert.to_three_phase design asg in
+  let clocks = Phase3.Flow.clocks_of config in
+  let engine = Sim.Engine.create converted ~clocks in
+  let inputs = Sim.Stimulus.inputs_of converted in
+  let stim_cycle =
+    match Sim.Stimulus.random ~seed:3 ~cycles:1 ~toggle_probability:0.3 inputs with
+    | [cycle] -> cycle
+    | _ -> assert false
+  in
+  let tests =
+    Test.make_grouped ~name:"threephase"
+      [ Test.make ~name:"table1:assignment-ilp-s5378"
+          (Staged.stage (fun () -> Phase3.Assignment.solve ~solver:`Mis design));
+        Test.make ~name:"table1:convert-s5378"
+          (Staged.stage (fun () -> Phase3.Convert.to_three_phase design asg));
+        Test.make ~name:"table1:master-slave-s5378"
+          (Staged.stage (fun () -> Phase3.Master_slave.convert design));
+        Test.make ~name:"table1:retime-s5378"
+          (Staged.stage (fun () -> Phase3.Retime.run converted));
+        Test.make ~name:"table1:placement-s5378"
+          (Staged.stage (fun () -> Physical.Placement.place design));
+        Test.make ~name:"table2:sim-cycle-s5378-3p"
+          (Staged.stage (fun () -> ignore (Sim.Engine.run_cycle engine stim_cycle)));
+        Test.make ~name:"table2:smo-check-s5378"
+          (Staged.stage (fun () -> Sta.Smo.check converted ~clocks)) ]
+  in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 1.5) () in
+  let raw = Benchmark.all cfg [Toolkit.Instance.monotonic_clock] tests in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  let t =
+    Report.Table.create ~title:"Micro-benchmarks (Bechamel, ns/run)"
+      [ ("step", Report.Table.Left); ("ns/run", Report.Table.Right) ]
+  in
+  let rows = Hashtbl.fold (fun name est acc -> (name, est) :: acc) results [] in
+  List.iter
+    (fun (name, est) ->
+      let ns =
+        match Bechamel.Analyze.OLS.estimates est with
+        | Some [v] -> Printf.sprintf "%.0f" v
+        | Some _ | None -> "-"
+      in
+      Report.Table.add_row t [name; ns])
+    (List.sort compare rows);
+  Report.Table.print t;
+  print_newline ()
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let quick = List.exists (String.equal "quick") args in
+  let args = List.filter (fun a -> not (String.equal a "quick")) args in
+  let need_suite =
+    List.exists (wants args) ["table1"; "table2"; "runtime"]
+  in
+  let results = if need_suite then run_suite quick else [] in
+  if wants args "table1" then print_tables (Experiments.Tables.table1 results);
+  if wants args "table2" then print_tables (Experiments.Tables.table2 results);
+  if wants args "fig1" then print_tables [Experiments.Tables.fig1 ()];
+  if wants args "fig2" then print_tables [Experiments.Tables.fig2 ()];
+  if wants args "fig3" then print_tables [Experiments.Tables.fig3 ()];
+  if wants args "fig4" then begin
+    log "[fig4] CPU workload sweep ...";
+    print_tables [Experiments.Tables.fig4 ()]
+  end;
+  if wants args "runtime" then print_tables [Experiments.Tables.runtime results];
+  if wants args "ablation-solver" then
+    print_tables [Experiments.Ablation.solver ()];
+  if wants args "ablation-cg" then
+    print_tables [Experiments.Ablation.clock_gating ()];
+  if wants args "ablation-retime" then
+    print_tables [Experiments.Ablation.retiming ()];
+  if wants args "ablation-ddcg" then
+    print_tables [Experiments.Ablation.ddcg_fanout ()];
+  if wants args "ablation-skew" then
+    print_tables [Experiments.Ablation.skew_tolerance ()];
+  if wants args "baselines" then
+    print_tables [Experiments.Tables.baselines ()];
+  if wants args "ablation-pvt" then
+    print_tables [Experiments.Ablation.pvt ()];
+  if wants args "freq-sweep" then
+    print_tables [Experiments.Tables.frequency_sweep ()];
+  if wants args "micro" then micro ()

@@ -1,0 +1,235 @@
+(* ff2latch — convert a flip-flop netlist to a 3-phase latch-based design.
+
+   Reads ISCAS89 [.bench] or the structural-Verilog subset, runs the
+   conversion flow (ILP phase assignment, netlist rewrite, retiming, clock
+   gating), verifies stream equivalence, checks multi-phase timing, and
+   writes the converted netlist.  Subcommands also expose the
+   master-slave baseline, design statistics and power estimation. *)
+
+open Cmdliner
+
+let library = Cell_lib.Default_library.library ()
+
+let read_design path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let src = really_input_string ic len in
+  close_in ic;
+  let name = Filename.remove_extension (Filename.basename path) in
+  if Filename.check_suffix path ".bench" then
+    Netlist_io.Bench_format.parse ~name ~library src
+  else Netlist_io.Verilog.parse ~library src
+
+let write_design path d =
+  let text =
+    if Filename.check_suffix path ".bench" then Netlist_io.Bench_format.write d
+    else Netlist_io.Verilog.write d
+  in
+  let oc = open_out path in
+  output_string oc text;
+  close_out oc
+
+let input_arg =
+  Arg.(required & pos 0 (some file) None
+       & info [] ~docv:"INPUT" ~doc:"Input netlist (.bench or .v).")
+
+let output_arg =
+  Arg.(value & opt (some string) None
+       & info ["o"; "output"] ~docv:"OUTPUT" ~doc:"Output netlist path (.v or .bench).")
+
+let period_arg =
+  Arg.(value & opt float 1.0
+       & info ["period"] ~docv:"NS" ~doc:"Clock period in nanoseconds.")
+
+let solver_conv =
+  Arg.enum [("auto", `Auto); ("ilp", `Ilp); ("mis", `Mis); ("greedy", `Greedy)]
+
+let solver_arg =
+  Arg.(value & opt solver_conv `Auto
+       & info ["solver"] ~docv:"SOLVER"
+           ~doc:"Assignment solver: auto, ilp (literal formulation), mis \
+                 (independent-set reduction), greedy.")
+
+let no_retime_arg =
+  Arg.(value & flag & info ["no-retime"] ~doc:"Skip the modified retiming step.")
+
+let no_cg_arg =
+  Arg.(value & flag & info ["no-clock-gating"] ~doc:"Skip p2 clock gating.")
+
+let no_verify_arg =
+  Arg.(value & flag & info ["no-verify"] ~doc:"Skip stream-equivalence checking.")
+
+let optimize_arg =
+  Arg.(value & flag
+       & info ["optimize"]
+           ~doc:"Run constant folding, buffer collapsing and a dead-logic \
+                 sweep on the converted netlist.")
+
+let sdc_arg =
+  Arg.(value & opt (some string) None
+       & info ["sdc"] ~docv:"FILE" ~doc:"Also write SDC clock constraints.")
+
+let vcd_arg =
+  Arg.(value & opt (some string) None
+       & info ["vcd"] ~docv:"FILE"
+           ~doc:"Also dump a VCD waveform of 64 random cycles.")
+
+let convert_cmd =
+  let run input output period solver no_retime no_cg no_verify optimize sdc vcd =
+    let d = read_design input in
+    let cg =
+      if no_cg then
+        { Phase3.Clock_gating.default_options with
+          Phase3.Clock_gating.common_enable = false;
+          m2_latch_removal = false;
+          ddcg = false }
+      else Phase3.Clock_gating.default_options
+    in
+    let config =
+      { (Phase3.Flow.default_config ~period) with
+        Phase3.Flow.solver;
+        retime = not no_retime;
+        optimize;
+        clock_gating = cg;
+        verify_equivalence = not no_verify }
+    in
+    match Phase3.Flow.run ~config d with
+    | result ->
+      let final = result.Phase3.Flow.final in
+      Printf.printf "%s: %d FFs -> %d latches (%d inserted p2, %s)\n"
+        d.Netlist.Design.design_name
+        (Netlist.Stats.compute d).Netlist.Stats.flip_flops
+        (Netlist.Stats.compute final).Netlist.Stats.latches
+        result.Phase3.Flow.assignment.Phase3.Assignment.inserted_latches
+        (if result.Phase3.Flow.assignment.Phase3.Assignment.optimal
+         then "optimal" else "best effort");
+      Format.printf "timing: %a@." Sta.Smo.pp_report result.Phase3.Flow.timing;
+      (match result.Phase3.Flow.equivalence with
+       | Some (Sim.Equivalence.Equivalent { shift }) ->
+         Printf.printf "equivalence: ok (latency shift %d)\n" shift
+       | Some (Sim.Equivalence.Mismatch _) | None -> ());
+      (match output with
+       | Some path -> write_design path final; Printf.printf "wrote %s\n" path
+       | None -> print_string (Netlist_io.Verilog.write final));
+      (match sdc with
+       | Some path ->
+         let text =
+           Netlist_io.Sdc.write final ~clocks:(Phase3.Flow.clocks_of config)
+         in
+         let oc = open_out path in
+         output_string oc text;
+         close_out oc;
+         Printf.printf "wrote %s\n" path
+       | None -> ());
+      (match vcd with
+       | Some path ->
+         let engine =
+           Sim.Engine.create final ~clocks:(Phase3.Flow.clocks_of config)
+         in
+         let stim =
+           Sim.Stimulus.random ~seed:42 ~cycles:64 ~toggle_probability:0.3
+             (Sim.Stimulus.inputs_of final)
+         in
+         let text = Sim.Vcd.run_and_dump engine stim in
+         let oc = open_out path in
+         output_string oc text;
+         close_out oc;
+         Printf.printf "wrote %s\n" path
+       | None -> ());
+      `Ok ()
+    | exception Phase3.Flow.Flow_error msg -> `Error (false, msg)
+  in
+  Cmd.v (Cmd.info "convert" ~doc:"Convert a FF netlist to 3-phase latches.")
+    Term.(ret (const run $ input_arg $ output_arg $ period_arg $ solver_arg
+               $ no_retime_arg $ no_cg_arg $ no_verify_arg $ optimize_arg
+               $ sdc_arg $ vcd_arg))
+
+let master_slave_cmd =
+  let run input output =
+    let d = read_design input in
+    let ms = Phase3.Master_slave.convert d in
+    (match output with
+     | Some path -> write_design path ms; Printf.printf "wrote %s\n" path
+     | None -> print_string (Netlist_io.Verilog.write ms));
+    `Ok ()
+  in
+  Cmd.v (Cmd.info "master-slave" ~doc:"Produce the master-slave latch baseline.")
+    Term.(ret (const run $ input_arg $ output_arg))
+
+let stats_cmd =
+  let run input =
+    let d = read_design input in
+    Format.printf "%a@." Netlist.Stats.pp (Netlist.Stats.compute d);
+    let g = Netlist.Ff_graph.build d in
+    Printf.printf "FF graph: %d nodes, %d with combinational self-loops\n"
+      (Netlist.Ff_graph.size g) (Netlist.Ff_graph.self_loop_count g);
+    `Ok ()
+  in
+  Cmd.v (Cmd.info "stats" ~doc:"Print register and area statistics.")
+    Term.(ret (const run $ input_arg))
+
+let saif_arg =
+  Arg.(value & opt (some string) None
+       & info ["saif"] ~docv:"FILE"
+           ~doc:"Also write switching activity in SAIF form.")
+
+let power_cmd =
+  let run input period saif =
+    let d = read_design input in
+    let clocks =
+      match d.Netlist.Design.clock_ports with
+      | [p1; p2; p3] -> Sim.Clock_spec.three_phase ~period ~p1 ~p2 ~p3 ()
+      | [port] -> Sim.Clock_spec.single ~period ~port
+      | [] -> Sim.Clock_spec.single ~period ~port:"clock"
+      | _ :: _ -> failwith "unsupported clocking"
+    in
+    let impl = Physical.Implement.run d in
+    let engine = Sim.Engine.create d ~clocks in
+    let stim =
+      Sim.Stimulus.random ~seed:1 ~cycles:512 ~toggle_probability:0.3
+        (Sim.Stimulus.inputs_of d)
+    in
+    ignore (Sim.Engine.run_stream engine stim);
+    let detail =
+      Power.Estimate.run impl
+        ~activity:(Sim.Engine.toggles engine, Sim.Engine.cycles engine) ~period
+    in
+    Format.printf "%a@." Power.Estimate.pp_breakdown detail.Power.Estimate.overall;
+    (match saif with
+     | Some path ->
+       let oc = open_out path in
+       output_string oc (Sim.Activity.render (Sim.Activity.capture engine));
+       close_out oc;
+       Printf.printf "wrote %s\n" path
+     | None -> ());
+    `Ok ()
+  in
+  Cmd.v (Cmd.info "power" ~doc:"Place, simulate and estimate power.")
+    Term.(ret (const run $ input_arg $ period_arg $ saif_arg))
+
+let report_cmd =
+  let run input period =
+    let d = read_design input in
+    let paths = Sta.Timing_report.worst_paths ~count:5 d in
+    Format.printf "%a" (Sta.Timing_report.pp d) paths;
+    let clocks =
+      match d.Netlist.Design.clock_ports with
+      | [p1; p2; p3] -> Sim.Clock_spec.three_phase ~period ~p1 ~p2 ~p3 ()
+      | [port] -> Sim.Clock_spec.single ~period ~port
+      | [] -> Sim.Clock_spec.single ~period ~port:"clock"
+      | _ :: _ -> failwith "unsupported clocking"
+    in
+    List.iter
+      (fun ((c : Sta.Corners.corner), r) ->
+        Format.printf "corner %-8s %a@." c.Sta.Corners.corner_name
+          Sta.Smo.pp_report r)
+      (Sta.Corners.check_all d ~clocks);
+    `Ok ()
+  in
+  Cmd.v (Cmd.info "report" ~doc:"Report critical paths and corner timing.")
+    Term.(ret (const run $ input_arg $ period_arg))
+
+let () =
+  let doc = "flip-flop to 3-phase latch conversion flow" in
+  let info = Cmd.info "ff2latch" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [convert_cmd; master_slave_cmd; stats_cmd; power_cmd; report_cmd]))

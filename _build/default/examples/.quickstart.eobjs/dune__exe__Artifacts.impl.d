@@ -1,0 +1,1 @@
+examples/artifacts.ml: Cell_lib Filename Format List Netlist Netlist_io Phase3 Printf Sim Sta String

@@ -1,0 +1,1 @@
+examples/clock_gating_styles.ml: Array Cell_lib List Netlist Phase3 Printf Sim

@@ -1,0 +1,1 @@
+examples/clock_gating_styles.mli:

@@ -1,0 +1,1 @@
+examples/cpu_power.ml: Circuits Experiments List Netlist Phase3 Power Printf

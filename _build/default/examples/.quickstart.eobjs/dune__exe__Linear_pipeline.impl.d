@@ -1,0 +1,1 @@
+examples/linear_pipeline.ml: Circuits List Phase3 Printf Sim Sta

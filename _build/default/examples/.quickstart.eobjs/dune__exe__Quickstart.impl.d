@@ -1,0 +1,1 @@
+examples/quickstart.ml: Cell_lib Format List Netlist Netlist_io Phase3 Printf Sim Sta

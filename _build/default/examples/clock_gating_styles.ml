@@ -1,0 +1,147 @@
+(* Clock-gating styles (the paper's Figs. 2 and 3).
+
+   Part 1 contrasts the two ways RTL expresses a conditionally-loaded
+   register (Fig. 2): a recirculating mux ("enabled clock") gives every
+   flip-flop a combinational self-loop that blocks single-latch
+   conversion, while an integrated clock gate ("gated clock") leaves the
+   flip-flops free — which is why the paper's flow synthesizes with the
+   gated-clock style preferred.
+
+   Part 2 demonstrates the p2 clock gate with the M1 modification
+   (Fig. 3): its enable is captured by the p3 phase instead of an
+   internal inverter, and the gated p2 pulses exactly on the cycles whose
+   enable was active — glitch-free.
+
+   Run with: dune exec examples/clock_gating_styles.exe *)
+
+let library = Cell_lib.Default_library.library ()
+
+let bank_design ~gated =
+  let b =
+    Netlist.Builder.create
+      ~name:(if gated then "gated_bank" else "enabled_bank")
+      ~library
+  in
+  let clk = Netlist.Builder.add_input ~clock:true b "clk" in
+  let en = Netlist.Builder.add_input b "en" in
+  let width = 16 in
+  (* each input feeds several register bits, so latching an input port is
+     cheaper than pairing the registers it feeds *)
+  let inputs =
+    List.init (width / 4) (fun k -> Netlist.Builder.add_input b (Printf.sprintf "d%d" k))
+  in
+  let data = List.init width (fun k -> List.nth inputs (k mod (width / 4))) in
+  let gck =
+    if gated then begin
+      let g = Netlist.Builder.fresh_net b "gck" in
+      ignore
+        (Netlist.Builder.add_cell b "icg" "ICG_X1"
+           [("CK", clk); ("EN", en); ("GCK", g)]);
+      g
+    end
+    else clk
+  in
+  let qs =
+    List.mapi
+      (fun k din ->
+        let q = Netlist.Builder.fresh_net b (Printf.sprintf "q%d" k) in
+        let d_in =
+          if gated then din
+          else
+            (* Fig. 2(a): recirculate the old value through a mux *)
+            Netlist.Gates.mux2 b ~sel:en ~a:q ~b_in:din
+              ~prefix:(Printf.sprintf "m%d" k)
+        in
+        ignore
+          (Netlist.Builder.add_cell b (Printf.sprintf "r%d" k) "DFF_X1"
+             [("CK", gck); ("D", d_in); ("Q", q)]);
+        q)
+      data
+  in
+  (* two downstream ranks: the forced pairs of style (a) block the
+     alternating-rank optimum that style (b) reaches *)
+  let qarr = Array.of_list qs in
+  let qs2 =
+    List.mapi
+      (fun k _ ->
+        let x = Netlist.Gates.emit_fresh b Netlist.Gates.Xor
+            [qarr.(k); qarr.((k + 1) mod width)] ~prefix:(Printf.sprintf "s%d" k) in
+        let q2 = Netlist.Builder.fresh_net b (Printf.sprintf "p%d" k) in
+        ignore (Netlist.Builder.add_cell b (Printf.sprintf "r2_%d" k) "DFF_X1"
+                  [("CK", clk); ("D", x); ("Q", q2)]);
+        q2)
+      data
+  in
+  let qarr2 = Array.of_list qs2 in
+  List.iteri
+    (fun k _ ->
+      let x = Netlist.Gates.emit_fresh b Netlist.Gates.Xnor
+          [qarr2.(k); qarr2.((k + 2) mod width)] ~prefix:(Printf.sprintf "t%d" k) in
+      let q3 = Netlist.Builder.fresh_net b (Printf.sprintf "u%d" k) in
+      ignore (Netlist.Builder.add_cell b (Printf.sprintf "r3_%d" k) "DFF_X1"
+                [("CK", clk); ("D", x); ("Q", q3)]);
+      Netlist.Builder.add_output b (Printf.sprintf "y%d" k) q3)
+    qs2;
+  Netlist.Builder.freeze b
+
+let part1 () =
+  print_endline "-- Fig. 2: enabled clock vs gated clock --";
+  List.iter
+    (fun gated ->
+      let d = bank_design ~gated in
+      let asg = Phase3.Assignment.solve d in
+      let g = asg.Phase3.Assignment.graph in
+      Printf.printf "%-22s self-loops %2d/%d -> 3-phase latches %d (inserted %d)\n"
+        (if gated then "gated clock (2b):" else "enabled clock (2a):")
+        (Netlist.Ff_graph.self_loop_count g)
+        (Netlist.Ff_graph.size g)
+        (Phase3.Assignment.total_latches asg)
+        asg.Phase3.Assignment.inserted_latches)
+    [false; true]
+
+let part2 () =
+  print_endline "\n-- Fig. 3: the p2 clock gate (M1 style) under simulation --";
+  let b = Netlist.Builder.create ~name:"fig3" ~library in
+  let _p1 = Netlist.Builder.add_input ~clock:true b "p1" in
+  let p2 = Netlist.Builder.add_input ~clock:true b "p2" in
+  let p3 = Netlist.Builder.add_input ~clock:true b "p3" in
+  let en = Netlist.Builder.add_input b "en" in
+  let din = Netlist.Builder.add_input b "din" in
+  (* gated p3 first latch + p2 latch gated by an M1-style cell sharing EN *)
+  let gck3 = Netlist.Builder.fresh_net b "gck3" in
+  ignore (Netlist.Builder.add_cell b "cg3" "ICG_X1"
+            [("CK", p3); ("EN", en); ("GCK", gck3)]);
+  let mid = Netlist.Builder.fresh_net b "mid" in
+  ignore (Netlist.Builder.add_cell b "lat3" "LATH_X1"
+            [("E", gck3); ("D", din); ("Q", mid)]);
+  let gck2 = Netlist.Builder.fresh_net b "gck2" in
+  ignore (Netlist.Builder.add_cell b "cg2" "ICGP3_X1"
+            [("CK", p2); ("P3", p3); ("EN", en); ("GCK", gck2)]);
+  let q = Netlist.Builder.fresh_net b "q" in
+  ignore (Netlist.Builder.add_cell b "lat2" "LATH_X1"
+            [("E", gck2); ("D", mid); ("Q", q)]);
+  Netlist.Builder.add_output b "q" q;
+  let d = Netlist.Builder.freeze b in
+  let clocks = Sim.Clock_spec.three_phase ~period:1.0 ~p1:"p1" ~p2:"p2" ~p3:"p3" () in
+  let engine = Sim.Engine.create d ~clocks in
+  Printf.printf "%5s %3s %4s %9s %9s %2s\n" "cycle" "en" "din" "gck3 tgl" "gck2 tgl" "q";
+  let prev3 = ref 0 and prev2 = ref 0 in
+  List.iteri
+    (fun cycle (env, dv) ->
+      let out =
+        Sim.Engine.run_cycle engine
+          [("en", Sim.Logic.of_bool env); ("din", Sim.Logic.of_bool dv)]
+      in
+      let toggles = Sim.Engine.toggles engine in
+      Printf.printf "%5d %3d %4d %9d %9d  %c\n" cycle
+        (if env then 1 else 0) (if dv then 1 else 0)
+        (toggles.(gck3) - !prev3) (toggles.(gck2) - !prev2)
+        (Sim.Logic.to_char (List.assoc "q" out));
+      prev3 := toggles.(gck3);
+      prev2 := toggles.(gck2))
+    [ (true, true); (true, false); (false, true); (false, false);
+      (true, true); (false, false); (true, false); (true, true) ]
+
+let () =
+  part1 ();
+  part2 ()

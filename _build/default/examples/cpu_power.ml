@@ -1,0 +1,46 @@
+(* CPU power comparison (the scenario behind the paper's Fig. 4):
+   take the RISC-V-like core through the three design styles and measure
+   power under two workload models, Dhrystone-like and Coremark-like.
+
+   Run with: dune exec examples/cpu_power.exe *)
+
+let () =
+  let spec = Circuits.Cpu.riscv in
+  let period = 1000.0 /. spec.Circuits.Cpu.frequency_mhz in
+  Printf.printf "building %s (%d flip-flops, %.1f MHz)...\n%!"
+    spec.Circuits.Cpu.name (Circuits.Cpu.num_flip_flops spec)
+    spec.Circuits.Cpu.frequency_mhz;
+  let original = Circuits.Cpu.make spec in
+  let ff_clocks = Phase3.Flow.reference_clocks original ~period in
+  let ms = Phase3.Master_slave.convert original in
+  let config =
+    { (Phase3.Flow.default_config ~period) with
+      Phase3.Flow.verify_equivalence = false }
+  in
+  let flow = Phase3.Flow.run ~config original in
+  let threep = flow.Phase3.Flow.final in
+  let threep_clocks = Phase3.Flow.clocks_of config in
+  Printf.printf "3-phase conversion: %d -> %d registers, ILP %.3f s\n%!"
+    (Netlist.Stats.compute original).Netlist.Stats.registers
+    (Netlist.Stats.compute threep).Netlist.Stats.registers
+    flow.Phase3.Flow.assignment.Phase3.Assignment.solve_time_s;
+  List.iter
+    (fun program ->
+      let workload = Circuits.Workload.Program program in
+      Printf.printf "\n== workload: %s ==\n%!" (Circuits.Workload.name workload);
+      let measure label design clocks =
+        let p =
+          Experiments.Runner.power_of design ~clocks ~workload ~cycles:256 ~seed:11
+        in
+        Printf.printf "  %-4s clock %.3f  seq %.3f  comb %.3f  total %.3f mW\n%!"
+          label p.Power.Estimate.clock p.Power.Estimate.seq p.Power.Estimate.comb
+          (Power.Estimate.total p);
+        Power.Estimate.total p
+      in
+      let ff_total = measure "FF" original ff_clocks in
+      let ms_total = measure "M-S" ms ff_clocks in
+      let tp_total = measure "3-P" threep threep_clocks in
+      Printf.printf "  3-phase saves %.1f%% vs FF, %.1f%% vs M-S\n"
+        (100.0 *. (ff_total -. tp_total) /. ff_total)
+        (100.0 *. (ms_total -. tp_total) /. ms_total))
+    [Circuits.Workload.Dhrystone; Circuits.Workload.Coremark]

@@ -1,0 +1,1 @@
+lib/cell_lib/cell.ml: Expr List String

@@ -1,0 +1,1 @@
+lib/cell_lib/default_library.ml: Lazy Library

@@ -1,0 +1,1 @@
+lib/cell_lib/expr.ml: Format List Printf Set String

@@ -1,0 +1,1 @@
+lib/cell_lib/liberty.ml: Cell Expr Format List Option String Tech

@@ -1,0 +1,1 @@
+lib/cell_lib/liberty.mli: Cell Format Tech

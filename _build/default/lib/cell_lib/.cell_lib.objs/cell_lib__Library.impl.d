@@ -1,0 +1,1 @@
+lib/cell_lib/library.ml: Cell Expr Format Liberty List Map Printf String Tech

@@ -1,0 +1,1 @@
+lib/cell_lib/library.mli: Cell Tech

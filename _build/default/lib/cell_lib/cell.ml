@@ -1,0 +1,82 @@
+type level = Active_high | Active_low
+
+type icg_style =
+  | Icg_standard
+  | Icg_m1_p3
+  | Icg_m2_latchless
+
+type kind =
+  | Combinational
+  | Flip_flop of {
+      clock_pin : string;
+      data_pin : string;
+      edge : level;
+      reset_pin : string option;
+    }
+  | Latch of {
+      enable_pin : string;
+      data_pin : string;
+      transparent : level;
+      reset_pin : string option;
+    }
+  | Clock_gate of {
+      clock_pin : string;
+      enable_pin : string;
+      style : icg_style;
+      aux_clock_pin : string option;
+    }
+
+type direction = Input | Output
+
+type pin = {
+  pin_name : string;
+  direction : direction;
+  capacitance : float;
+  func : Expr.t option;
+}
+
+type t = {
+  name : string;
+  kind : kind;
+  area : float;
+  leakage : float;
+  pins : pin list;
+  delay_min : float;
+  delay_max : float;
+  drive_resistance : float;
+  internal_energy : float;
+}
+
+let find_pin c name =
+  List.find_opt (fun p -> String.equal p.pin_name name) c.pins
+
+let input_pins c = List.filter (fun p -> p.direction = Input) c.pins
+
+let output_pins c = List.filter (fun p -> p.direction = Output) c.pins
+
+let clock_pin_of c =
+  match c.kind with
+  | Combinational -> None
+  | Flip_flop { clock_pin; _ } | Clock_gate { clock_pin; _ } -> Some clock_pin
+  | Latch { enable_pin; _ } -> Some enable_pin
+
+let is_sequential c =
+  match c.kind with
+  | Flip_flop _ | Latch _ -> true
+  | Combinational | Clock_gate _ -> false
+
+let is_flip_flop c = match c.kind with
+  | Flip_flop _ -> true
+  | Combinational | Latch _ | Clock_gate _ -> false
+
+let is_latch c = match c.kind with
+  | Latch _ -> true
+  | Combinational | Flip_flop _ | Clock_gate _ -> false
+
+let is_clock_gate c = match c.kind with
+  | Clock_gate _ -> true
+  | Combinational | Flip_flop _ | Latch _ -> false
+
+let delay_through c ~load = c.delay_max +. (c.drive_resistance *. load)
+
+let min_delay_through c ~load = c.delay_min +. (c.drive_resistance *. load)

@@ -1,0 +1,82 @@
+(** Standard-cell descriptions: geometry, power, timing and behaviour.
+
+    A cell is either combinational (its outputs carry boolean functions of
+    its inputs), a sequential element (flip-flop or level-sensitive latch)
+    or an integrated clock-gating (ICG) cell.  The three ICG styles model
+    the paper's Fig. 3: the conventional cell (c0), the modification M1
+    that reuses phase [p3] instead of an internal inverter (c1), and the
+    modification M2 that removes the internal latch entirely (c2). *)
+
+(** Transparency level of a latch or the active edge of a flip-flop. *)
+type level = Active_high | Active_low
+
+type icg_style =
+  | Icg_standard      (** latch + AND, inverted clock via internal inverter *)
+  | Icg_m1_p3         (** latch clocked by the extra [P3] pin (paper's M1) *)
+  | Icg_m2_latchless  (** no internal latch (paper's M2) *)
+
+type kind =
+  | Combinational
+  | Flip_flop of {
+      clock_pin : string;
+      data_pin : string;
+      edge : level;            (** [Active_high] = rising-edge triggered *)
+      reset_pin : string option;  (** asynchronous, active-low when present *)
+    }
+  | Latch of {
+      enable_pin : string;
+      data_pin : string;
+      transparent : level;     (** level of [enable_pin] that opens the latch *)
+      reset_pin : string option;
+    }
+  | Clock_gate of {
+      clock_pin : string;
+      enable_pin : string;
+      style : icg_style;
+      aux_clock_pin : string option;  (** the [P3] pin of the M1 style *)
+    }
+
+type direction = Input | Output
+
+type pin = {
+  pin_name : string;
+  direction : direction;
+  capacitance : float;       (** input pin capacitance, fF *)
+  func : Expr.t option;      (** output function (combinational / ICG) *)
+}
+
+type t = {
+  name : string;
+  kind : kind;
+  area : float;              (** um^2 *)
+  leakage : float;           (** nW *)
+  pins : pin list;
+  delay_min : float;         (** intrinsic min delay, ns *)
+  delay_max : float;         (** intrinsic max delay, ns *)
+  drive_resistance : float;  (** ns per fF of load, for the linear model *)
+  internal_energy : float;   (** fJ consumed per output toggle / clock event *)
+}
+
+val find_pin : t -> string -> pin option
+
+val input_pins : t -> pin list
+
+val output_pins : t -> pin list
+
+(** [clock_pin_of c] returns the clock/enable pin name of a sequential or
+    clock-gating cell, [None] for combinational cells. *)
+val clock_pin_of : t -> string option
+
+val is_sequential : t -> bool
+
+val is_flip_flop : t -> bool
+
+val is_latch : t -> bool
+
+val is_clock_gate : t -> bool
+
+(** Worst-case propagation delay through the cell driving [load] fF. *)
+val delay_through : t -> load:float -> float
+
+(** Best-case propagation delay through the cell driving [load] fF. *)
+val min_delay_through : t -> load:float -> float

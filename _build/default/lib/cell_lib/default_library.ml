@@ -1,0 +1,246 @@
+(* Units: area um^2, capacitance fF, delay ns, leakage nW, energy fJ.
+   The ratios that matter: LATCH area / DFF area ~ 0.55, latch clock-pin
+   cap / DFF clock-pin cap ~ 0.5, ICG_P3 (M1) cheaper than ICG, ICG_NL
+   (M2) cheaper still. *)
+let source = {lib|
+library (repro28) {
+  voltage : 0.9 ;
+  wire_cap_per_um : 0.20 ;
+  wire_res_per_um : 2.0 ;
+  row_height : 1.2 ;
+  track_pitch : 0.1 ;
+  max_clock_fanout : 24 ;
+
+  cell (INV_X1) {
+    area : 0.49 ; cell_leakage_power : 0.9 ; internal_energy : 0.35 ;
+    pin (A) { direction : input ; capacitance : 0.9 ; }
+    pin (ZN) { direction : output ; capacitance : 0 ; function : "!A" ; }
+    timing () { intrinsic_min : 0.008 ; intrinsic_max : 0.014 ; drive_resistance : 0.0042 ; }
+  }
+  cell (INV_X4) {
+    area : 1.31 ; cell_leakage_power : 3.2 ; internal_energy : 1.1 ;
+    pin (A) { direction : input ; capacitance : 3.4 ; }
+    pin (ZN) { direction : output ; capacitance : 0 ; function : "!A" ; }
+    timing () { intrinsic_min : 0.007 ; intrinsic_max : 0.012 ; drive_resistance : 0.0012 ; }
+  }
+  cell (BUF_X2) {
+    area : 0.98 ; cell_leakage_power : 1.7 ; internal_energy : 0.8 ;
+    pin (A) { direction : input ; capacitance : 1.1 ; }
+    pin (Z) { direction : output ; capacitance : 0 ; function : "A" ; }
+    timing () { intrinsic_min : 0.018 ; intrinsic_max : 0.028 ; drive_resistance : 0.0021 ; }
+  }
+  cell (CLKBUF_X4) {
+    area : 1.63 ; cell_leakage_power : 3.8 ; internal_energy : 1.6 ;
+    pin (A) { direction : input ; capacitance : 1.9 ; }
+    pin (Z) { direction : output ; capacitance : 0 ; function : "A" ; }
+    timing () { intrinsic_min : 0.016 ; intrinsic_max : 0.024 ; drive_resistance : 0.0011 ; }
+  }
+  cell (NAND2_X1) {
+    area : 0.65 ; cell_leakage_power : 1.2 ; internal_energy : 0.5 ;
+    pin (A1) { direction : input ; capacitance : 1.0 ; }
+    pin (A2) { direction : input ; capacitance : 1.0 ; }
+    pin (ZN) { direction : output ; capacitance : 0 ; function : "!(A1 & A2)" ; }
+    timing () { intrinsic_min : 0.010 ; intrinsic_max : 0.018 ; drive_resistance : 0.0046 ; }
+  }
+  cell (NAND3_X1) {
+    area : 0.82 ; cell_leakage_power : 1.5 ; internal_energy : 0.6 ;
+    pin (A1) { direction : input ; capacitance : 1.1 ; }
+    pin (A2) { direction : input ; capacitance : 1.1 ; }
+    pin (A3) { direction : input ; capacitance : 1.1 ; }
+    pin (ZN) { direction : output ; capacitance : 0 ; function : "!(A1 & A2 & A3)" ; }
+    timing () { intrinsic_min : 0.013 ; intrinsic_max : 0.024 ; drive_resistance : 0.0050 ; }
+  }
+  cell (NAND4_X1) {
+    area : 0.98 ; cell_leakage_power : 1.8 ; internal_energy : 0.7 ;
+    pin (A1) { direction : input ; capacitance : 1.2 ; }
+    pin (A2) { direction : input ; capacitance : 1.2 ; }
+    pin (A3) { direction : input ; capacitance : 1.2 ; }
+    pin (A4) { direction : input ; capacitance : 1.2 ; }
+    pin (ZN) { direction : output ; capacitance : 0 ; function : "!(A1 & A2 & A3 & A4)" ; }
+    timing () { intrinsic_min : 0.016 ; intrinsic_max : 0.029 ; drive_resistance : 0.0054 ; }
+  }
+  cell (NOR2_X1) {
+    area : 0.65 ; cell_leakage_power : 1.1 ; internal_energy : 0.5 ;
+    pin (A1) { direction : input ; capacitance : 1.0 ; }
+    pin (A2) { direction : input ; capacitance : 1.0 ; }
+    pin (ZN) { direction : output ; capacitance : 0 ; function : "!(A1 | A2)" ; }
+    timing () { intrinsic_min : 0.011 ; intrinsic_max : 0.020 ; drive_resistance : 0.0052 ; }
+  }
+  cell (NOR3_X1) {
+    area : 0.82 ; cell_leakage_power : 1.4 ; internal_energy : 0.6 ;
+    pin (A1) { direction : input ; capacitance : 1.1 ; }
+    pin (A2) { direction : input ; capacitance : 1.1 ; }
+    pin (A3) { direction : input ; capacitance : 1.1 ; }
+    pin (ZN) { direction : output ; capacitance : 0 ; function : "!(A1 | A2 | A3)" ; }
+    timing () { intrinsic_min : 0.015 ; intrinsic_max : 0.027 ; drive_resistance : 0.0058 ; }
+  }
+  cell (AND2_X1) {
+    area : 0.82 ; cell_leakage_power : 1.3 ; internal_energy : 0.6 ;
+    pin (A1) { direction : input ; capacitance : 0.9 ; }
+    pin (A2) { direction : input ; capacitance : 0.9 ; }
+    pin (Z) { direction : output ; capacitance : 0 ; function : "A1 & A2" ; }
+    timing () { intrinsic_min : 0.018 ; intrinsic_max : 0.030 ; drive_resistance : 0.0040 ; }
+  }
+  cell (AND3_X1) {
+    area : 0.98 ; cell_leakage_power : 1.6 ; internal_energy : 0.7 ;
+    pin (A1) { direction : input ; capacitance : 1.0 ; }
+    pin (A2) { direction : input ; capacitance : 1.0 ; }
+    pin (A3) { direction : input ; capacitance : 1.0 ; }
+    pin (Z) { direction : output ; capacitance : 0 ; function : "A1 & A2 & A3" ; }
+    timing () { intrinsic_min : 0.021 ; intrinsic_max : 0.035 ; drive_resistance : 0.0043 ; }
+  }
+  cell (OR2_X1) {
+    area : 0.82 ; cell_leakage_power : 1.3 ; internal_energy : 0.6 ;
+    pin (A1) { direction : input ; capacitance : 0.9 ; }
+    pin (A2) { direction : input ; capacitance : 0.9 ; }
+    pin (Z) { direction : output ; capacitance : 0 ; function : "A1 | A2" ; }
+    timing () { intrinsic_min : 0.019 ; intrinsic_max : 0.032 ; drive_resistance : 0.0041 ; }
+  }
+  cell (OR3_X1) {
+    area : 0.98 ; cell_leakage_power : 1.6 ; internal_energy : 0.7 ;
+    pin (A1) { direction : input ; capacitance : 1.0 ; }
+    pin (A2) { direction : input ; capacitance : 1.0 ; }
+    pin (A3) { direction : input ; capacitance : 1.0 ; }
+    pin (Z) { direction : output ; capacitance : 0 ; function : "A1 | A2 | A3" ; }
+    timing () { intrinsic_min : 0.022 ; intrinsic_max : 0.037 ; drive_resistance : 0.0044 ; }
+  }
+  cell (XOR2_X1) {
+    area : 1.47 ; cell_leakage_power : 2.1 ; internal_energy : 1.0 ;
+    pin (A1) { direction : input ; capacitance : 1.5 ; }
+    pin (A2) { direction : input ; capacitance : 1.5 ; }
+    pin (Z) { direction : output ; capacitance : 0 ; function : "A1 ^ A2" ; }
+    timing () { intrinsic_min : 0.022 ; intrinsic_max : 0.038 ; drive_resistance : 0.0048 ; }
+  }
+  cell (XNOR2_X1) {
+    area : 1.47 ; cell_leakage_power : 2.1 ; internal_energy : 1.0 ;
+    pin (A1) { direction : input ; capacitance : 1.5 ; }
+    pin (A2) { direction : input ; capacitance : 1.5 ; }
+    pin (ZN) { direction : output ; capacitance : 0 ; function : "!(A1 ^ A2)" ; }
+    timing () { intrinsic_min : 0.022 ; intrinsic_max : 0.038 ; drive_resistance : 0.0048 ; }
+  }
+  cell (MUX2_X1) {
+    area : 1.63 ; cell_leakage_power : 2.4 ; internal_energy : 1.1 ;
+    pin (A) { direction : input ; capacitance : 1.0 ; }
+    pin (B) { direction : input ; capacitance : 1.0 ; }
+    pin (S) { direction : input ; capacitance : 1.3 ; }
+    pin (Z) { direction : output ; capacitance : 0 ; function : "(S & B) | (!S & A)" ; }
+    timing () { intrinsic_min : 0.024 ; intrinsic_max : 0.040 ; drive_resistance : 0.0045 ; }
+  }
+  cell (AOI21_X1) {
+    area : 0.82 ; cell_leakage_power : 1.4 ; internal_energy : 0.6 ;
+    pin (A1) { direction : input ; capacitance : 1.1 ; }
+    pin (A2) { direction : input ; capacitance : 1.1 ; }
+    pin (B) { direction : input ; capacitance : 1.0 ; }
+    pin (ZN) { direction : output ; capacitance : 0 ; function : "!((A1 & A2) | B)" ; }
+    timing () { intrinsic_min : 0.014 ; intrinsic_max : 0.026 ; drive_resistance : 0.0050 ; }
+  }
+  cell (OAI21_X1) {
+    area : 0.82 ; cell_leakage_power : 1.4 ; internal_energy : 0.6 ;
+    pin (A1) { direction : input ; capacitance : 1.1 ; }
+    pin (A2) { direction : input ; capacitance : 1.1 ; }
+    pin (B) { direction : input ; capacitance : 1.0 ; }
+    pin (ZN) { direction : output ; capacitance : 0 ; function : "!((A1 | A2) & B)" ; }
+    timing () { intrinsic_min : 0.014 ; intrinsic_max : 0.026 ; drive_resistance : 0.0050 ; }
+  }
+
+  cell (DFF_X1) {
+    area : 4.41 ; cell_leakage_power : 6.5 ; internal_energy : 2.4 ;
+    ff (IQ) { clocked_on : "CK" ; next_state : "D" ; }
+    pin (CK) { direction : input ; capacitance : 0.72 ; }
+    pin (D) { direction : input ; capacitance : 0.85 ; }
+    pin (Q) { direction : output ; capacitance : 0 ; function : "IQ" ; }
+    timing () { intrinsic_min : 0.055 ; intrinsic_max : 0.085 ; drive_resistance : 0.0044 ; }
+  }
+  cell (DFFR_X1) {
+    area : 5.23 ; cell_leakage_power : 7.4 ; internal_energy : 2.6 ;
+    ff (IQ) { clocked_on : "CK" ; next_state : "D" ; clear : "!RN" ; }
+    pin (CK) { direction : input ; capacitance : 0.74 ; }
+    pin (D) { direction : input ; capacitance : 0.86 ; }
+    pin (RN) { direction : input ; capacitance : 0.8 ; }
+    pin (Q) { direction : output ; capacitance : 0 ; function : "IQ" ; }
+    timing () { intrinsic_min : 0.057 ; intrinsic_max : 0.088 ; drive_resistance : 0.0044 ; }
+  }
+  cell (LATH_X1) {
+    area : 2.45 ; cell_leakage_power : 3.4 ; internal_energy : 1.25 ;
+    latch (IQ) { enable : "E" ; data_in : "D" ; }
+    pin (E) { direction : input ; capacitance : 0.36 ; }
+    pin (D) { direction : input ; capacitance : 0.75 ; }
+    pin (Q) { direction : output ; capacitance : 0 ; function : "IQ" ; }
+    timing () { intrinsic_min : 0.042 ; intrinsic_max : 0.066 ; drive_resistance : 0.0044 ; }
+  }
+  cell (LATHR_X1) {
+    area : 2.94 ; cell_leakage_power : 4.0 ; internal_energy : 1.35 ;
+    latch (IQ) { enable : "E" ; data_in : "D" ; clear : "!RN" ; }
+    pin (E) { direction : input ; capacitance : 0.37 ; }
+    pin (D) { direction : input ; capacitance : 0.76 ; }
+    pin (RN) { direction : input ; capacitance : 0.7 ; }
+    pin (Q) { direction : output ; capacitance : 0 ; function : "IQ" ; }
+    timing () { intrinsic_min : 0.044 ; intrinsic_max : 0.068 ; drive_resistance : 0.0044 ; }
+  }
+  cell (LATL_X1) {
+    area : 2.69 ; cell_leakage_power : 3.9 ; internal_energy : 1.65 ;
+    latch (IQ) { enable : "!E" ; data_in : "D" ; }
+    pin (E) { direction : input ; capacitance : 0.55 ; }
+    pin (D) { direction : input ; capacitance : 0.75 ; }
+    pin (Q) { direction : output ; capacitance : 0 ; function : "IQ" ; }
+    timing () { intrinsic_min : 0.042 ; intrinsic_max : 0.066 ; drive_resistance : 0.0044 ; }
+  }
+
+  cell (PLATCH_X1) {
+    area : 2.62 ; cell_leakage_power : 3.6 ; internal_energy : 1.35 ;
+    ff (IQ) { clocked_on : "CK" ; next_state : "D" ; }
+    pin (CK) { direction : input ; capacitance : 0.38 ; }
+    pin (D) { direction : input ; capacitance : 0.75 ; }
+    pin (Q) { direction : output ; capacitance : 0 ; function : "IQ" ; }
+    timing () { intrinsic_min : 0.043 ; intrinsic_max : 0.067 ; drive_resistance : 0.0044 ; }
+  }
+  cell (PLATCHR_X1) {
+    area : 3.11 ; cell_leakage_power : 4.2 ; internal_energy : 1.45 ;
+    ff (IQ) { clocked_on : "CK" ; next_state : "D" ; clear : "!RN" ; }
+    pin (CK) { direction : input ; capacitance : 0.39 ; }
+    pin (D) { direction : input ; capacitance : 0.76 ; }
+    pin (RN) { direction : input ; capacitance : 0.7 ; }
+    pin (Q) { direction : output ; capacitance : 0 ; function : "IQ" ; }
+    timing () { intrinsic_min : 0.045 ; intrinsic_max : 0.069 ; drive_resistance : 0.0044 ; }
+  }
+  cell (LATLR_X1) {
+    area : 3.18 ; cell_leakage_power : 4.5 ; internal_energy : 1.75 ;
+    latch (IQ) { enable : "!E" ; data_in : "D" ; clear : "!RN" ; }
+    pin (E) { direction : input ; capacitance : 0.56 ; }
+    pin (D) { direction : input ; capacitance : 0.76 ; }
+    pin (RN) { direction : input ; capacitance : 0.7 ; }
+    pin (Q) { direction : output ; capacitance : 0 ; function : "IQ" ; }
+    timing () { intrinsic_min : 0.044 ; intrinsic_max : 0.068 ; drive_resistance : 0.0044 ; }
+  }
+
+  cell (ICG_X1) {
+    area : 3.43 ; cell_leakage_power : 5.0 ; internal_energy : 1.6 ;
+    icg () { clock : CK ; enable : EN ; style : standard ; }
+    pin (CK) { direction : input ; capacitance : 0.78 ; }
+    pin (EN) { direction : input ; capacitance : 0.62 ; }
+    pin (GCK) { direction : output ; capacitance : 0 ; }
+    timing () { intrinsic_min : 0.030 ; intrinsic_max : 0.048 ; drive_resistance : 0.0020 ; }
+  }
+  cell (ICGP3_X1) {
+    area : 3.10 ; cell_leakage_power : 4.4 ; internal_energy : 1.35 ;
+    icg () { clock : CK ; enable : EN ; style : m1_p3 ; aux_clock : P3 ; }
+    pin (CK) { direction : input ; capacitance : 0.78 ; }
+    pin (EN) { direction : input ; capacitance : 0.62 ; }
+    pin (P3) { direction : input ; capacitance : 0.34 ; }
+    pin (GCK) { direction : output ; capacitance : 0 ; }
+    timing () { intrinsic_min : 0.029 ; intrinsic_max : 0.046 ; drive_resistance : 0.0020 ; }
+  }
+  cell (ICGNL_X1) {
+    area : 1.14 ; cell_leakage_power : 1.9 ; internal_energy : 0.65 ;
+    icg () { clock : CK ; enable : EN ; style : m2_latchless ; }
+    pin (CK) { direction : input ; capacitance : 0.78 ; }
+    pin (EN) { direction : input ; capacitance : 0.55 ; }
+    pin (GCK) { direction : output ; capacitance : 0 ; }
+    timing () { intrinsic_min : 0.015 ; intrinsic_max : 0.026 ; drive_resistance : 0.0022 ; }
+  }
+}
+|lib}
+
+let parsed = lazy (Library.of_liberty source)
+
+let library () = Lazy.force parsed

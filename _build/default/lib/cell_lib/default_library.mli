@@ -1,0 +1,13 @@
+(** The built-in synthetic technology library ("repro28"), loosely modelled
+    on a 28nm FDSOI standard-cell library.  Absolute values are synthetic;
+    what matters for the reproduction are the relative ratios: a latch is
+    roughly 0.55x the area of a flip-flop and its clock pin presents about
+    half the capacitance, integrated clock-gating cells cost area but stop
+    downstream clock toggling, and the M1/M2 ICG variants are cheaper than
+    the standard one. *)
+
+(** The Liberty source text of the built-in library. *)
+val source : string
+
+(** The parsed built-in library.  Parsing happens once, lazily. *)
+val library : unit -> Library.t

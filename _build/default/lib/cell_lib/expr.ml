@@ -1,0 +1,146 @@
+type t =
+  | Const of bool
+  | Pin of string
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Xor of t * t
+
+let rec equal a b =
+  match a, b with
+  | Const x, Const y -> x = y
+  | Pin x, Pin y -> String.equal x y
+  | Not x, Not y -> equal x y
+  | And (x1, x2), And (y1, y2)
+  | Or (x1, x2), Or (y1, y2)
+  | Xor (x1, x2), Xor (y1, y2) -> equal x1 y1 && equal x2 y2
+  | (Const _ | Pin _ | Not _ | And _ | Or _ | Xor _), _ -> false
+
+exception Parse_error of string
+
+(* Recursive-descent parser.  Grammar (lowest precedence first):
+     or   ::= xor (('|' | '+') xor)*
+     xor  ::= and ('^' and)*
+     and  ::= unary (('&' | '*') unary)*
+     unary::= '!' unary | atom '\''* | atom
+     atom ::= '(' or ')' | '0' | '1' | ident *)
+
+type token = Tok_pin of string | Tok_op of char | Tok_eof
+
+let tokenize s =
+  let n = String.length s in
+  let toks = ref [] in
+  let is_ident c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+    || (c >= '0' && c <= '9') || c = '_' || c = '[' || c = ']' || c = '.'
+  in
+  let rec go i =
+    if i >= n then ()
+    else
+      match s.[i] with
+      | ' ' | '\t' | '\n' | '\r' | '"' -> go (i + 1)
+      | '!' | '&' | '*' | '|' | '+' | '^' | '(' | ')' | '\'' as c ->
+        toks := Tok_op c :: !toks;
+        go (i + 1)
+      | c when is_ident c ->
+        let j = ref i in
+        while !j < n && is_ident s.[!j] do incr j done;
+        toks := Tok_pin (String.sub s i (!j - i)) :: !toks;
+        go !j
+      | c -> raise (Parse_error (Printf.sprintf "unexpected character %C" c))
+  in
+  go 0;
+  List.rev !toks
+
+let parse s =
+  let toks = ref (tokenize s) in
+  let peek () = match !toks with [] -> Tok_eof | t :: _ -> t in
+  let advance () = match !toks with [] -> () | _ :: rest -> toks := rest in
+  let rec parse_or () =
+    let left = parse_xor () in
+    match peek () with
+    | Tok_op ('|' | '+') ->
+      advance ();
+      Or (left, parse_or ())
+    | Tok_op _ | Tok_pin _ | Tok_eof -> left
+  and parse_xor () =
+    let left = parse_and () in
+    match peek () with
+    | Tok_op '^' ->
+      advance ();
+      Xor (left, parse_xor ())
+    | Tok_op _ | Tok_pin _ | Tok_eof -> left
+  and parse_and () =
+    let left = parse_unary () in
+    match peek () with
+    | Tok_op ('&' | '*') ->
+      advance ();
+      And (left, parse_and ())
+    (* Liberty allows juxtaposition for AND: "A B" *)
+    | Tok_pin _ | Tok_op ('!' | '(') -> And (left, parse_and ())
+    | Tok_op _ | Tok_eof -> left
+  and parse_unary () =
+    match peek () with
+    | Tok_op '!' ->
+      advance ();
+      postfix (Not (parse_unary ()))
+    | Tok_op _ | Tok_pin _ | Tok_eof -> postfix (parse_atom ())
+  and postfix e =
+    match peek () with
+    | Tok_op '\'' ->
+      advance ();
+      postfix (Not e)
+    | Tok_op _ | Tok_pin _ | Tok_eof -> e
+  and parse_atom () =
+    match peek () with
+    | Tok_op '(' ->
+      advance ();
+      let e = parse_or () in
+      (match peek () with
+       | Tok_op ')' -> advance (); e
+       | Tok_op _ | Tok_pin _ | Tok_eof -> raise (Parse_error "expected ')'"))
+    | Tok_pin "0" -> advance (); Const false
+    | Tok_pin "1" -> advance (); Const true
+    | Tok_pin p -> advance (); Pin p
+    | Tok_op c -> raise (Parse_error (Printf.sprintf "unexpected %C" c))
+    | Tok_eof -> raise (Parse_error "unexpected end of expression")
+  in
+  let e = parse_or () in
+  match peek () with
+  | Tok_eof -> e
+  | Tok_op c -> raise (Parse_error (Printf.sprintf "trailing %C" c))
+  | Tok_pin p -> raise (Parse_error ("trailing " ^ p))
+
+let pins e =
+  let module S = Set.Make (String) in
+  let rec go acc = function
+    | Const _ -> acc
+    | Pin p -> S.add p acc
+    | Not a -> go acc a
+    | And (a, b) | Or (a, b) | Xor (a, b) -> go (go acc a) b
+  in
+  S.elements (go S.empty e)
+
+let rec eval env = function
+  | Const b -> b
+  | Pin p -> env p
+  | Not a -> not (eval env a)
+  | And (a, b) -> eval env a && eval env b
+  | Or (a, b) -> eval env a || eval env b
+  | Xor (a, b) -> eval env a <> eval env b
+
+let rec pp ppf = function
+  | Const false -> Format.pp_print_string ppf "0"
+  | Const true -> Format.pp_print_string ppf "1"
+  | Pin p -> Format.pp_print_string ppf p
+  | Not a -> Format.fprintf ppf "!%a" pp_atom a
+  | And (a, b) -> Format.fprintf ppf "%a & %a" pp_atom a pp_atom b
+  | Or (a, b) -> Format.fprintf ppf "%a | %a" pp_atom a pp_atom b
+  | Xor (a, b) -> Format.fprintf ppf "%a ^ %a" pp_atom a pp_atom b
+
+and pp_atom ppf e =
+  match e with
+  | Const _ | Pin _ | Not _ -> pp ppf e
+  | And _ | Or _ | Xor _ -> Format.fprintf ppf "(%a)" pp e
+
+let to_string e = Format.asprintf "%a" pp e

@@ -1,0 +1,33 @@
+(** Boolean expressions over named pins, as found in Liberty [function]
+    attributes.  Used both to describe combinational cell behaviour and to
+    evaluate cells during simulation. *)
+
+type t =
+  | Const of bool
+  | Pin of string
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Xor of t * t
+
+val equal : t -> t -> bool
+
+(** [parse s] parses a Liberty-style boolean expression.  Supported
+    operators, in decreasing precedence: [!] / trailing ['] (negation),
+    [&] or [*] (conjunction), [^] (exclusive or), [|] or [+] (disjunction).
+    Parentheses group.  Raises [Parse_error] on malformed input. *)
+val parse : string -> t
+
+exception Parse_error of string
+
+(** [pins e] lists the distinct pin names appearing in [e], sorted. *)
+val pins : t -> string list
+
+(** [eval env e] evaluates [e] with pin values supplied by [env].
+    Raises [Not_found] if [env] has no binding for a pin. *)
+val eval : (string -> bool) -> t -> bool
+
+(** Pretty-printer producing Liberty syntax. *)
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

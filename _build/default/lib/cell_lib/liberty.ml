@@ -1,0 +1,343 @@
+type group = {
+  g_name : string;
+  g_args : string list;
+  g_attrs : (string * string) list;
+  g_subs : group list;
+}
+
+exception Error of string
+
+let error fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+(* --- Lexer --- *)
+
+type token =
+  | Ident of string
+  | Str of string
+  | Colon
+  | Semi
+  | Lparen
+  | Rparen
+  | Lbrace
+  | Rbrace
+  | Comma
+  | Eof
+
+let tokenize src =
+  let n = String.length src in
+  let toks = ref [] in
+  let is_word c =
+    (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+    || (c >= '0' && c <= '9')
+    || c = '_' || c = '.' || c = '-' || c = '+' || c = '!' || c = '[' || c = ']'
+  in
+  let rec go i =
+    if i >= n then ()
+    else
+      match src.[i] with
+      | ' ' | '\t' | '\n' | '\r' -> go (i + 1)
+      | '/' when i + 1 < n && src.[i + 1] = '*' ->
+        let j = ref (i + 2) in
+        while !j + 1 < n && not (src.[!j] = '*' && src.[!j + 1] = '/') do incr j done;
+        go (!j + 2)
+      | '/' when i + 1 < n && src.[i + 1] = '/' ->
+        let j = ref (i + 2) in
+        while !j < n && src.[!j] <> '\n' do incr j done;
+        go !j
+      | '"' ->
+        let j = ref (i + 1) in
+        while !j < n && src.[!j] <> '"' do incr j done;
+        if !j >= n then error "unterminated string";
+        toks := Str (String.sub src (i + 1) (!j - i - 1)) :: !toks;
+        go (!j + 1)
+      | ':' -> toks := Colon :: !toks; go (i + 1)
+      | ';' -> toks := Semi :: !toks; go (i + 1)
+      | '(' -> toks := Lparen :: !toks; go (i + 1)
+      | ')' -> toks := Rparen :: !toks; go (i + 1)
+      | '{' -> toks := Lbrace :: !toks; go (i + 1)
+      | '}' -> toks := Rbrace :: !toks; go (i + 1)
+      | ',' -> toks := Comma :: !toks; go (i + 1)
+      | c when is_word c ->
+        let j = ref i in
+        while !j < n && is_word src.[!j] do incr j done;
+        toks := Ident (String.sub src i (!j - i)) :: !toks;
+        go !j
+      | c -> error "unexpected character %C" c
+  in
+  go 0;
+  List.rev !toks
+
+(* --- Parser --- *)
+
+type state = { mutable toks : token list }
+
+let peek st = match st.toks with [] -> Eof | t :: _ -> t
+
+let advance st = match st.toks with [] -> () | _ :: rest -> st.toks <- rest
+
+let expect st tok what =
+  if peek st = tok then advance st else error "expected %s" what
+
+(* group ::= ident '(' args ')' '{' item* '}'
+   item  ::= ident ':' value ';' | group *)
+let rec parse_group_body st name =
+  let args = parse_args st in
+  expect st Lbrace "'{'";
+  let attrs = ref [] and subs = ref [] in
+  let rec items () =
+    match peek st with
+    | Rbrace -> advance st
+    | Ident id ->
+      advance st;
+      (match peek st with
+       | Colon ->
+         advance st;
+         let v = parse_value st in
+         expect st Semi "';'";
+         attrs := (id, v) :: !attrs;
+         items ()
+       | Lparen ->
+         subs := parse_group_body st id :: !subs;
+         items ()
+       | Str _ | Semi | Rparen | Lbrace | Rbrace | Comma | Ident _ | Eof ->
+         error "expected ':' or '(' after %s" id)
+    | Str _ | Colon | Semi | Lparen | Rparen | Lbrace | Comma ->
+      error "unexpected token in group %s" name
+    | Eof -> error "unexpected end of input in group %s" name
+  in
+  items ();
+  { g_name = name;
+    g_args = List.rev !args;
+    g_attrs = List.rev !attrs;
+    g_subs = List.rev !subs }
+
+and parse_args st =
+  expect st Lparen "'('";
+  let args = ref [] in
+  let rec go () =
+    match peek st with
+    | Rparen -> advance st; !args
+    | Comma -> advance st; go ()
+    | Ident id -> advance st; args := id :: !args; go ()
+    | Str s -> advance st; args := s :: !args; go ()
+    | Colon | Semi | Lparen | Lbrace | Rbrace | Eof -> error "malformed argument list"
+  in
+  ref (go ())
+
+and parse_value st =
+  match peek st with
+  | Ident id -> advance st; id
+  | Str s -> advance st; s
+  | Colon | Semi | Lparen | Rparen | Lbrace | Rbrace | Comma | Eof ->
+    error "expected attribute value"
+
+let parse_group src =
+  let st = { toks = tokenize src } in
+  match peek st with
+  | Ident id ->
+    advance st;
+    let g = parse_group_body st id in
+    (match peek st with
+     | Eof -> g
+     | Ident _ | Str _ | Colon | Semi | Lparen | Rparen | Lbrace | Rbrace
+     | Comma -> error "trailing input after top-level group")
+  | Str _ | Colon | Semi | Lparen | Rparen | Lbrace | Rbrace | Comma | Eof ->
+    error "expected a top-level group"
+
+(* --- Accessors --- *)
+
+let attr g name =
+  List.assoc_opt name g.g_attrs
+
+let attr_float g name =
+  match attr g name with
+  | None -> None
+  | Some v ->
+    (match float_of_string_opt v with
+     | Some f -> Some f
+     | None -> error "attribute %s is not a number: %s" name v)
+
+let sub_groups g name =
+  List.filter (fun s -> String.equal s.g_name name) g.g_subs
+
+(* --- Interpretation --- *)
+
+let level_of_signal s =
+  if String.length s > 0 && s.[0] = '!'
+  then Cell.Active_low, String.sub s 1 (String.length s - 1)
+  else Cell.Active_high, s
+
+let interpret_pin cell_name g =
+  let name = match g.g_args with
+    | [n] -> n
+    | [] | _ :: _ -> error "cell %s: pin group needs exactly one name" cell_name
+  in
+  let direction = match attr g "direction" with
+    | Some "input" -> Cell.Input
+    | Some "output" -> Cell.Output
+    | Some other -> error "cell %s pin %s: bad direction %s" cell_name name other
+    | None -> error "cell %s pin %s: missing direction" cell_name name
+  in
+  let capacitance = Option.value ~default:0.0 (attr_float g "capacitance") in
+  let func = match attr g "function" with
+    | None -> None
+    | Some src ->
+      (try Some (Expr.parse src)
+       with Expr.Parse_error msg ->
+         error "cell %s pin %s: bad function %S: %s" cell_name name src msg)
+  in
+  let timing = sub_groups g "timing" in
+  let pin = { Cell.pin_name = name; direction; capacitance; func } in
+  (pin, timing)
+
+let icg_style_of_string cell_name = function
+  | "standard" -> Cell.Icg_standard
+  | "m1_p3" -> Cell.Icg_m1_p3
+  | "m2_latchless" -> Cell.Icg_m2_latchless
+  | other -> error "cell %s: unknown icg style %s" cell_name other
+
+let interpret_cell g =
+  let name = match g.g_args with
+    | [n] -> n
+    | [] | _ :: _ -> error "cell group needs exactly one name"
+  in
+  let area = Option.value ~default:0.0 (attr_float g "area") in
+  let leakage = Option.value ~default:0.0 (attr_float g "cell_leakage_power") in
+  let internal_energy =
+    Option.value ~default:0.0 (attr_float g "internal_energy") in
+  let pins_and_timing = List.map (interpret_pin name) (sub_groups g "pin") in
+  let pins = List.map fst pins_and_timing in
+  let timings = sub_groups g "timing" @ List.concat_map snd pins_and_timing in
+  let delay_min, delay_max, drive_resistance =
+    match timings with
+    | [] -> 0.0, 0.0, 0.0
+    | t :: _ ->
+      Option.value ~default:0.0 (attr_float t "intrinsic_min"),
+      Option.value ~default:0.0 (attr_float t "intrinsic_max"),
+      Option.value ~default:0.0 (attr_float t "drive_resistance")
+  in
+  let required a grp what =
+    match attr grp a with
+    | Some v -> v
+    | None -> error "cell %s: %s group missing %s" name what a
+  in
+  let kind =
+    match sub_groups g "ff", sub_groups g "latch", sub_groups g "icg" with
+    | [ff], [], [] ->
+      let edge, clock_pin = level_of_signal (required "clocked_on" ff "ff") in
+      let data_pin = required "next_state" ff "ff" in
+      let reset_pin = Option.map (fun s -> snd (level_of_signal s)) (attr ff "clear") in
+      Cell.Flip_flop { clock_pin; data_pin; edge; reset_pin }
+    | [], [lt], [] ->
+      let transparent, enable_pin = level_of_signal (required "enable" lt "latch") in
+      let data_pin = required "data_in" lt "latch" in
+      let reset_pin = Option.map (fun s -> snd (level_of_signal s)) (attr lt "clear") in
+      Cell.Latch { enable_pin; data_pin; transparent; reset_pin }
+    | [], [], [icg] ->
+      let clock_pin = required "clock" icg "icg" in
+      let enable_pin = required "enable" icg "icg" in
+      let style = icg_style_of_string name (required "style" icg "icg") in
+      let aux_clock_pin = attr icg "aux_clock" in
+      Cell.Clock_gate { clock_pin; enable_pin; style; aux_clock_pin }
+    | [], [], [] -> Cell.Combinational
+    | _ :: _, _ :: _, _ | _ :: _, _, _ :: _ | _, _ :: _, _ :: _
+    | _ :: _ :: _, _, _ | _, _ :: _ :: _, _ | _, _, _ :: _ :: _ ->
+      error "cell %s: conflicting sequential groups" name
+  in
+  { Cell.name; kind; area; leakage; pins; delay_min; delay_max;
+    drive_resistance; internal_energy }
+
+let interpret g =
+  if not (String.equal g.g_name "library") then
+    error "expected a library group, found %s" g.g_name;
+  let name = match g.g_args with
+    | [n] -> n
+    | [] | _ :: _ -> error "library group needs exactly one name"
+  in
+  let d = Tech.default in
+  let tech = {
+    Tech.voltage = Option.value ~default:d.Tech.voltage (attr_float g "voltage");
+    wire_cap_per_um =
+      Option.value ~default:d.Tech.wire_cap_per_um (attr_float g "wire_cap_per_um");
+    wire_res_per_um =
+      Option.value ~default:d.Tech.wire_res_per_um (attr_float g "wire_res_per_um");
+    row_height = Option.value ~default:d.Tech.row_height (attr_float g "row_height");
+    track_pitch = Option.value ~default:d.Tech.track_pitch (attr_float g "track_pitch");
+    max_clock_fanout =
+      (match attr_float g "max_clock_fanout" with
+       | None -> d.Tech.max_clock_fanout
+       | Some f -> int_of_float f);
+  } in
+  let cells = List.map interpret_cell (sub_groups g "cell") in
+  (name, tech, cells)
+
+let parse src = interpret (parse_group src)
+
+(* --- Printing --- *)
+
+let pp_pin ppf (p : Cell.pin) =
+  Format.fprintf ppf "@[<v 2>pin (%s) {@," p.Cell.pin_name;
+  Format.fprintf ppf "direction : %s ;"
+    (match p.Cell.direction with Cell.Input -> "input" | Cell.Output -> "output");
+  Format.fprintf ppf "@,capacitance : %g ;" p.Cell.capacitance;
+  (match p.Cell.func with
+   | None -> ()
+   | Some f -> Format.fprintf ppf "@,function : \"%s\" ;" (Expr.to_string f));
+  Format.fprintf ppf "@]@,}"
+
+let pp_signal level pin =
+  match level with
+  | Cell.Active_high -> pin
+  | Cell.Active_low -> "!" ^ pin
+
+let pp_kind ppf (c : Cell.t) =
+  match c.Cell.kind with
+  | Cell.Combinational -> ()
+  | Cell.Flip_flop { clock_pin; data_pin; edge; reset_pin } ->
+    Format.fprintf ppf "@,@[<v 2>ff (IQ) {@,clocked_on : \"%s\" ;@,next_state : \"%s\" ;"
+      (pp_signal edge clock_pin) data_pin;
+    (match reset_pin with
+     | None -> ()
+     | Some r -> Format.fprintf ppf "@,clear : \"%s\" ;" r);
+    Format.fprintf ppf "@]@,}"
+  | Cell.Latch { enable_pin; data_pin; transparent; reset_pin } ->
+    Format.fprintf ppf "@,@[<v 2>latch (IQ) {@,enable : \"%s\" ;@,data_in : \"%s\" ;"
+      (pp_signal transparent enable_pin) data_pin;
+    (match reset_pin with
+     | None -> ()
+     | Some r -> Format.fprintf ppf "@,clear : \"%s\" ;" r);
+    Format.fprintf ppf "@]@,}"
+  | Cell.Clock_gate { clock_pin; enable_pin; style; aux_clock_pin } ->
+    let style_str = match style with
+      | Cell.Icg_standard -> "standard"
+      | Cell.Icg_m1_p3 -> "m1_p3"
+      | Cell.Icg_m2_latchless -> "m2_latchless"
+    in
+    Format.fprintf ppf "@,@[<v 2>icg () {@,clock : %s ;@,enable : %s ;@,style : %s ;"
+      clock_pin enable_pin style_str;
+    (match aux_clock_pin with
+     | None -> ()
+     | Some p -> Format.fprintf ppf "@,aux_clock : %s ;" p);
+    Format.fprintf ppf "@]@,}"
+
+let pp_cell ppf (c : Cell.t) =
+  Format.fprintf ppf "@[<v 2>cell (%s) {@,area : %g ;@,cell_leakage_power : %g ;@,internal_energy : %g ;"
+    c.Cell.name c.Cell.area c.Cell.leakage c.Cell.internal_energy;
+  pp_kind ppf c;
+  List.iter (fun p -> Format.fprintf ppf "@,%a" pp_pin p) c.Cell.pins;
+  if c.Cell.delay_max > 0.0 || c.Cell.drive_resistance > 0.0 then
+    Format.fprintf ppf
+      "@,@[<v 2>timing () {@,intrinsic_min : %g ;@,intrinsic_max : %g ;@,drive_resistance : %g ;@]@,}"
+      c.Cell.delay_min c.Cell.delay_max c.Cell.drive_resistance;
+  Format.fprintf ppf "@]@,}"
+
+let print ppf (name, (tech : Tech.t), cells) =
+  Format.fprintf ppf "@[<v 2>library (%s) {@," name;
+  Format.fprintf ppf "voltage : %g ;@," tech.Tech.voltage;
+  Format.fprintf ppf "wire_cap_per_um : %g ;@," tech.Tech.wire_cap_per_um;
+  Format.fprintf ppf "wire_res_per_um : %g ;@," tech.Tech.wire_res_per_um;
+  Format.fprintf ppf "row_height : %g ;@," tech.Tech.row_height;
+  Format.fprintf ppf "track_pitch : %g ;@," tech.Tech.track_pitch;
+  Format.fprintf ppf "max_clock_fanout : %d ;" tech.Tech.max_clock_fanout;
+  List.iter (fun c -> Format.fprintf ppf "@,%a" pp_cell c) cells;
+  Format.fprintf ppf "@]@,}@."

@@ -1,0 +1,38 @@
+(** A reader and writer for the subset of the Liberty (.lib) format this
+    project uses to describe technology libraries.
+
+    The subset covers [library], [cell], [pin], [ff], [latch], [icg] and
+    [timing] groups, plus simple [name : value ;] attributes.  Parsing
+    happens in two stages: a generic group tree ({!group}) is built first,
+    then interpreted into a {!Library.t}-ready list of cells. *)
+
+(** Generic Liberty group: [name (args) { attributes subgroups }]. *)
+type group = {
+  g_name : string;
+  g_args : string list;
+  g_attrs : (string * string) list;
+  g_subs : group list;
+}
+
+exception Error of string
+
+(** Parse Liberty source text into its top-level group (normally
+    [library(...)]).  Raises {!Error} on malformed input. *)
+val parse_group : string -> group
+
+(** Attribute lookup helpers.  [attr g name] returns the raw value string. *)
+val attr : group -> string -> string option
+
+val attr_float : group -> string -> float option
+
+val sub_groups : group -> string -> group list
+
+(** Interpret a parsed [library] group into library name, technology
+    parameters and cells.  Raises {!Error} when a cell is inconsistent. *)
+val interpret : group -> string * Tech.t * Cell.t list
+
+(** [parse source] = [interpret (parse_group source)]. *)
+val parse : string -> string * Tech.t * Cell.t list
+
+(** Render a library back to Liberty text (used for tests and export). *)
+val print : Format.formatter -> string * Tech.t * Cell.t list -> unit

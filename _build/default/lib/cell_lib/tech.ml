@@ -1,0 +1,17 @@
+type t = {
+  voltage : float;
+  wire_cap_per_um : float;
+  wire_res_per_um : float;
+  row_height : float;
+  track_pitch : float;
+  max_clock_fanout : int;
+}
+
+let default = {
+  voltage = 0.9;
+  wire_cap_per_um = 0.20;
+  wire_res_per_um = 2.0;
+  row_height = 1.2;
+  track_pitch = 0.1;
+  max_clock_fanout = 24;
+}

@@ -1,0 +1,14 @@
+(** Technology-level electrical parameters shared by all cells of a
+    library.  These drive the wire, clock-tree and power models. *)
+
+type t = {
+  voltage : float;          (** supply, V *)
+  wire_cap_per_um : float;  (** routed wire capacitance, fF/um *)
+  wire_res_per_um : float;  (** routed wire resistance, ohm/um (for CTS) *)
+  row_height : float;       (** placement row height, um *)
+  track_pitch : float;      (** horizontal pitch, um *)
+  max_clock_fanout : int;   (** sinks per clock buffer during CTS *)
+}
+
+(** Reasonable 28nm-FDSOI-like defaults. *)
+val default : t

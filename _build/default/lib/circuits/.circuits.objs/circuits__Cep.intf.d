@@ -1,0 +1,1 @@
+lib/circuits/cep.mli: Generator

@@ -1,0 +1,1 @@
+lib/circuits/cpu.ml: Array Cell_lib List Netlist Printf Rng

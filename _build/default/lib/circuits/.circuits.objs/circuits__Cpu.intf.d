@@ -1,0 +1,1 @@
+lib/circuits/cpu.mli: Cell_lib Netlist

@@ -1,0 +1,1 @@
+lib/circuits/generator.ml: Array Cell_lib Float Hashtbl List Netlist Printf Rng

@@ -1,0 +1,1 @@
+lib/circuits/generator.mli: Cell_lib Netlist

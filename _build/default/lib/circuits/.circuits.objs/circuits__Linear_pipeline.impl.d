@@ -1,0 +1,1 @@
+lib/circuits/linear_pipeline.ml: Array Cell_lib List Netlist Printf Rng

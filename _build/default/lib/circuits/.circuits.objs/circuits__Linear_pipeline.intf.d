@@ -1,0 +1,1 @@
+lib/circuits/linear_pipeline.mli: Cell_lib Netlist

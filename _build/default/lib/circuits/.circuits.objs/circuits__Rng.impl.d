@@ -1,0 +1,1 @@
+lib/circuits/rng.ml: Int64 List

@@ -1,0 +1,1 @@
+lib/circuits/suite.ml: Cep Cpu Generator Iscas List Netlist String Workload

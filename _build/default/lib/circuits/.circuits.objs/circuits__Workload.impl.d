@@ -1,0 +1,1 @@
+lib/circuits/workload.ml: Printf Sim String

@@ -1,0 +1,1 @@
+lib/circuits/workload.mli: Netlist Sim

@@ -1,0 +1,38 @@
+let spec ~name ~seed ~ffs ~n_layers ~ratio ~inputs ~outputs ~self_loop ~cross
+    ~fanin ~gated ~bank ~po_cones =
+  { Generator.name;
+    seed;
+    inputs;
+    outputs;
+    layers = Generator.alternating_layers ~ffs ~n_layers ~ratio;
+    fanin;
+    cone_depth = 5;
+    self_loop_fraction = self_loop;
+    cross_feedback = cross;
+    reuse = 0.3;
+    gated_fraction = gated;
+    bank_size = bank;
+    po_cones;
+    frequency_mhz = 500.0 }
+
+let aes =
+  spec ~name:"aes" ~seed:31 ~ffs:9715 ~n_layers:20 ~ratio:0.72 ~inputs:128
+    ~outputs:128 ~self_loop:0.03 ~cross:0.05 ~fanin:2 ~gated:0.25 ~bank:32
+    ~po_cones:200
+
+let des3 =
+  spec ~name:"des3" ~seed:32 ~ffs:436 ~n_layers:16 ~ratio:0.73 ~inputs:64
+    ~outputs:64 ~self_loop:0.05 ~cross:0.10 ~fanin:2 ~gated:0.3 ~bank:16
+    ~po_cones:40
+
+let sha256 =
+  spec ~name:"sha256" ~seed:33 ~ffs:1574 ~n_layers:8 ~ratio:0.5 ~inputs:64
+    ~outputs:64 ~self_loop:0.33 ~cross:0.5 ~fanin:5 ~gated:0.3 ~bank:16
+    ~po_cones:60
+
+let md5 =
+  spec ~name:"md5" ~seed:34 ~ffs:804 ~n_layers:16 ~ratio:0.80 ~inputs:64
+    ~outputs:32 ~self_loop:0.02 ~cross:0.06 ~fanin:2 ~gated:0.35 ~bank:16
+    ~po_cones:50
+
+let all = [aes; des3; sha256; md5]

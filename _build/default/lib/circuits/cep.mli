@@ -1,0 +1,12 @@
+(** CEP-submodule-like benchmark profiles: crypto datapaths with the
+    register counts of the MIT-LL Common Evaluation Platform blocks the
+    paper uses.  AES and MD5 are wide feed-forward round pipelines (large
+    single-latch opportunity); SHA256's chained working variables create a
+    denser feedback structure; DES3 sits in between. *)
+
+val aes : Generator.spec
+val des3 : Generator.spec
+val sha256 : Generator.spec
+val md5 : Generator.spec
+
+val all : Generator.spec list

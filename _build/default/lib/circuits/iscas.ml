@@ -1,0 +1,72 @@
+(* Layer splits distribute the published flip-flop count; self-loop and
+   cross-feedback fractions are calibrated so the conversion's pair
+   fraction lands near the published 3-phase latch counts (see
+   EXPERIMENTS.md for the comparison). *)
+
+let split ffs n_layers =
+  let base = ffs / n_layers and extra = ffs mod n_layers in
+  Array.init n_layers (fun k -> base + if k < extra then 1 else 0)
+
+let spec ~name ~seed ~ffs ~n_layers ~inputs ~outputs ~self_loop ~cross ~fanin
+    ~po_cones =
+  { Generator.name;
+    seed;
+    inputs;
+    outputs;
+    layers = split ffs n_layers;
+    fanin;
+    cone_depth = 4;
+    self_loop_fraction = self_loop;
+    cross_feedback = cross;
+    reuse = 0.25;
+    gated_fraction = 0.3;
+    bank_size = 20;
+    po_cones;
+    frequency_mhz = 1000.0 }
+
+let s1196 =
+  spec ~name:"s1196" ~seed:11 ~ffs:18 ~n_layers:2 ~inputs:14 ~outputs:14
+    ~self_loop:0.12 ~cross:0.25 ~fanin:3 ~po_cones:55
+
+let s1238 =
+  spec ~name:"s1238" ~seed:12 ~ffs:18 ~n_layers:2 ~inputs:14 ~outputs:14
+    ~self_loop:0.10 ~cross:0.22 ~fanin:3 ~po_cones:55
+
+let s1423 =
+  spec ~name:"s1423" ~seed:13 ~ffs:81 ~n_layers:3 ~inputs:17 ~outputs:5
+    ~self_loop:0.65 ~cross:0.5 ~fanin:4 ~po_cones:25
+
+let s1488 =
+  spec ~name:"s1488" ~seed:14 ~ffs:6 ~n_layers:1 ~inputs:8 ~outputs:19
+    ~self_loop:1.0 ~cross:0.6 ~fanin:5 ~po_cones:45
+
+let s5378 =
+  spec ~name:"s5378" ~seed:15 ~ffs:163 ~n_layers:4 ~inputs:35 ~outputs:49
+    ~self_loop:0.30 ~cross:0.25 ~fanin:3 ~po_cones:40
+
+let s9234 =
+  spec ~name:"s9234" ~seed:16 ~ffs:140 ~n_layers:4 ~inputs:36 ~outputs:39
+    ~self_loop:0.35 ~cross:0.28 ~fanin:3 ~po_cones:60
+
+let s13207 =
+  spec ~name:"s13207" ~seed:17 ~ffs:457 ~n_layers:5 ~inputs:62 ~outputs:152
+    ~self_loop:0.35 ~cross:0.28 ~fanin:3 ~po_cones:90
+
+let s15850 =
+  spec ~name:"s15850" ~seed:18 ~ffs:454 ~n_layers:5 ~inputs:77 ~outputs:150
+    ~self_loop:0.40 ~cross:0.32 ~fanin:3 ~po_cones:110
+
+let s35932 =
+  spec ~name:"s35932" ~seed:19 ~ffs:1728 ~n_layers:6 ~inputs:35 ~outputs:320
+    ~self_loop:0.33 ~cross:0.22 ~fanin:3 ~po_cones:180
+
+let s38417 =
+  spec ~name:"s38417" ~seed:20 ~ffs:1489 ~n_layers:6 ~inputs:28 ~outputs:106
+    ~self_loop:0.35 ~cross:0.25 ~fanin:3 ~po_cones:170
+
+let s38584 =
+  spec ~name:"s38584" ~seed:21 ~ffs:1319 ~n_layers:5 ~inputs:38 ~outputs:304
+    ~self_loop:0.72 ~cross:0.5 ~fanin:4 ~po_cones:190
+
+let all =
+  [s1196; s1238; s1423; s1488; s5378; s9234; s13207; s15850; s35932; s38417; s38584]

@@ -1,0 +1,22 @@
+(** ISCAS89-like benchmark profiles.
+
+    Each entry reproduces the published register count of the original
+    benchmark and approximates its structural character (feedback-heavy
+    controllers vs. layered datapaths), which is what determines how many
+    latches the 3-phase conversion can save.  [s1488] is the paper's
+    control-dominated outlier: every flip-flop sits in combinational
+    feedback, so conversion brings no register saving. *)
+
+val s1196 : Generator.spec
+val s1238 : Generator.spec
+val s1423 : Generator.spec
+val s1488 : Generator.spec
+val s5378 : Generator.spec
+val s9234 : Generator.spec
+val s13207 : Generator.spec
+val s15850 : Generator.spec
+val s35932 : Generator.spec
+val s38417 : Generator.spec
+val s38584 : Generator.spec
+
+val all : Generator.spec list

@@ -1,0 +1,147 @@
+type family = Iscas | Cep | Cpu
+
+type published = {
+  pub_regs : int * int * int;
+  pub_area : float * float * float;
+  pub_power_clock : float * float * float;
+  pub_power_seq : float * float * float;
+  pub_power_comb : float * float * float;
+  pub_power_total : float * float * float;
+}
+
+type benchmark = {
+  bench_name : string;
+  family : family;
+  build : unit -> Netlist.Design.t;
+  period_ns : float;
+  workload : Workload.t;
+  published : published;
+}
+
+let family_name = function
+  | Iscas -> "ISCAS"
+  | Cep -> "CEP"
+  | Cpu -> "CPU"
+
+let period_of_mhz mhz = 1000.0 /. mhz
+
+(* Published Table I and Table II values, (FF, M-S, 3-P) per field. *)
+let pub ~regs ~area ~clock ~seq ~comb ~total = {
+  pub_regs = regs;
+  pub_area = area;
+  pub_power_clock = clock;
+  pub_power_seq = seq;
+  pub_power_comb = comb;
+  pub_power_total = total;
+}
+
+let iscas_bench (spec : Generator.spec) published = {
+  bench_name = spec.Generator.name;
+  family = Iscas;
+  build = (fun () -> Generator.synthesize spec);
+  period_ns = period_of_mhz spec.Generator.frequency_mhz;
+  workload = Workload.Uniform_random 0.35;
+  published;
+}
+
+let cep_bench (spec : Generator.spec) published = {
+  bench_name = spec.Generator.name;
+  family = Cep;
+  build = (fun () -> Generator.synthesize spec);
+  period_ns = period_of_mhz spec.Generator.frequency_mhz;
+  workload = Workload.Self_check;
+  published;
+}
+
+let cpu_bench (spec : Cpu.spec) workload published = {
+  bench_name = spec.Cpu.name;
+  family = Cpu;
+  build = (fun () -> Cpu.make spec);
+  period_ns = period_of_mhz spec.Cpu.frequency_mhz;
+  workload;
+  published;
+}
+
+let all () = [
+  iscas_bench Iscas.s1196
+    (pub ~regs:(18, 36, 26) ~area:(240.0, 228.0, 219.0)
+       ~clock:(0.08, 0.09, 0.07) ~seq:(0.04, 0.04, 0.03)
+       ~comb:(0.18, 0.18, 0.18) ~total:(0.30, 0.32, 0.28));
+  iscas_bench Iscas.s1238
+    (pub ~regs:(18, 36, 26) ~area:(238.0, 229.0, 215.0)
+       ~clock:(0.08, 0.10, 0.07) ~seq:(0.04, 0.04, 0.03)
+       ~comb:(0.17, 0.18, 0.17) ~total:(0.29, 0.32, 0.27));
+  iscas_bench Iscas.s1423
+    (pub ~regs:(81, 158, 146) ~area:(591.0, 466.0, 524.0)
+       ~clock:(0.56, 0.42, 0.50) ~seq:(0.08, 0.08, 0.11)
+       ~comb:(0.17, 0.12, 0.15) ~total:(0.82, 0.63, 0.75));
+  iscas_bench Iscas.s1488
+    (pub ~regs:(6, 16, 12) ~area:(217.0, 232.0, 239.0)
+       ~clock:(0.03, 0.04, 0.03) ~seq:(0.01, 0.02, 0.01)
+       ~comb:(0.13, 0.13, 0.12) ~total:(0.17, 0.19, 0.17));
+  iscas_bench Iscas.s5378
+    (pub ~regs:(163, 317, 250) ~area:(930.0, 914.0, 731.0)
+       ~clock:(0.82, 0.84, 0.59) ~seq:(0.25, 0.25, 0.28)
+       ~comb:(0.37, 0.24, 0.26) ~total:(1.44, 1.34, 1.13));
+  iscas_bench Iscas.s9234
+    (pub ~regs:(140, 278, 225) ~area:(902.0, 752.0, 741.0)
+       ~clock:(0.69, 0.62, 0.55) ~seq:(0.10, 0.11, 0.10)
+       ~comb:(0.10, 0.05, 0.08) ~total:(0.89, 0.78, 0.73));
+  iscas_bench Iscas.s13207
+    (pub ~regs:(457, 890, 725) ~area:(2675.0, 2058.0, 2056.0)
+       ~clock:(2.04, 1.98, 1.53) ~seq:(0.43, 0.50, 0.46)
+       ~comb:(0.42, 0.20, 0.22) ~total:(2.89, 2.69, 2.21));
+  iscas_bench Iscas.s15850
+    (pub ~regs:(454, 904, 747) ~area:(2885.0, 2565.0, 2315.0)
+       ~clock:(2.13, 2.14, 1.81) ~seq:(0.31, 0.30, 0.30)
+       ~comb:(0.53, 0.44, 0.35) ~total:(2.98, 2.87, 2.47));
+  iscas_bench Iscas.s35932
+    (pub ~regs:(1728, 3456, 2737) ~area:(11770.0, 9356.0, 9054.0)
+       ~clock:(11.50, 10.60, 8.12) ~seq:(2.70, 3.01, 2.83)
+       ~comb:(4.32, 3.11, 3.06) ~total:(18.50, 16.80, 14.00));
+  iscas_bench Iscas.s38417
+    (pub ~regs:(1489, 2751, 2366) ~area:(9395.0, 7272.0, 7863.0)
+       ~clock:(6.34, 6.27, 4.81) ~seq:(0.88, 0.96, 0.96)
+       ~comb:(2.05, 1.40, 1.47) ~total:(9.26, 8.62, 7.24));
+  iscas_bench Iscas.s38584
+    (pub ~regs:(1319, 2633, 2422) ~area:(9355.0, 7683.0, 7961.0)
+       ~clock:(7.11, 7.04, 7.31) ~seq:(2.50, 2.68, 3.02)
+       ~comb:(4.88, 3.54, 3.40) ~total:(14.50, 13.30, 13.70));
+  cep_bench Cep.aes
+    (pub ~regs:(9715, 16829, 12871) ~area:(133115.0, 121960.0, 119174.0)
+       ~clock:(18.80, 14.30, 7.94) ~seq:(0.05, 0.06, 0.06)
+       ~comb:(0.20, 0.17, 0.26) ~total:(19.10, 14.50, 8.27));
+  cep_bench Cep.des3
+    (pub ~regs:(436, 842, 573) ~area:(2711.0, 2738.0, 2449.0)
+       ~clock:(0.26, 0.21, 0.20) ~seq:(0.14, 0.12, 0.10)
+       ~comb:(0.51, 0.41, 0.41) ~total:(0.91, 0.74, 0.72));
+  cep_bench Cep.sha256
+    (pub ~regs:(1574, 3308, 2523) ~area:(9996.0, 9461.0, 8594.0)
+       ~clock:(0.13, 0.27, 0.13) ~seq:(0.05, 0.06, 0.05)
+       ~comb:(0.13, 0.09, 0.13) ~total:(0.31, 0.42, 0.30));
+  cep_bench Cep.md5
+    (pub ~regs:(804, 1889, 996) ~area:(7023.0, 6630.0, 6947.0)
+       ~clock:(0.11, 0.38, 0.09) ~seq:(0.02, 0.19, 0.02)
+       ~comb:(0.28, 1.21, 0.25) ~total:(0.40, 1.78, 0.36));
+  cpu_bench Cpu.plasma (Workload.Program Workload.Pi)
+    (pub ~regs:(1606, 2357, 2078) ~area:(8944.0, 7546.0, 8029.0)
+       ~clock:(0.59, 0.99, 0.64) ~seq:(0.44, 0.19, 0.17)
+       ~comb:(0.65, 0.45, 0.54) ~total:(1.68, 1.63, 1.36));
+  cpu_bench Cpu.riscv (Workload.Program Workload.Rv32ui)
+    (pub ~regs:(2795, 5312, 4084) ~area:(14453.0, 15268.0, 14002.0)
+       ~clock:(0.52, 0.87, 0.54) ~seq:(0.11, 0.07, 0.07)
+       ~comb:(0.37, 0.30, 0.30) ~total:(1.01, 1.25, 0.92));
+  cpu_bench Cpu.arm_m0 (Workload.Program Workload.Hello_world)
+    (pub ~regs:(1397, 2713, 2290) ~area:(10690.0, 11007.0, 11514.0)
+       ~clock:(0.54, 1.23, 0.50) ~seq:(0.31, 0.23, 0.11)
+       ~comb:(1.14, 1.34, 1.22) ~total:(2.00, 2.90, 1.84));
+]
+
+let quick () =
+  List.filter
+    (fun b ->
+      List.exists (String.equal b.bench_name) ["s5378"; "des3"; "plasma"])
+    (all ())
+
+let find name =
+  List.find_opt (fun b -> String.equal b.bench_name name) (all ())

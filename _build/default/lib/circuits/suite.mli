@@ -1,0 +1,35 @@
+(** The paper's benchmark suite: 11 ISCAS89-like circuits, 4 CEP-like
+    crypto blocks, and 3 CPU-like designs, each with its clock period,
+    its testbench workload, and the numbers published in Tables I and II
+    (so the harness can print paper-vs-measured side by side). *)
+
+type family = Iscas | Cep | Cpu
+
+(** Published values for (FF, master-slave, 3-phase). *)
+type published = {
+  pub_regs : int * int * int;
+  pub_area : float * float * float;           (** um^2 *)
+  pub_power_clock : float * float * float;    (** mW *)
+  pub_power_seq : float * float * float;
+  pub_power_comb : float * float * float;
+  pub_power_total : float * float * float;
+}
+
+type benchmark = {
+  bench_name : string;
+  family : family;
+  build : unit -> Netlist.Design.t;
+  period_ns : float;
+  workload : Workload.t;
+  published : published;
+}
+
+val family_name : family -> string
+
+(** All 18 benchmarks, ISCAS then CEP then CPU. *)
+val all : unit -> benchmark list
+
+(** A small subset (one per family) for fast runs. *)
+val quick : unit -> benchmark list
+
+val find : string -> benchmark option

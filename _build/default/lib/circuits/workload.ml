@@ -1,0 +1,50 @@
+type t =
+  | Uniform_random of float
+  | Self_check
+  | Program of program
+
+and program =
+  | Pi
+  | Hello_world
+  | Rv32ui
+  | Dhrystone
+  | Coremark
+
+let name = function
+  | Uniform_random p -> Printf.sprintf "random(%.2f)" p
+  | Self_check -> "self-check"
+  | Program Pi -> "pi"
+  | Program Hello_world -> "hello-world"
+  | Program Rv32ui -> "rv32ui-v-simple"
+  | Program Dhrystone -> "dhrystone"
+  | Program Coremark -> "coremark"
+
+(* Activity of the CPU interface ports per program: (imem, dmem, irq). *)
+let program_rates = function
+  | Pi -> (0.30, 0.20, 0.002)
+  | Hello_world -> (0.12, 0.06, 0.002)
+  | Rv32ui -> (0.28, 0.18, 0.0)
+  | Dhrystone -> (0.38, 0.30, 0.002)
+  | Coremark -> (0.46, 0.36, 0.002)
+
+let has_prefix prefix s =
+  String.length s >= String.length prefix
+  && String.equal (String.sub s 0 (String.length prefix)) prefix
+
+let stimulus t ~seed ~cycles design =
+  let inputs = Sim.Stimulus.inputs_of design in
+  match t with
+  | Uniform_random p ->
+    Sim.Stimulus.random ~seed ~cycles ~toggle_probability:p inputs
+  | Self_check ->
+    Sim.Stimulus.bursty ~seed ~cycles ~burst_len:48 ~idle_len:16
+      ~toggle_probability:0.35 inputs
+  | Program p ->
+    let imem, dmem, irq = program_rates p in
+    let profile input =
+      if has_prefix "imem" input then imem
+      else if has_prefix "dmem" input then dmem
+      else if has_prefix "irq" input then irq
+      else (imem +. dmem) /. 2.0
+    in
+    Sim.Stimulus.profiled ~seed ~cycles profile inputs

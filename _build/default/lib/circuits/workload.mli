@@ -1,0 +1,24 @@
+(** Workload models: input-activity profiles standing in for the paper's
+    testbench programs (pseudo-random streams for ISCAS, the CEP
+    self-check programs, "pi" / "hello world" / "rv32ui-v-simple" for the
+    CPU testbenches, and Dhrystone / Coremark for Fig. 4). *)
+
+type t =
+  | Uniform_random of float       (** toggle probability per input *)
+  | Self_check                    (** bursty: active vectors then idle *)
+  | Program of program
+
+and program =
+  | Pi          (** Plasma's "pi" benchmark: steady arithmetic *)
+  | Hello_world (** mostly idle, occasional I/O *)
+  | Rv32ui      (** ISA test: moderate, regular *)
+  | Dhrystone   (** integer-heavy, busy memory interface *)
+  | Coremark    (** busiest mix *)
+
+val name : t -> string
+
+(** [stimulus t ~seed ~cycles design] builds the per-cycle input stream.
+    Program profiles give CPU interface ports (imem/dmem/irq) their own
+    activity levels. *)
+val stimulus :
+  t -> seed:int -> cycles:int -> Netlist.Design.t -> Sim.Stimulus.t

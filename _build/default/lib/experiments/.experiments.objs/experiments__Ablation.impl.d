@@ -1,0 +1,1 @@
+lib/experiments/ablation.ml: Circuits Float List Netlist Phase3 Power Printf Report Runner Sim Sta

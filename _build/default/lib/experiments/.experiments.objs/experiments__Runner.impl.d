@@ -1,0 +1,1 @@
+lib/experiments/runner.ml: Circuits Format Netlist Phase3 Physical Power Sim Sta Unix

@@ -1,0 +1,1 @@
+lib/experiments/tables.ml: Array Cell_lib Circuits Float List Netlist Phase3 Power Printf Report Runner Sim Sta String

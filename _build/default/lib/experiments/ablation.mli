@@ -1,0 +1,25 @@
+(** Ablation studies for the design choices DESIGN.md calls out:
+    solver choice, the clock-gating mechanisms of Section IV-D, retiming,
+    and the DDCG fanout limit (the paper picks 32). *)
+
+(** Exact solvers vs greedy warm start: inserted-latch counts and time. *)
+val solver : ?benches:string list -> unit -> Report.Table.t
+
+(** Clock-gating mechanisms switched on one at a time. *)
+val clock_gating : ?bench:string -> unit -> Report.Table.t
+
+(** Retiming on/off: worst setup slack and combinational area. *)
+val retiming : ?bench:string -> unit -> Report.Table.t
+
+(** DDCG maximum fanout sweep. *)
+val ddcg_fanout : ?bench:string -> ?fanouts:int list -> unit -> Report.Table.t
+
+(** Clock-skew tolerance (the robustness the paper's conclusions point to
+    as future work): hold-fix buffer demand of the three design styles
+    across a skew sweep. *)
+val skew_tolerance : ?bench:string -> ?skews:float list -> unit -> Report.Table.t
+
+(** Multi-corner (PVT) robustness: setup slack and hold-buffer demand of
+    the three styles at fast/typical/slow corners — the quantification
+    the paper's conclusion lists as future work. *)
+val pvt : ?bench:string -> unit -> Report.Table.t

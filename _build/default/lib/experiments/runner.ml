@@ -1,0 +1,94 @@
+type variant = {
+  design : Netlist.Design.t;
+  regs : int;
+  cell_area : float;
+  power : Power.Estimate.breakdown;
+  wirelength : float;
+  clock_buffers : int;
+  runtime_s : float;
+}
+
+type t = {
+  bench : Circuits.Suite.benchmark;
+  ff : variant;
+  ms : variant;
+  threep : variant;
+  flow : Phase3.Flow.result;
+  ilp_time_s : float;
+  total_time_s : float;
+}
+
+let now () = Unix.gettimeofday ()
+
+let evaluate design ~clocks ~workload ~cycles ~seed =
+  let design, _hold = Sta.Hold_fix.run design ~clocks in
+  let impl = Physical.Implement.run design in
+  let engine = Sim.Engine.create design ~clocks in
+  let stim = Circuits.Workload.stimulus workload ~seed ~cycles design in
+  ignore (Sim.Engine.run_stream engine stim);
+  let activity = (Sim.Engine.toggles engine, Sim.Engine.cycles engine) in
+  let detail =
+    Power.Estimate.run impl ~activity ~period:clocks.Sim.Clock_spec.period
+  in
+  (impl, detail.Power.Estimate.overall)
+
+let power_of design ~clocks ~workload ~cycles ~seed =
+  snd (evaluate design ~clocks ~workload ~cycles ~seed)
+
+let variant_of design ~clocks ~workload ~cycles ~seed ~t0 =
+  let impl, power = evaluate design ~clocks ~workload ~cycles ~seed in
+  let stats = Netlist.Stats.compute design in
+  { design;
+    regs = stats.Netlist.Stats.registers;
+    cell_area = impl.Physical.Implement.total_area;
+    power;
+    wirelength = impl.Physical.Implement.total_wirelength;
+    clock_buffers =
+      impl.Physical.Implement.clock_tree.Physical.Clock_tree.total_buffers;
+    runtime_s = now () -. t0 }
+
+let run ?(cycles = 384) ?(verify = true) (bench : Circuits.Suite.benchmark) =
+  let total0 = now () in
+  let period = bench.Circuits.Suite.period_ns in
+  let workload = bench.Circuits.Suite.workload in
+  let seed = 2024 in
+  let original = bench.Circuits.Suite.build () in
+  (* flip-flop reference *)
+  let t0 = now () in
+  let ff_clocks = Phase3.Flow.reference_clocks original ~period in
+  let ff = variant_of original ~clocks:ff_clocks ~workload ~cycles ~seed ~t0 in
+  (* master-slave baseline *)
+  let t0 = now () in
+  let ms_design = Phase3.Master_slave.convert original in
+  (if verify then
+     let stim = Circuits.Workload.stimulus workload ~seed:(seed + 1) ~cycles:128 original in
+     match
+       Sim.Equivalence.check ~reference:original ~dut:ms_design
+         ~reference_clocks:ff_clocks ~dut_clocks:ff_clocks ~stimulus:stim ()
+     with
+     | Sim.Equivalence.Equivalent _ -> ()
+     | Sim.Equivalence.Mismatch m ->
+       failwith
+         (Format.asprintf "master-slave conversion of %s not equivalent: %a"
+            bench.Circuits.Suite.bench_name Sim.Equivalence.pp_mismatch m));
+  let ms = variant_of ms_design ~clocks:ff_clocks ~workload ~cycles ~seed ~t0 in
+  (* 3-phase flow *)
+  let t0 = now () in
+  let config =
+    { (Phase3.Flow.default_config ~period) with
+      Phase3.Flow.verify_equivalence = verify;
+      activity_cycles = cycles }
+  in
+  let flow = Phase3.Flow.run ~config original in
+  let threep_clocks = Phase3.Flow.clocks_of config in
+  let threep =
+    variant_of flow.Phase3.Flow.final ~clocks:threep_clocks ~workload ~cycles
+      ~seed ~t0
+  in
+  { bench;
+    ff;
+    ms;
+    threep;
+    flow;
+    ilp_time_s = flow.Phase3.Flow.assignment.Phase3.Assignment.solve_time_s;
+    total_time_s = now () -. total0 }

@@ -1,0 +1,36 @@
+(** Execution of one benchmark through the three design styles the paper
+    compares: the original flip-flop design, the master-slave latch
+    baseline, and the proposed 3-phase conversion — each taken through
+    placement, clock-tree synthesis, workload simulation and power
+    estimation. *)
+
+type variant = {
+  design : Netlist.Design.t;
+  regs : int;
+  cell_area : float;        (** um^2 incl. clock-tree buffers *)
+  power : Power.Estimate.breakdown;
+  wirelength : float;
+  clock_buffers : int;
+  runtime_s : float;        (** build/convert + implement + sim + power *)
+}
+
+type t = {
+  bench : Circuits.Suite.benchmark;
+  ff : variant;
+  ms : variant;
+  threep : variant;
+  flow : Phase3.Flow.result;
+  ilp_time_s : float;
+  total_time_s : float;
+}
+
+(** [run ?cycles ?verify bench] — [cycles] of workload simulation feed the
+    power model (default 384); [verify] (default true) stream-checks the
+    converted designs against the original. *)
+val run : ?cycles:int -> ?verify:bool -> Circuits.Suite.benchmark -> t
+
+(** Power of an arbitrary design/clocks/workload combination (used by the
+    Fig. 4 experiment which sweeps workloads). *)
+val power_of :
+  Netlist.Design.t -> clocks:Sim.Clock_spec.t -> workload:Circuits.Workload.t ->
+  cycles:int -> seed:int -> Power.Estimate.breakdown

@@ -1,0 +1,41 @@
+(** Reproduction of every table and figure in the paper's evaluation.
+    Each function renders plain-text tables; paper values are printed next
+    to the measured ones so the shape comparison is immediate. *)
+
+(** Table I: register counts and total area for FF / M-S / 3-P. *)
+val table1 : Runner.t list -> Report.Table.t list
+
+(** Table II: power by group (clock / sequential / combinational). *)
+val table2 : Runner.t list -> Report.Table.t list
+
+(** Fig. 1: linear-pipeline conversion — latch counts across a depth
+    sweep, checked against the closed-form optimum. *)
+val fig1 : ?widths:int list -> ?stages:int list -> unit -> Report.Table.t
+
+(** Fig. 2: enabled-clock vs gated-clock styles and their effect on
+    self-loops, conversion quality and power. *)
+val fig2 : unit -> Report.Table.t
+
+(** Fig. 3: simulated waveform of a common-enable p2 clock gate (M1
+    style), demonstrating that the gated p2 pulses only when the enable
+    was captured high and stays glitch-free. *)
+val fig3 : unit -> Report.Table.t
+
+(** Fig. 4: RISC-V and Arm-M0 power under Dhrystone and Coremark. *)
+val fig4 : ?cycles:int -> unit -> Report.Table.t
+
+(** Run-time discussion of Section V: ILP time vs. flow time. *)
+val runtime : Runner.t list -> Report.Table.t
+
+(** Register-style comparison including the pulsed-latch alternative of
+    Section I: registers, area, power and hold-buffer demand under skew
+    for FF / pulsed-latch / master-slave / 3-phase. *)
+val baselines : ?bench:string -> ?skew:float -> unit -> Report.Table.t
+
+(** Frequency sweep: power and timing sign-off vs clock rate on one
+    benchmark.  Power savings are frequency-independent in a dynamic-power
+    world; the crossover appears in timing — a phase only gets about two
+    thirds of the cycle, so at the high end the converted design stops
+    meeting the SMO constraints before the flip-flop original does. *)
+val frequency_sweep :
+  ?bench:string -> ?periods:float list -> unit -> Report.Table.t

@@ -1,0 +1,1 @@
+lib/ilp/branch_bound.ml: Array Float Lp Model Option

@@ -1,0 +1,1 @@
+lib/ilp/brute_force.mli: Model

@@ -1,0 +1,1 @@
+lib/ilp/indep_set.mli:

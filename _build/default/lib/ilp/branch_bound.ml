@@ -1,0 +1,107 @@
+type stats = {
+  nodes_explored : int;
+  lp_solves : int;
+}
+
+let integrality_eps = 1e-6
+
+let is_integral x =
+  Array.for_all (fun v -> Float.abs (v -. Float.round v) <= integrality_eps) x
+
+let most_fractional x =
+  let best = ref None in
+  Array.iteri
+    (fun j v ->
+      let frac = Float.abs (v -. Float.round v) in
+      if frac > integrality_eps then
+        match !best with
+        | None -> best := Some (j, frac)
+        | Some (_, f) -> if frac > f then best := Some (j, frac))
+    x;
+  Option.map fst !best
+
+let solve ?(node_budget = 200_000) (t : Model.t) =
+  let relax = Model.relaxation t in
+  let better a b =
+    match t.Model.sense with
+    | Lp.Problem.Maximize -> a > b +. 1e-9
+    | Lp.Problem.Minimize -> a < b -. 1e-9
+  in
+  let bound_can_beat bound incumbent =
+    match t.Model.sense with
+    | Lp.Problem.Maximize -> bound > incumbent +. 1e-9
+    | Lp.Problem.Minimize -> bound < incumbent -. 1e-9
+  in
+  let incumbent = ref None in
+  let nodes = ref 0 and lps = ref 0 and exhausted = ref false in
+  let root_bound = ref None in
+  (* fixed.(j) = -1 free, 0 fixed to 0, 1 fixed to 1 *)
+  let fixed = Array.make t.Model.num_vars (-1) in
+  let try_update_incumbent values =
+    if Model.feasible t values then begin
+      let obj = Model.objective_value t values in
+      match !incumbent with
+      | None -> incumbent := Some (Array.copy values, obj)
+      | Some (_, cur) -> if better obj cur then incumbent := Some (Array.copy values, obj)
+    end
+  in
+  let lp_with_fixing () =
+    let fixing = ref [] in
+    Array.iteri
+      (fun j f ->
+        if f >= 0 then
+          fixing := Lp.Problem.constr [(j, 1.0)] Lp.Problem.Eq (float_of_int f) :: !fixing)
+      fixed;
+    { relax with Lp.Problem.constraints = !fixing @ relax.Lp.Problem.constraints }
+  in
+  let rec explore depth =
+    if !nodes >= node_budget then exhausted := true
+    else begin
+      incr nodes;
+      incr lps;
+      match Lp.Simplex.solve (lp_with_fixing ()) with
+      | Lp.Simplex.Infeasible -> ()
+      | Lp.Simplex.Unbounded ->
+        (* binary variables are bounded; cannot happen with the relaxation *)
+        assert false
+      | Lp.Simplex.Optimal { x; objective = bound } ->
+        if depth = 0 then root_bound := Some bound;
+        let prune =
+          match !incumbent with
+          | None -> false
+          | Some (_, cur) -> not (bound_can_beat bound cur)
+        in
+        if not prune then begin
+          if is_integral x then
+            try_update_incumbent (Array.map (fun v -> Float.round v >= 0.5) x)
+          else begin
+            (* rounding heuristic to seed the incumbent *)
+            if !incumbent = None then
+              try_update_incumbent (Array.map (fun v -> v >= 0.5) x);
+            match most_fractional x with
+            | None -> ()
+            | Some j ->
+              let first, second = if x.(j) >= 0.5 then 1, 0 else 0, 1 in
+              fixed.(j) <- first;
+              explore (depth + 1);
+              fixed.(j) <- second;
+              explore (depth + 1);
+              fixed.(j) <- -1
+          end
+        end
+    end
+  in
+  explore 0;
+  match !incumbent with
+  | None ->
+    if !exhausted then None  (* found nothing within budget *)
+    else None
+  | Some (values, objective) ->
+    let optimal = not !exhausted in
+    let best_bound =
+      if optimal then objective
+      else Option.value ~default:objective !root_bound
+    in
+    Some
+      ({ Model.values; objective; optimal; best_bound },
+       { nodes_explored = !nodes; lp_solves = !lps })

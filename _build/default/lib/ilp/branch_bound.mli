@@ -1,0 +1,15 @@
+(** LP-relaxation-based branch and bound for binary programs.
+
+    Exact on the sizes the conversion ILP produces for small and medium
+    designs; larger designs use the combinatorial solver in {!Indep_set}
+    via the reduction implemented by [Phase3.Assignment].  A node budget
+    bounds the search; when exhausted, the incumbent is returned with
+    [optimal = false] and the root relaxation as [best_bound]. *)
+
+type stats = {
+  nodes_explored : int;
+  lp_solves : int;
+}
+
+(** [solve ?node_budget t] returns [None] when the model is infeasible. *)
+val solve : ?node_budget:int -> Model.t -> (Model.solution * stats) option

@@ -1,0 +1,25 @@
+let solve (t : Model.t) =
+  let n = t.Model.num_vars in
+  if n > 24 then invalid_arg "Brute_force.solve: too many variables";
+  let better a b =
+    match t.Model.sense with
+    | Lp.Problem.Maximize -> a > b
+    | Lp.Problem.Minimize -> a < b
+  in
+  let best = ref None in
+  let values = Array.make n false in
+  for mask = 0 to (1 lsl n) - 1 do
+    for j = 0 to n - 1 do
+      values.(j) <- (mask lsr j) land 1 = 1
+    done;
+    if Model.feasible t values then begin
+      let obj = Model.objective_value t values in
+      match !best with
+      | None -> best := Some (Array.copy values, obj)
+      | Some (_, cur) -> if better obj cur then best := Some (Array.copy values, obj)
+    end
+  done;
+  Option.map
+    (fun (values, objective) ->
+      { Model.values; objective; optimal = true; best_bound = objective })
+    !best

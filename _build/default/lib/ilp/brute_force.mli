@@ -1,0 +1,6 @@
+(** Exhaustive 0/1 enumeration — the reference oracle for testing the real
+    solvers on small instances. *)
+
+(** [solve t] enumerates all assignments.  Returns [None] when infeasible.
+    Raises [Invalid_argument] above 24 variables. *)
+val solve : Model.t -> Model.solution option

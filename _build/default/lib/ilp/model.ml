@@ -1,0 +1,44 @@
+type t = {
+  num_vars : int;
+  var_names : string array;
+  sense : Lp.Problem.sense;
+  objective : (int * float) list;
+  constraints : Lp.Problem.constr list;
+}
+
+type solution = {
+  values : bool array;
+  objective : float;
+  optimal : bool;
+  best_bound : float;
+}
+
+let make ~var_names ~sense ~objective constraints =
+  { num_vars = Array.length var_names; var_names; sense; objective; constraints }
+
+let relaxation t =
+  let bounds =
+    List.init t.num_vars (fun j -> Lp.Problem.constr [(j, 1.0)] Lp.Problem.Le 1.0)
+  in
+  Lp.Problem.make ~num_vars:t.num_vars ~sense:t.sense ~objective:t.objective
+    (bounds @ t.constraints)
+
+let to_floats values = Array.map (fun b -> if b then 1.0 else 0.0) values
+
+let objective_value (t : t) values =
+  List.fold_left
+    (fun acc (j, a) -> if values.(j) then acc +. a else acc)
+    0.0 t.objective
+
+let feasible t values =
+  let x = to_floats values in
+  List.for_all
+    (fun (c : Lp.Problem.constr) ->
+      let lhs =
+        List.fold_left (fun acc (j, a) -> acc +. (a *. x.(j))) 0.0 c.Lp.Problem.coeffs
+      in
+      match c.Lp.Problem.relation with
+      | Lp.Problem.Le -> lhs <= c.Lp.Problem.rhs +. 1e-9
+      | Lp.Problem.Ge -> lhs >= c.Lp.Problem.rhs -. 1e-9
+      | Lp.Problem.Eq -> Float.abs (lhs -. c.Lp.Problem.rhs) <= 1e-9)
+    t.constraints

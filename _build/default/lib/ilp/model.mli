@@ -1,0 +1,33 @@
+(** 0/1 integer linear programs.
+
+    This mirrors the slice of Gurobi's API the paper's flow needs: binary
+    variables, sparse linear constraints, a linear objective. *)
+
+type t = {
+  num_vars : int;
+  var_names : string array;
+  sense : Lp.Problem.sense;
+  objective : (int * float) list;
+  constraints : Lp.Problem.constr list;
+}
+
+type solution = {
+  values : bool array;
+  objective : float;
+  optimal : bool;     (** proven optimal (gap closed) *)
+  best_bound : float; (** dual bound at termination *)
+}
+
+val make :
+  var_names:string array ->
+  sense:Lp.Problem.sense ->
+  objective:(int * float) list ->
+  Lp.Problem.constr list -> t
+
+(** The LP relaxation: same constraints plus [x_j <= 1] bounds. *)
+val relaxation : t -> Lp.Problem.t
+
+val objective_value : t -> bool array -> float
+
+(** [feasible t values] checks every constraint. *)
+val feasible : t -> bool array -> bool

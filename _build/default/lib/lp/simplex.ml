@@ -1,0 +1,213 @@
+type outcome =
+  | Optimal of { x : float array; objective : float }
+  | Infeasible
+  | Unbounded
+
+let eps = 1e-9
+
+exception Exit_infeasible
+
+(* Tableau layout: [m] constraint rows and one objective row.  Columns:
+   [n] structural variables, then slack/surplus columns, then artificial
+   columns, then the RHS.  We run phase 1 minimizing the artificial sum,
+   then phase 2 on the real objective. *)
+
+type tableau = {
+  a : float array array;       (* (m+1) x (cols+1); row m is the objective *)
+  basis : int array;           (* basic column of each constraint row *)
+  m : int;
+  cols : int;
+}
+
+let pivot t ~row ~col =
+  let a = t.a in
+  let p = a.(row).(col) in
+  let width = t.cols + 1 in
+  let arow = a.(row) in
+  for j = 0 to width - 1 do
+    arow.(j) <- arow.(j) /. p
+  done;
+  for i = 0 to t.m do
+    if i <> row then begin
+      let f = a.(i).(col) in
+      if Float.abs f > eps then begin
+        let ai = a.(i) in
+        for j = 0 to width - 1 do
+          ai.(j) <- ai.(j) -. (f *. arow.(j))
+        done
+      end
+    end
+  done;
+  t.basis.(row) <- col
+
+(* Bland's rule: entering = lowest-index column with negative reduced cost
+   (minimization form: objective row holds reduced costs; we minimize). *)
+let iterate ?(allowed = fun _ -> true) t =
+  let rec step () =
+    let obj = t.a.(t.m) in
+    let entering =
+      let rec find j =
+        if j >= t.cols then None
+        else if allowed j && obj.(j) < -.eps then Some j
+        else find (j + 1)
+      in
+      find 0
+    in
+    match entering with
+    | None -> `Optimal
+    | Some col ->
+      (* ratio test, Bland tie-break on basis index *)
+      let best = ref None in
+      for i = 0 to t.m - 1 do
+        let aij = t.a.(i).(col) in
+        if aij > eps then begin
+          let ratio = t.a.(i).(t.cols) /. aij in
+          match !best with
+          | None -> best := Some (ratio, i)
+          | Some (r, i') ->
+            if ratio < r -. eps
+            || (Float.abs (ratio -. r) <= eps && t.basis.(i) < t.basis.(i'))
+            then best := Some (ratio, i)
+        end
+      done;
+      (match !best with
+       | None -> `Unbounded
+       | Some (_, row) ->
+         pivot t ~row ~col;
+         step ())
+  in
+  step ()
+
+let solve_raw (p : Problem.t) =
+  let n = p.Problem.num_vars in
+  (* Normalise rows so rhs >= 0. *)
+  let rows =
+    List.map
+      (fun (c : Problem.constr) ->
+        if c.Problem.rhs < 0.0 then
+          let coeffs = List.map (fun (j, a) -> (j, -.a)) c.Problem.coeffs in
+          let relation = match c.Problem.relation with
+            | Problem.Le -> Problem.Ge
+            | Problem.Ge -> Problem.Le
+            | Problem.Eq -> Problem.Eq
+          in
+          { Problem.coeffs; relation; rhs = -.c.Problem.rhs }
+        else c)
+      p.Problem.constraints
+  in
+  let m = List.length rows in
+  let n_slack =
+    List.fold_left
+      (fun acc (c : Problem.constr) ->
+        match c.Problem.relation with
+        | Problem.Le | Problem.Ge -> acc + 1
+        | Problem.Eq -> acc)
+      0 rows
+  in
+  (* Artificials: Ge and Eq rows need one; Le rows use their slack as the
+     initial basis. *)
+  let n_art =
+    List.fold_left
+      (fun acc (c : Problem.constr) ->
+        match c.Problem.relation with
+        | Problem.Ge | Problem.Eq -> acc + 1
+        | Problem.Le -> acc)
+      0 rows
+  in
+  let cols = n + n_slack + n_art in
+  let a = Array.make_matrix (m + 1) (cols + 1) 0.0 in
+  let basis = Array.make m (-1) in
+  let slack_base = n in
+  let art_base = n + n_slack in
+  let next_slack = ref 0 and next_art = ref 0 in
+  List.iteri
+    (fun i (c : Problem.constr) ->
+      List.iter (fun (j, v) -> a.(i).(j) <- a.(i).(j) +. v) c.Problem.coeffs;
+      a.(i).(cols) <- c.Problem.rhs;
+      (match c.Problem.relation with
+       | Problem.Le ->
+         let s = slack_base + !next_slack in
+         incr next_slack;
+         a.(i).(s) <- 1.0;
+         basis.(i) <- s
+       | Problem.Ge ->
+         let s = slack_base + !next_slack in
+         incr next_slack;
+         a.(i).(s) <- -1.0;
+         let r = art_base + !next_art in
+         incr next_art;
+         a.(i).(r) <- 1.0;
+         basis.(i) <- r
+       | Problem.Eq ->
+         let r = art_base + !next_art in
+         incr next_art;
+         a.(i).(r) <- 1.0;
+         basis.(i) <- r))
+    rows;
+  let t = { a; basis; m; cols } in
+  (* Phase 1: minimize sum of artificials. *)
+  if n_art > 0 then begin
+    for j = art_base to art_base + n_art - 1 do
+      a.(m).(j) <- 1.0
+    done;
+    (* Make the objective row consistent with the basis (artificials basic). *)
+    for i = 0 to m - 1 do
+      if basis.(i) >= art_base then begin
+        let ai = a.(i) in
+        for j = 0 to cols do
+          a.(m).(j) <- a.(m).(j) -. ai.(j)
+        done
+      end
+    done;
+    (match iterate t with
+     | `Unbounded -> ()  (* phase 1 is bounded below by 0; cannot happen *)
+     | `Optimal -> ());
+    if a.(m).(cols) < -.eps then raise Exit_infeasible
+  end;
+  (* Drive remaining artificials out of the basis when degenerate. *)
+  for i = 0 to m - 1 do
+    if basis.(i) >= art_base then begin
+      let found = ref false in
+      let j = ref 0 in
+      while (not !found) && !j < art_base do
+        if Float.abs a.(i).(!j) > eps then begin
+          pivot t ~row:i ~col:!j;
+          found := true
+        end;
+        incr j
+      done
+      (* if no pivot column exists the row is redundant; leave it *)
+    end
+  done;
+  (* Phase 2: real objective, artificial columns forbidden. *)
+  let sign = match p.Problem.sense with
+    | Problem.Maximize -> -1.0   (* tableau minimizes; negate to maximize *)
+    | Problem.Minimize -> 1.0
+  in
+  for j = 0 to cols do
+    a.(m).(j) <- 0.0
+  done;
+  List.iter (fun (j, v) -> a.(m).(j) <- sign *. v) p.Problem.objective;
+  (* Express objective in terms of non-basic variables. *)
+  for i = 0 to m - 1 do
+    let bj = basis.(i) in
+    let f = a.(m).(bj) in
+    if Float.abs f > eps then begin
+      let ai = a.(i) in
+      for j = 0 to cols do
+        a.(m).(j) <- a.(m).(j) -. (f *. ai.(j))
+      done
+    end
+  done;
+  let allowed j = j < art_base in
+  match iterate ~allowed t with
+  | `Unbounded -> Unbounded
+  | `Optimal ->
+    let x = Array.make n 0.0 in
+    for i = 0 to m - 1 do
+      if basis.(i) < n then x.(basis.(i)) <- a.(i).(cols)
+    done;
+    let objective = Problem.objective_value p x in
+    Optimal { x; objective }
+
+let solve p = try solve_raw p with Exit_infeasible -> Infeasible

@@ -1,0 +1,11 @@
+(** A dense two-phase primal simplex solver.
+
+    Suitable for the small and medium LPs produced by the conversion ILP's
+    branch-and-bound relaxations.  Bland's rule guards against cycling. *)
+
+type outcome =
+  | Optimal of { x : float array; objective : float }
+  | Infeasible
+  | Unbounded
+
+val solve : Problem.t -> outcome

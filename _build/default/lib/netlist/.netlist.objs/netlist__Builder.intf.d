@@ -1,0 +1,1 @@
+lib/netlist/builder.mli: Cell_lib Design

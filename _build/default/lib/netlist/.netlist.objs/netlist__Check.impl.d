@@ -1,0 +1,1 @@
+lib/netlist/check.ml: Array Clocking Design Format Hashtbl List Traverse

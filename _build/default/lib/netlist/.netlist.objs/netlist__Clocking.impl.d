@@ -1,0 +1,1 @@
+lib/netlist/clocking.ml: Array Cell_lib Design Hashtbl List String

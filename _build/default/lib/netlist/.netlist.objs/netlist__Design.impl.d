@@ -1,0 +1,1 @@
+lib/netlist/design.ml: Array Cell_lib Fun List Option String

@@ -1,0 +1,1 @@
+lib/netlist/dot.ml: Array Buffer Cell_lib Design List Printf String

@@ -1,0 +1,1 @@
+lib/netlist/ff_graph.ml: Array Buffer Design Hashtbl List Printf Traverse

@@ -1,0 +1,1 @@
+lib/netlist/ff_graph.mli: Design Hashtbl

@@ -1,0 +1,1 @@
+lib/netlist/gates.ml: Builder Cell_lib List Printf String

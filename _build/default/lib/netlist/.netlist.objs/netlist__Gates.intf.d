@@ -1,0 +1,1 @@
+lib/netlist/gates.mli: Builder Design

@@ -1,0 +1,1 @@
+lib/netlist/optimize.ml: Array Builder Cell_lib Clocking Design Hashtbl List Option Queue

@@ -1,0 +1,1 @@
+lib/netlist/rewrite.ml: Array Builder Design List Option

@@ -1,0 +1,1 @@
+lib/netlist/rewrite.mli: Builder Design

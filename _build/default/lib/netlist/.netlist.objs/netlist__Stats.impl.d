@@ -1,0 +1,1 @@
+lib/netlist/stats.ml: Cell_lib Design Format

@@ -1,0 +1,1 @@
+lib/netlist/traverse.ml: Array Cell_lib Design Hashtbl List Printf Queue String

@@ -1,0 +1,1 @@
+lib/netlist/traverse.mli: Design

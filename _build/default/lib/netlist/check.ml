@@ -1,0 +1,106 @@
+type issue = {
+  severity : [ `Error | `Warning ];
+  message : string;
+}
+
+let err fmt = Format.kasprintf (fun message -> { severity = `Error; message }) fmt
+let warn fmt = Format.kasprintf (fun message -> { severity = `Warning; message }) fmt
+
+let check_drivers d issues =
+  let issues = ref issues in
+  for i = 0 to Design.num_insts d - 1 do
+    List.iter
+      (fun net ->
+        match d.Design.net_driver.(net) with
+        | Design.Undriven ->
+          issues := err "instance %s reads undriven net %s"
+              (Design.inst_name d i) (Design.net_name d net) :: !issues
+        | Design.Driven_by _ | Design.Driven_by_input _ | Design.Driven_const _ -> ())
+      (Design.input_nets d i)
+  done;
+  List.iter
+    (fun (port, net) ->
+      match d.Design.net_driver.(net) with
+      | Design.Undriven ->
+        issues := err "primary output %s is undriven" port :: !issues
+      | Design.Driven_by _ | Design.Driven_by_input _ | Design.Driven_const _ -> ())
+    d.Design.primary_outputs;
+  !issues
+
+let check_comb_cycles d issues =
+  match Traverse.comb_topo d with
+  | Ok _ -> issues
+  | Error insts ->
+    err "combinational cycle involving %d instances (e.g. %s)"
+      (List.length insts)
+      (match insts with [] -> "?" | i :: _ -> Design.inst_name d i)
+    :: issues
+
+let check_clock_roots d issues =
+  List.fold_left
+    (fun issues i ->
+      match Design.clock_net_of d i with
+      | None ->
+        err "sequential instance %s has no clock connection" (Design.inst_name d i)
+        :: issues
+      | Some net ->
+        (match Clocking.trace_to_root d net with
+         | Some _ -> issues
+         | None ->
+           err "clock pin of %s does not trace to a clock port (net %s)"
+             (Design.inst_name d i) (Design.net_name d net)
+           :: issues))
+    issues (Design.sequential_insts d)
+
+let check_unique_names d issues =
+  let dup what names issues =
+    let seen = Hashtbl.create (Array.length names) in
+    Array.fold_left
+      (fun issues name ->
+        if Hashtbl.mem seen name then warn "duplicate %s name %s" what name :: issues
+        else begin
+          Hashtbl.add seen name ();
+          issues
+        end)
+      issues names
+  in
+  issues |> dup "net" d.Design.net_names |> dup "instance" d.Design.inst_names
+
+let check_dangling d issues =
+  let used = Array.make (Design.num_nets d) false in
+  List.iter (fun (_, n) -> used.(n) <- true) d.Design.primary_outputs;
+  for i = 0 to Design.num_insts d - 1 do
+    List.iter (fun n -> used.(n) <- true) (Design.input_nets d i)
+  done;
+  let issues = ref issues in
+  for i = 0 to Design.num_insts d - 1 do
+    List.iter
+      (fun n ->
+        if not used.(n) then
+          issues := warn "output net %s of %s drives nothing"
+              (Design.net_name d n) (Design.inst_name d i) :: !issues)
+      (Design.output_nets d i)
+  done;
+  !issues
+
+let run d =
+  []
+  |> check_drivers d
+  |> check_comb_cycles d
+  |> check_clock_roots d
+  |> check_unique_names d
+  |> check_dangling d
+  |> List.rev
+
+let validate d =
+  let errors =
+    List.filter_map
+      (fun i -> match i.severity with `Error -> Some i.message | `Warning -> None)
+      (run d)
+  in
+  if errors = [] then Ok () else Error errors
+
+let pp_issue ppf i =
+  Format.fprintf ppf "%s: %s"
+    (match i.severity with `Error -> "error" | `Warning -> "warning")
+    i.message

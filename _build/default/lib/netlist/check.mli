@@ -1,0 +1,20 @@
+(** Structural validation of a design.  Used before and after conversion
+    to catch netlist-rewrite bugs early. *)
+
+type issue = {
+  severity : [ `Error | `Warning ];
+  message : string;
+}
+
+(** [run d] performs all checks:
+    - every instance input pin and primary output is driven;
+    - no combinational cycles;
+    - every sequential clock pin traces back to a declared clock port;
+    - instance and net names are unique. *)
+val run : Design.t -> issue list
+
+(** [validate d] returns [Ok ()] when {!run} finds no [`Error]-severity
+    issue, otherwise [Error messages]. *)
+val validate : Design.t -> (unit, string list) result
+
+val pp_issue : Format.formatter -> issue -> unit

@@ -1,0 +1,82 @@
+type path_element =
+  | Through_icg of Design.inst
+  | Through_buffer of Design.inst
+
+type trace = {
+  root_port : string;
+  elements : path_element list;
+}
+
+let is_buffer_like (c : Cell_lib.Cell.t) =
+  c.Cell_lib.Cell.kind = Cell_lib.Cell.Combinational
+  && List.length (Cell_lib.Cell.input_pins c) = 1
+
+let trace_to_root d net =
+  let rec go net acc fuel =
+    if fuel = 0 then None
+    else
+      match d.Design.net_driver.(net) with
+      | Design.Driven_by_input port ->
+        if Design.is_clock_port d port then Some { root_port = port; elements = acc }
+        else None
+      | Design.Driven_const _ | Design.Undriven -> None
+      | Design.Driven_by (i, _) ->
+        let c = Design.cell d i in
+        (match c.Cell_lib.Cell.kind with
+         | Cell_lib.Cell.Clock_gate { clock_pin; _ } ->
+           (match Design.pin_net_opt d i clock_pin with
+            | Some upstream -> go upstream (Through_icg i :: acc) (fuel - 1)
+            | None -> None)
+         | Cell_lib.Cell.Combinational when is_buffer_like c ->
+           (match Design.input_nets d i with
+            | [upstream] -> go upstream (Through_buffer i :: acc) (fuel - 1)
+            | [] | _ :: _ :: _ -> None)
+         | Cell_lib.Cell.Combinational | Cell_lib.Cell.Flip_flop _
+         | Cell_lib.Cell.Latch _ -> None)
+  in
+  go net [] 10_000
+
+let gating_icg d net =
+  match trace_to_root d net with
+  | None -> None
+  | Some { elements; _ } ->
+    List.fold_left
+      (fun acc el -> match el with Through_icg i -> Some i | Through_buffer _ -> acc)
+      None elements
+
+let clock_network_nets d ~port =
+  match Design.find_input d port with
+  | None -> []
+  | Some root ->
+    let visited = Hashtbl.create 64 in
+    let out = ref [] in
+    let rec walk net =
+      if not (Hashtbl.mem visited net) then begin
+        Hashtbl.add visited net ();
+        out := net :: !out;
+        List.iter
+          (fun (i, pin) ->
+            let c = Design.cell d i in
+            match c.Cell_lib.Cell.kind with
+            | Cell_lib.Cell.Clock_gate { clock_pin; _ } when String.equal pin clock_pin ->
+              List.iter walk (Design.output_nets d i)
+            | Cell_lib.Cell.Combinational when is_buffer_like c ->
+              List.iter walk (Design.output_nets d i)
+            | Cell_lib.Cell.Clock_gate _ | Cell_lib.Cell.Combinational
+            | Cell_lib.Cell.Flip_flop _ | Cell_lib.Cell.Latch _ -> ())
+          d.Design.net_sinks.(net)
+      end
+    in
+    walk root;
+    List.rev !out
+
+let sinks_of_port d ~port =
+  let nets = clock_network_nets d ~port in
+  let net_set = Hashtbl.create 64 in
+  List.iter (fun n -> Hashtbl.add net_set n ()) nets;
+  List.filter
+    (fun i ->
+      match Design.clock_net_of d i with
+      | Some n -> Hashtbl.mem net_set n
+      | None -> false)
+    (Design.sequential_insts d)

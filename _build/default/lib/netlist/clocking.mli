@@ -1,0 +1,29 @@
+(** Clock-network tracing: walk a clock pin's net back to its root port,
+    through clock buffers, inverters and integrated clock-gating cells. *)
+
+type path_element =
+  | Through_icg of Design.inst
+  | Through_buffer of Design.inst   (** buffer or inverter on the clock path *)
+
+type trace = {
+  root_port : string;               (** the primary-input clock port *)
+  elements : path_element list;     (** root-to-leaf order *)
+}
+
+(** [trace_to_root d net] walks backwards from [net].  Returns [None] when
+    the net does not originate at a clock port (e.g. a generated clock from
+    ordinary logic, which this project treats as unsupported). *)
+val trace_to_root : Design.t -> Design.net -> trace option
+
+(** The ICG instance directly gating [net], if any (the last ICG on the
+    path from the root). *)
+val gating_icg : Design.t -> Design.net -> Design.inst option
+
+(** All nets belonging to the clock network rooted at port [port]:
+    the port net plus every net downstream through buffers/inverters/ICGs,
+    stopping at sequential clock pins. *)
+val clock_network_nets : Design.t -> port:string -> Design.net list
+
+(** Sequential instances whose clock pin is (transitively) driven from
+    [port]. *)
+val sinks_of_port : Design.t -> port:string -> Design.inst list

@@ -1,0 +1,107 @@
+type net = int
+
+type inst = int
+
+type driver =
+  | Driven_by of inst * string
+  | Driven_by_input of string
+  | Driven_const of bool
+  | Undriven
+
+type t = {
+  design_name : string;
+  library : Cell_lib.Library.t;
+  net_names : string array;
+  net_driver : driver array;
+  net_sinks : (inst * string) list array;
+  inst_names : string array;
+  inst_cells : Cell_lib.Cell.t array;
+  inst_conns : (string * net) array array;
+  primary_inputs : (string * net) list;
+  primary_outputs : (string * net) list;
+  clock_ports : string list;
+}
+
+let num_nets d = Array.length d.net_names
+
+let num_insts d = Array.length d.inst_names
+
+let net_name d n = d.net_names.(n)
+
+let inst_name d i = d.inst_names.(i)
+
+let cell d i = d.inst_cells.(i)
+
+let pin_net_opt d i pin =
+  let conns = d.inst_conns.(i) in
+  let rec go k =
+    if k >= Array.length conns then None
+    else
+      let p, n = conns.(k) in
+      if String.equal p pin then Some n else go (k + 1)
+  in
+  go 0
+
+let pin_net d i pin =
+  match pin_net_opt d i pin with
+  | Some n -> n
+  | None -> raise Not_found
+
+let pins_with_direction d i dir =
+  let c = d.inst_cells.(i) in
+  Array.fold_right
+    (fun (pin, n) acc ->
+      match Cell_lib.Cell.find_pin c pin with
+      | Some p when p.Cell_lib.Cell.direction = dir -> n :: acc
+      | Some _ | None -> acc)
+    d.inst_conns.(i) []
+
+let input_nets d i = pins_with_direction d i Cell_lib.Cell.Input
+
+let output_nets d i = pins_with_direction d i Cell_lib.Cell.Output
+
+let insts d = List.init (num_insts d) Fun.id
+
+let sequential_insts d =
+  List.filter (fun i -> Cell_lib.Cell.is_sequential d.inst_cells.(i)) (insts d)
+
+let clock_gate_insts d =
+  List.filter (fun i -> Cell_lib.Cell.is_clock_gate d.inst_cells.(i)) (insts d)
+
+let clock_net_of d i =
+  match Cell_lib.Cell.clock_pin_of d.inst_cells.(i) with
+  | None -> None
+  | Some pin -> pin_net_opt d i pin
+
+let data_net_of d i =
+  match d.inst_cells.(i).Cell_lib.Cell.kind with
+  | Cell_lib.Cell.Flip_flop { data_pin; _ } | Cell_lib.Cell.Latch { data_pin; _ } ->
+    pin_net_opt d i data_pin
+  | Cell_lib.Cell.Combinational | Cell_lib.Cell.Clock_gate _ -> None
+
+let q_net_of d i =
+  match output_nets d i with
+  | [n] -> Some n
+  | [] -> None
+  | n :: _ :: _ -> Some n
+
+let is_clock_port d name = List.exists (String.equal name) d.clock_ports
+
+let find_input d name =
+  Option.map snd (List.find_opt (fun (p, _) -> String.equal p name) d.primary_inputs)
+
+let find_inst d name =
+  let n = num_insts d in
+  let rec go i =
+    if i >= n then None
+    else if String.equal d.inst_names.(i) name then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let fold_insts f d acc =
+  let r = ref acc in
+  for i = 0 to num_insts d - 1 do
+    r := f i !r
+  done;
+  !r

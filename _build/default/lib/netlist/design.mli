@@ -1,0 +1,79 @@
+(** The gate-level netlist intermediate representation.
+
+    A design is a frozen graph of cell instances connected by nets.  Nets
+    and instances are identified by dense integer ids, so analyses can use
+    arrays.  Construction goes through {!Builder}; a frozen design is
+    immutable (rewrites produce a new design). *)
+
+type net = int
+
+type inst = int
+
+(** How a net is driven. *)
+type driver =
+  | Driven_by of inst * string  (** instance output pin *)
+  | Driven_by_input of string   (** primary-input port name *)
+  | Driven_const of bool        (** tie-high / tie-low *)
+  | Undriven
+
+type t = {
+  design_name : string;
+  library : Cell_lib.Library.t;
+  net_names : string array;
+  net_driver : driver array;
+  net_sinks : (inst * string) list array;  (** instance input pins reading the net *)
+  inst_names : string array;
+  inst_cells : Cell_lib.Cell.t array;
+  inst_conns : (string * net) array array; (** pin name -> net, all pins *)
+  primary_inputs : (string * net) list;    (** includes clock ports *)
+  primary_outputs : (string * net) list;
+  clock_ports : string list;               (** subset of primary input names *)
+}
+
+val num_nets : t -> int
+
+val num_insts : t -> int
+
+val net_name : t -> net -> string
+
+val inst_name : t -> inst -> string
+
+val cell : t -> inst -> Cell_lib.Cell.t
+
+(** [pin_net d i pin] is the net connected to [pin] of instance [i].
+    Raises [Not_found] when the pin is unconnected. *)
+val pin_net : t -> inst -> string -> net
+
+val pin_net_opt : t -> inst -> string -> net option
+
+(** Nets read (input pins) / driven (output pins) by an instance. *)
+val input_nets : t -> inst -> net list
+
+val output_nets : t -> inst -> net list
+
+(** All instances, in id order. *)
+val insts : t -> inst list
+
+(** Sequential elements (flip-flops and latches), in id order. *)
+val sequential_insts : t -> inst list
+
+val clock_gate_insts : t -> inst list
+
+(** The net driving the clock/enable pin of a sequential or ICG instance. *)
+val clock_net_of : t -> inst -> net option
+
+(** The data input net of a flip-flop or latch. *)
+val data_net_of : t -> inst -> net option
+
+(** The (single) output net of a sequential or ICG instance, if driven. *)
+val q_net_of : t -> inst -> net option
+
+val is_clock_port : t -> string -> bool
+
+(** Find a primary input net by port name. *)
+val find_input : t -> string -> net option
+
+val find_inst : t -> string -> inst option
+
+(** Fold over all instances. *)
+val fold_insts : (inst -> 'a -> 'a) -> t -> 'a -> 'a

@@ -1,0 +1,49 @@
+let escape s =
+  String.concat "" (List.map (function '"' -> "\\\"" | c -> String.make 1 c)
+                      (List.init (String.length s) (String.get s)))
+
+let of_design d =
+  let buf = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "digraph \"%s\" {\n  rankdir=LR;\n" (escape d.Design.design_name);
+  List.iter
+    (fun (port, _) -> add "  \"pi_%s\" [label=\"%s\", shape=triangle];\n" port port)
+    d.Design.primary_inputs;
+  List.iter
+    (fun (port, _) -> add "  \"po_%s\" [label=\"%s\", shape=invtriangle];\n" port port)
+    d.Design.primary_outputs;
+  for i = 0 to Design.num_insts d - 1 do
+    let c = Design.cell d i in
+    let shape =
+      match c.Cell_lib.Cell.kind with
+      | Cell_lib.Cell.Combinational -> "ellipse"
+      | Cell_lib.Cell.Flip_flop _ | Cell_lib.Cell.Latch _ -> "box"
+      | Cell_lib.Cell.Clock_gate _ -> "diamond"
+    in
+    add "  \"i%d\" [label=\"%s\\n%s\", shape=%s];\n" i
+      (escape (Design.inst_name d i)) c.Cell_lib.Cell.name shape
+  done;
+  let src_of net =
+    match d.Design.net_driver.(net) with
+    | Design.Driven_by (i, _) -> Some (Printf.sprintf "\"i%d\"" i)
+    | Design.Driven_by_input port -> Some (Printf.sprintf "\"pi_%s\"" port)
+    | Design.Driven_const v -> Some (if v then "\"tie1\"" else "\"tie0\"")
+    | Design.Undriven -> None
+  in
+  for net = 0 to Design.num_nets d - 1 do
+    match src_of net with
+    | None -> ()
+    | Some src ->
+      List.iter
+        (fun (j, pin) ->
+          add "  %s -> \"i%d\" [label=\"%s\"];\n" src j (escape pin))
+        d.Design.net_sinks.(net)
+  done;
+  List.iter
+    (fun (port, net) ->
+      match src_of net with
+      | None -> ()
+      | Some src -> add "  %s -> \"po_%s\";\n" src port)
+    d.Design.primary_outputs;
+  add "}\n";
+  Buffer.contents buf

@@ -1,0 +1,5 @@
+(** Graphviz export of a design, for debugging and documentation. *)
+
+(** [of_design d] renders instances as nodes and nets as edges.  Sequential
+    cells are drawn as boxes, clock gates as diamonds. *)
+val of_design : Design.t -> string

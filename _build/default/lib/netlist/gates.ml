@@ -1,0 +1,121 @@
+type op = And | Or | Nand | Nor | Xor | Xnor | Not | Buf
+
+let fresh_name b prefix = Printf.sprintf "%s_g%d" prefix (Builder.size b)
+
+let pin_names cell =
+  let inputs = Cell_lib.Cell.input_pins cell in
+  let outputs = Cell_lib.Cell.output_pins cell in
+  match outputs with
+  | [o] ->
+    (List.map (fun (p : Cell_lib.Cell.pin) -> p.Cell_lib.Cell.pin_name) inputs,
+     o.Cell_lib.Cell.pin_name)
+  | [] | _ :: _ :: _ -> invalid_arg "Gates: cell must have exactly one output"
+
+let instantiate b cell_name inputs out prefix =
+  let cell = Cell_lib.Library.find_exn (Builder.library b) cell_name in
+  let in_pins, out_pin = pin_names cell in
+  if List.length in_pins <> List.length inputs then
+    invalid_arg (Printf.sprintf "Gates: %s arity mismatch" cell_name);
+  let conns = List.combine in_pins inputs @ [(out_pin, out)] in
+  ignore (Builder.add_instance b (fresh_name b prefix) cell conns)
+
+(* Cell names per positive base op, widest first. *)
+let widths_of op =
+  match op with
+  | And -> [3, "AND3_X1"; 2, "AND2_X1"]
+  | Or -> [3, "OR3_X1"; 2, "OR2_X1"]
+  | Xor -> [2, "XOR2_X1"]
+  | Nand -> [4, "NAND4_X1"; 3, "NAND3_X1"; 2, "NAND2_X1"]
+  | Nor -> [3, "NOR3_X1"; 2, "NOR2_X1"]
+  | Xnor -> [2, "XNOR2_X1"]
+  | Not -> [1, "INV_X1"]
+  | Buf -> [1, "BUF_X2"]
+
+(* Reduce [inputs] with a positive associative op (And/Or/Xor) into [out],
+   chunking through the widest available cell. *)
+let rec reduce b op inputs out prefix =
+  let widths = widths_of op in
+  let max_w, _ = match widths with w :: _ -> w | [] -> assert false in
+  match inputs with
+  | [] -> invalid_arg "Gates: no inputs"
+  | [single] -> instantiate b "BUF_X2" [single] out prefix
+  | _ :: _ :: _ when List.length inputs <= max_w ->
+    let n = List.length inputs in
+    let cell_name =
+      match List.assoc_opt n widths with
+      | Some c -> c
+      | None ->
+        (* e.g. 3 inputs but only 2-input cells: split *)
+        ""
+    in
+    if String.equal cell_name "" then split_reduce b op inputs out prefix
+    else instantiate b cell_name inputs out prefix
+  | _ :: _ :: _ -> split_reduce b op inputs out prefix
+
+and split_reduce b op inputs out prefix =
+  let widths = widths_of op in
+  let max_w = match widths with (w, _) :: _ -> w | [] -> assert false in
+  (* chunk inputs into groups of max_w, reduce each, recurse *)
+  let rec chunk acc cur k = function
+    | [] -> List.rev (if cur = [] then acc else List.rev cur :: acc)
+    | x :: rest ->
+      if k = max_w then chunk (List.rev cur :: acc) [x] 1 rest
+      else chunk acc (x :: cur) (k + 1) rest
+  in
+  let groups = chunk [] [] 0 inputs in
+  let partials =
+    List.map
+      (fun group ->
+        match group with
+        | [single] -> single
+        | _ :: _ :: _ ->
+          let net = Builder.fresh_net b (prefix ^ "_t") in
+          reduce b op group net prefix;
+          net
+        | [] -> assert false)
+      groups
+  in
+  reduce b op partials out prefix
+
+let emit b op inputs ~out ~prefix =
+  match op, inputs with
+  | (Not | Buf), [single] ->
+    instantiate b (if op = Not then "INV_X1" else "BUF_X2") [single] out prefix
+  | (Not | Buf), ([] | _ :: _ :: _) -> invalid_arg "Gates: Not/Buf need one input"
+  | (And | Or | Xor), _ -> reduce b op inputs out prefix
+  | Nand, _ ->
+    let n = List.length inputs in
+    (match List.assoc_opt n (widths_of Nand) with
+     | Some cell -> instantiate b cell inputs out prefix
+     | None ->
+       let t = Builder.fresh_net b (prefix ^ "_a") in
+       reduce b And inputs t prefix;
+       instantiate b "INV_X1" [t] out prefix)
+  | Nor, _ ->
+    let n = List.length inputs in
+    (match List.assoc_opt n (widths_of Nor) with
+     | Some cell -> instantiate b cell inputs out prefix
+     | None ->
+       let t = Builder.fresh_net b (prefix ^ "_o") in
+       reduce b Or inputs t prefix;
+       instantiate b "INV_X1" [t] out prefix)
+  | Xnor, _ ->
+    (match inputs with
+     | [_; _] -> instantiate b "XNOR2_X1" inputs out prefix
+     | _ ->
+       let t = Builder.fresh_net b (prefix ^ "_x") in
+       reduce b Xor inputs t prefix;
+       instantiate b "INV_X1" [t] out prefix)
+
+let emit_fresh b op inputs ~prefix =
+  let out = Builder.fresh_net b (prefix ^ "_n") in
+  emit b op inputs ~out ~prefix;
+  out
+
+let mux2 b ~sel ~a ~b_in ~prefix =
+  let out = Builder.fresh_net b (prefix ^ "_mux") in
+  let cell = Cell_lib.Library.find_exn (Builder.library b) "MUX2_X1" in
+  ignore
+    (Builder.add_instance b (fresh_name b prefix) cell
+       [("A", a); ("B", b_in); ("S", sel); ("Z", out)]);
+  out

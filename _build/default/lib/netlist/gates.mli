@@ -1,0 +1,21 @@
+(** Convenience constructors that map n-ary logic operations onto the
+    binary/ternary cells available in a library, building balanced trees.
+    Shared by the format parsers and the benchmark-circuit generators. *)
+
+type op = And | Or | Nand | Nor | Xor | Xnor | Not | Buf
+
+(** [emit b op inputs ~out ~prefix] instantiates cells computing
+    [op inputs] onto net [out].  Intermediate nets and instances are named
+    from [prefix].  Raises [Invalid_argument] when [inputs] is empty (or
+    not a singleton for [Not]/[Buf]). *)
+val emit :
+  Builder.t -> op -> Design.net list -> out:Design.net -> prefix:string -> unit
+
+(** [emit_fresh b op inputs ~prefix] allocates the output net itself. *)
+val emit_fresh : Builder.t -> op -> Design.net list -> prefix:string -> Design.net
+
+(** A 2:1 mux: [mux2 b ~sel ~a ~b_in ~prefix] returns the output net
+    carrying [sel ? b_in : a]. *)
+val mux2 :
+  Builder.t -> sel:Design.net -> a:Design.net -> b_in:Design.net ->
+  prefix:string -> Design.net

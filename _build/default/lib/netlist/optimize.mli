@@ -1,0 +1,22 @@
+(** Light netlist cleanup, the tail end of what a synthesis tool would run
+    after a structural rewrite:
+
+    - {b constant folding}: combinational cells whose output is fixed by
+      constant inputs are replaced by ties, iterated to a fixed point;
+    - {b buffer collapsing}: non-inverting single-input cells are removed
+      and their readers rewired to the source (clock-network buffers are
+      kept — they model the clock tree);
+    - {b dead-logic sweep}: cells driving nets that no instance and no
+      output port reads are deleted, iterated to a fixed point.
+
+    The pass never touches sequential elements or clock-gating cells, so
+    stream equivalence is preserved by construction (and asserted in the
+    tests). *)
+
+type stats = {
+  folded : int;       (** cells replaced by constants *)
+  collapsed : int;    (** buffers removed *)
+  swept : int;        (** dead cells removed *)
+}
+
+val run : Design.t -> Design.t * stats

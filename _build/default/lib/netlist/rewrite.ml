@@ -1,0 +1,45 @@
+type t = {
+  original : Design.t;
+  b : Builder.t;
+  net_map : int array;
+}
+
+let start ?name d =
+  let name = Option.value ~default:d.Design.design_name name in
+  let b = Builder.create ~name ~library:d.Design.library in
+  let net_map = Array.make (Design.num_nets d) (-1) in
+  List.iter
+    (fun (port, net) ->
+      net_map.(net) <- Builder.add_input ~clock:(Design.is_clock_port d port) b port)
+    d.Design.primary_inputs;
+  Array.iteri
+    (fun n drv ->
+      match drv with
+      | Design.Driven_const v -> net_map.(n) <- Builder.const b v
+      | Design.Driven_by _ | Design.Driven_by_input _ | Design.Undriven -> ())
+    d.Design.net_driver;
+  { original = d; b; net_map }
+
+let builder t = t.b
+
+let map_net t old =
+  if t.net_map.(old) < 0 then
+    t.net_map.(old) <- Builder.fresh_net t.b (Design.net_name t.original old);
+  t.net_map.(old)
+
+let copy_inst ?(override = []) t i =
+  let d = t.original in
+  let conns =
+    Array.to_list d.Design.inst_conns.(i)
+    |> List.map (fun (pin, n) ->
+        match List.assoc_opt pin override with
+        | Some net -> (pin, net)
+        | None -> (pin, map_net t n))
+  in
+  ignore (Builder.add_instance t.b (Design.inst_name d i) (Design.cell d i) conns)
+
+let finish t =
+  List.iter
+    (fun (port, net) -> Builder.add_output t.b port (map_net t net))
+    t.original.Design.primary_outputs;
+  Builder.freeze t.b

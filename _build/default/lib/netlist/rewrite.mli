@@ -1,0 +1,22 @@
+(** Support for design-to-design rewrites: a builder pre-loaded with the
+    original ports and constants, a lazy net map, and instance copying
+    with optional connection overrides.  Used by retiming and clock-gating
+    transforms that keep most of the netlist intact. *)
+
+type t
+
+(** [start d] creates the rewrite context and copies primary inputs
+    (including clock ports) and constants. *)
+val start : ?name:string -> Design.t -> t
+
+val builder : t -> Builder.t
+
+(** The new net corresponding to an original net (created on demand). *)
+val map_net : t -> Design.net -> Design.net
+
+(** [copy_inst t i] copies instance [i] with all nets mapped.
+    [override] replaces the mapped connection of the listed pins. *)
+val copy_inst : ?override:(string * Design.net) list -> t -> Design.inst -> unit
+
+(** Copy primary outputs and freeze. *)
+val finish : t -> Design.t

@@ -1,0 +1,48 @@
+type t = {
+  flip_flops : int;
+  latches : int;
+  clock_gates : int;
+  comb_cells : int;
+  registers : int;
+  seq_area : float;
+  clock_gate_area : float;
+  comb_area : float;
+  total_area : float;
+  total_leakage : float;
+}
+
+let compute d =
+  let zero = {
+    flip_flops = 0; latches = 0; clock_gates = 0; comb_cells = 0; registers = 0;
+    seq_area = 0.0; clock_gate_area = 0.0; comb_area = 0.0; total_area = 0.0;
+    total_leakage = 0.0;
+  } in
+  let acc =
+    Design.fold_insts
+      (fun i acc ->
+        let c = Design.cell d i in
+        let area = c.Cell_lib.Cell.area in
+        let acc = { acc with
+                    total_area = acc.total_area +. area;
+                    total_leakage = acc.total_leakage +. c.Cell_lib.Cell.leakage } in
+        match c.Cell_lib.Cell.kind with
+        | Cell_lib.Cell.Flip_flop _ ->
+          { acc with flip_flops = acc.flip_flops + 1; seq_area = acc.seq_area +. area }
+        | Cell_lib.Cell.Latch _ ->
+          { acc with latches = acc.latches + 1; seq_area = acc.seq_area +. area }
+        | Cell_lib.Cell.Clock_gate _ ->
+          { acc with clock_gates = acc.clock_gates + 1;
+                     clock_gate_area = acc.clock_gate_area +. area }
+        | Cell_lib.Cell.Combinational ->
+          { acc with comb_cells = acc.comb_cells + 1;
+                     comb_area = acc.comb_area +. area })
+      d zero
+  in
+  { acc with registers = acc.flip_flops + acc.latches }
+
+let pp ppf s =
+  Format.fprintf ppf
+    "@[<v>registers: %d (%d FF + %d latch), %d ICG, %d comb cells@,\
+     area: %.1f um^2 (seq %.1f, icg %.1f, comb %.1f), leakage %.1f nW@]"
+    s.registers s.flip_flops s.latches s.clock_gates s.comb_cells
+    s.total_area s.seq_area s.clock_gate_area s.comb_area s.total_leakage

@@ -1,0 +1,19 @@
+(** Register counts and area totals, the raw material of the paper's
+    Table I. *)
+
+type t = {
+  flip_flops : int;
+  latches : int;
+  clock_gates : int;
+  comb_cells : int;
+  registers : int;          (** flip_flops + latches *)
+  seq_area : float;
+  clock_gate_area : float;
+  comb_area : float;
+  total_area : float;
+  total_leakage : float;    (** nW *)
+}
+
+val compute : Design.t -> t
+
+val pp : Format.formatter -> t -> unit

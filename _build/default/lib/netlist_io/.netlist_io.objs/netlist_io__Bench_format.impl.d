@@ -1,0 +1,1 @@
+lib/netlist_io/bench_format.ml: Buffer Cell_lib Format Hashtbl List Netlist Option Printf String

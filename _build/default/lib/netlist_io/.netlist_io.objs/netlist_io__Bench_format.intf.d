@@ -1,0 +1,1 @@
+lib/netlist_io/bench_format.mli: Cell_lib Netlist

@@ -1,0 +1,1 @@
+lib/netlist_io/sdc.ml: Buffer List Netlist Printf Sim String

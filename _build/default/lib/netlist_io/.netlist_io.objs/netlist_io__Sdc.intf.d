@@ -1,0 +1,1 @@
+lib/netlist_io/sdc.mli: Netlist Sim

@@ -1,0 +1,1 @@
+lib/netlist_io/verilog.ml: Array Buffer Cell_lib Format Hashtbl List Netlist Printf Seq String

@@ -1,0 +1,1 @@
+lib/netlist_io/verilog.mli: Cell_lib Netlist

@@ -1,0 +1,23 @@
+(** Reader and writer for the ISCAS89 [.bench] netlist format.
+
+    The format lists primary inputs and outputs plus gate assignments:
+    {v
+      INPUT(G0)
+      OUTPUT(G17)
+      G10 = DFF(G14)
+      G11 = NAND(G0, G10)
+    v}
+    Supported gate ops: AND, OR, NAND, NOR, XOR, XNOR, NOT, BUF/BUFF, DFF.
+    DFFs are clocked by an implicit global clock; parsing creates a clock
+    port named ["clock"].  Gates with more inputs than any library cell are
+    decomposed into trees via {!Netlist.Gates}. *)
+
+exception Error of string
+
+(** [parse ~name ~library source] builds a design from [.bench] text. *)
+val parse : name:string -> library:Cell_lib.Library.t -> string -> Netlist.Design.t
+
+(** [write d] renders a design back to [.bench] text.  Raises {!Error}
+    when the design uses cells that have no [.bench] equivalent (muxes,
+    latches, clock gates...). *)
+val write : Netlist.Design.t -> string

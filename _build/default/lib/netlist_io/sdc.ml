@@ -1,0 +1,45 @@
+let write ?(input_delay = 0.10) ?(output_delay = 0.10)
+    ?(clock_uncertainty = 0.05) d ~clocks =
+  let buf = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let period = clocks.Sim.Clock_spec.period in
+  add "# SDC for %s (written by threephase)\n" d.Netlist.Design.design_name;
+  let defined_clocks =
+    List.filter
+      (fun port ->
+        List.exists (fun (p, _) -> String.equal p port) clocks.Sim.Clock_spec.ports)
+      d.Netlist.Design.clock_ports
+  in
+  List.iter
+    (fun port ->
+      match List.assoc_opt port clocks.Sim.Clock_spec.ports with
+      | None -> ()
+      | Some w ->
+        let rise = w.Sim.Clock_spec.rise_at *. period in
+        let fall = w.Sim.Clock_spec.fall_at *. period in
+        add
+          "create_clock -name %s -period %.4f -waveform {%.4f %.4f} [get_ports %s]\n"
+          port period rise fall port)
+    defined_clocks;
+  (match defined_clocks with
+   | _ :: _ :: _ ->
+     add "set_clock_groups -physically_exclusive -group {%s}\n"
+       (String.concat "} -group {" defined_clocks)
+   | [] | [_] -> ());
+  List.iter
+    (fun port -> add "set_clock_uncertainty %.4f [get_clocks %s]\n"
+        clock_uncertainty port)
+    defined_clocks;
+  let launch_clock = match defined_clocks with c :: _ -> c | [] -> "clk" in
+  List.iter
+    (fun (port, _) ->
+      if not (Netlist.Design.is_clock_port d port) then
+        add "set_input_delay %.4f -clock %s [get_ports %s]\n" input_delay
+          launch_clock port)
+    d.Netlist.Design.primary_inputs;
+  List.iter
+    (fun (port, _) ->
+      add "set_output_delay %.4f -clock %s [get_ports %s]\n" output_delay
+        launch_clock port)
+    d.Netlist.Design.primary_outputs;
+  Buffer.contents buf

@@ -1,0 +1,13 @@
+(** Writer for Synopsys-design-constraints (SDC) style files describing
+    the clocking of a design: one [create_clock] per clock port with the
+    waveform taken from a {!Sim.Clock_spec.t} (the three-phase edges of
+    the converted design, or the single clock of the original), plus
+    input/output delays and the physically-exclusive clock grouping the
+    three phases require.  This is the hand-off artifact a downstream
+    place-and-route run would consume. *)
+
+val write :
+  ?input_delay:float ->
+  ?output_delay:float ->
+  ?clock_uncertainty:float ->
+  Netlist.Design.t -> clocks:Sim.Clock_spec.t -> string

@@ -1,0 +1,28 @@
+(** Reader and writer for a structural Verilog subset: one module, scalar
+    ports, [input]/[output]/[wire] declarations, cell instances with named
+    port connections, and [assign] aliases for output ports and constant
+    ties.
+
+    {v
+      // @clocks clk
+      module top (clk, a, y);
+        input clk; input a;
+        output y;
+        wire n1;
+        DFF_X1 ff0 (.CK(clk), .D(a), .Q(n1));
+        assign y = n1;
+      endmodule
+    v}
+
+    Clock ports come from a [// @clocks p1 p2 ...] comment when present,
+    from the [~clocks] argument otherwise, and finally from a built-in list
+    of conventional names (clk, clock, p1, p2, p3, clkbar). *)
+
+exception Error of string
+
+val parse :
+  ?clocks:string list -> library:Cell_lib.Library.t -> string -> Netlist.Design.t
+
+(** [write d] renders the design; emits an [@clocks] header comment so the
+    output re-parses with the same clock ports. *)
+val write : Netlist.Design.t -> string

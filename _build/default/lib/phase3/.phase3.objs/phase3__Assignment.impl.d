@@ -1,0 +1,1 @@
+lib/phase3/assignment.ml: Array Hashtbl Ilp List Lp Netlist Printf String Unix

@@ -1,0 +1,1 @@
+lib/phase3/clock_gating.ml: Array Cell_lib Convert Hashtbl List Netlist Option Printf Sim String

@@ -1,0 +1,1 @@
+lib/phase3/clock_gating.mli: Convert Netlist

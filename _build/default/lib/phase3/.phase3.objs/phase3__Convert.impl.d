@@ -1,0 +1,1 @@
+lib/phase3/convert.ml: Array Assignment Cell_lib Hashtbl List Netlist Printf String

@@ -1,0 +1,1 @@
+lib/phase3/flow.ml: Assignment Clock_gating Convert Format Netlist Retime Sim Sta String

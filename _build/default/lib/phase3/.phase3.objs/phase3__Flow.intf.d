@@ -1,0 +1,1 @@
+lib/phase3/flow.mli: Assignment Clock_gating Convert Netlist Retime Sim Sta

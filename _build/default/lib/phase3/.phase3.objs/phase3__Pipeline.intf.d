@@ -1,0 +1,1 @@
+lib/phase3/pipeline.mli:

@@ -1,0 +1,1 @@
+lib/phase3/pulsed_latch.ml: Array Cell_lib List Netlist Printf

@@ -1,0 +1,1 @@
+lib/phase3/pulsed_latch.mli: Netlist

@@ -1,0 +1,1 @@
+lib/phase3/retime.ml: Array Cell_lib Convert Float Fun Hashtbl List Netlist Option Printf Sim Sta

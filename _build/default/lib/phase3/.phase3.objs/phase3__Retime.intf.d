@@ -1,0 +1,1 @@
+lib/phase3/retime.mli: Netlist Sta

@@ -1,0 +1,1 @@
+lib/phase3/scan.ml: Cell_lib Hashtbl List Netlist Printf String

@@ -1,0 +1,53 @@
+(** Phase assignment: the paper's ILP (Section IV-A).
+
+    Every flip-flop [u] receives two binary decisions: [G(u)] — whether it
+    becomes a back-to-back latch pair (1) or a single latch (0) — and
+    [K(u)] — whether its first latch is clocked by [p1] (1) or [p3] (0).
+    Primary inputs behave as if clocked by [p1]; a [G] variable per input
+    pays for a [p2] latch inserted at the port when an input feeds a
+    [p1]-single latch.
+
+    Three solving strategies:
+    - [`Ilp]: the literal formulation solved exactly by
+      {!Ilp.Branch_bound} (LP-relaxation branch and bound) — the direct
+      stand-in for the paper's Gurobi call.  Practical up to a few dozen
+      flip-flops.
+    - [`Mis]: an exact reduction to maximum independent set solved by the
+      combinatorial {!Ilp.Indep_set} solver.  A flip-flop can be a single
+      [p1] latch iff it has no combinational self-loop and no other chosen
+      flip-flop in its undirected fanout neighbourhood; each primary-input
+      penalty becomes an auxiliary vertex adjacent to the input's fanout
+      set.  Anytime on very large designs (returns the incumbent and a
+      bound when the node budget runs out).
+    - [`Greedy]: the min-degree greedy independent set (warm start only).
+
+    [`Auto] picks [`Ilp] below 40 flip-flops and [`Mis] above. *)
+
+type plan =
+  | Single_p1             (** G=0: one latch, phase p1 *)
+  | Pair_p1               (** G=1, K=1: p1 latch + inserted p2 latch *)
+  | Pair_p3               (** G=1, K=0: p3 latch + inserted p2 latch *)
+
+type solver = [ `Auto | `Ilp | `Mis | `Greedy ]
+
+type t = {
+  graph : Netlist.Ff_graph.t;
+  plans : plan array;            (** per graph position *)
+  pi_latches : string list;      (** input ports needing a p2 latch *)
+  inserted_latches : int;        (** the ILP objective: sum of G *)
+  optimal : bool;
+  solver_used : solver;
+  solve_time_s : float;
+}
+
+(** Number of latches the 3-phase design will contain
+    (singles + 2 x pairs + input-port latches). *)
+val total_latches : t -> int
+
+val solve : ?solver:solver -> ?node_budget:int -> Netlist.Design.t -> t
+
+(** Check the paper's constraints on a finished assignment: no two
+    adjacent [Single_p1]/first-latch-[p1] registers, every self-loop
+    flip-flop paired, every input feeding a p1 single/pair is latched.
+    Returns the list of violated rules (empty = valid). *)
+val validate : Netlist.Design.t -> t -> string list

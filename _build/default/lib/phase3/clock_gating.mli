@@ -1,0 +1,46 @@
+(** Clock gating of the inserted [p2] latches (Section IV-D).
+
+    Three mechanisms, applied in order:
+
+    1. {b Common-enable gating} — a [p2] latch whose fan-in latches are all
+       gated by one enable [EN] is gated by a new "p2 CG" driven by the
+       same [EN].  Following the paper's modification M1 the cell is the
+       [ICGP3] variant: its internal latch is clocked by the extra [p3]
+       pin instead of an inverted [p2].
+    2. {b M2 latch removal} — a standard CG driving [p1] or [p3] latches
+       whose enable cone has no start point latched on the CG's own phase
+       is replaced by the latch-less [ICGNL] cell.
+    3. {b Multi-bit data-driven clock gating (DDCG)} — remaining ungated
+       [p2] latches whose data toggles below [ddcg_threshold] (default 1%
+       of the clock) are grouped (at most [max_fanout], default 32, per
+       group, sorted by toggle rate so groups correlate); each group gets
+       XOR(D,Q) comparators ORed into the enable of a shared M1-style CG.
+
+    Activity (per-net toggle counts and the cycle count they were gathered
+    over) comes from a simulation of the design being gated. *)
+
+type options = {
+  common_enable : bool;
+  m2_latch_removal : bool;
+  ddcg : bool;
+  ddcg_threshold : float;  (** toggle rate below which DDCG applies *)
+  max_fanout : int;        (** max latches per CG cell *)
+}
+
+val default_options : options
+
+type stats = {
+  p2_latches : int;
+  gated_common_enable : int;
+  ddcg_gated : int;
+  ddcg_groups : int;
+  m2_replaced : int;
+  cg_cells_added : int;
+}
+
+val run :
+  ?options:options ->
+  ?ports:Convert.clock_ports ->
+  activity:int array * int ->
+  Netlist.Design.t ->
+  Netlist.Design.t * stats

@@ -1,0 +1,34 @@
+(** Netlist rewriting: build the 3-phase latch-based design from a
+    flip-flop design and a phase {!Assignment.t} (Section IV-B).
+
+    - Single-latch flip-flops become one active-high latch enabled by [p1].
+    - Back-to-back flip-flops become a latch on [p1] or [p3] followed by an
+      inserted latch on [p2].
+    - Primary inputs that the assignment penalised get a [p2] latch at the
+      port.
+    - Clock-gating logic is re-created per phase: each integrated
+      clock-gate on the original clock path is duplicated for every phase
+      that its registers end up using, with the same enable cone (the
+      paper: "the clock gating logic is duplicated and connected to the two
+      clock phases separately").
+    - The original clock port disappears; ports [p1]/[p2]/[p3] are added.
+
+    The inserted [p2] latches are initially ungated; {!Clock_gating}
+    addresses them separately. *)
+
+type clock_ports = {
+  p1 : string;
+  p2 : string;
+  p3 : string;
+}
+
+val default_ports : clock_ports
+
+(** Names of the inserted p2 latch instances carry this suffix; retiming
+    and clock gating identify movable/gateable latches with it. *)
+val p2_suffix : string
+
+val is_inserted_p2 : Netlist.Design.t -> Netlist.Design.inst -> bool
+
+val to_three_phase :
+  ?ports:clock_ports -> Netlist.Design.t -> Assignment.t -> Netlist.Design.t

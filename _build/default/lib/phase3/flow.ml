@@ -1,0 +1,134 @@
+type config = {
+  solver : Assignment.solver;
+  node_budget : int;
+  retime : bool;
+  optimize : bool;
+  clock_gating : Clock_gating.options;
+  ports : Convert.clock_ports;
+  period : float;
+  activity_cycles : int;
+  activity_seed : int;
+  verify_equivalence : bool;
+  verify_cycles : int;
+}
+
+let default_config ~period = {
+  solver = `Auto;
+  node_budget = 2_000_000;
+  retime = true;
+  optimize = false;
+  clock_gating = Clock_gating.default_options;
+  ports = Convert.default_ports;
+  period;
+  activity_cycles = 512;
+  activity_seed = 1;
+  verify_equivalence = true;
+  verify_cycles = 256;
+}
+
+type result = {
+  config : config;
+  original : Netlist.Design.t;
+  assignment : Assignment.t;
+  converted : Netlist.Design.t;
+  retimed : Netlist.Design.t;
+  final : Netlist.Design.t;
+  retime_stats : Retime.stats option;
+  cg_stats : Clock_gating.stats option;
+  timing : Sta.Smo.report;
+  equivalence : Sim.Equivalence.verdict option;
+}
+
+exception Flow_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Flow_error s)) fmt
+
+let clocks_of config =
+  Sim.Clock_spec.three_phase ~period:config.period
+    ~p1:config.ports.Convert.p1
+    ~p2:config.ports.Convert.p2
+    ~p3:config.ports.Convert.p3 ()
+
+let reference_clocks d ~period =
+  match d.Netlist.Design.clock_ports with
+  | [port] -> Sim.Clock_spec.single ~period ~port
+  | [] -> Sim.Clock_spec.single ~period ~port:"clock"
+  | _ :: _ :: _ ->
+    fail "design %s has several clock ports" d.Netlist.Design.design_name
+
+let run ~config d =
+  (match Netlist.Check.validate d with
+   | Ok () -> ()
+   | Error errors ->
+     fail "input design %s is invalid: %s" d.Netlist.Design.design_name
+       (String.concat "; " errors));
+  let assignment = Assignment.solve ~solver:config.solver
+      ~node_budget:config.node_budget d in
+  (match Assignment.validate d assignment with
+   | [] -> ()
+   | issues -> fail "assignment invalid: %s" (String.concat "; " issues));
+  let converted = Convert.to_three_phase ~ports:config.ports d assignment in
+  (match Netlist.Check.validate converted with
+   | Ok () -> ()
+   | Error errors -> fail "converted design invalid: %s" (String.concat "; " errors));
+  let retimed, retime_stats =
+    if config.retime then
+      let d', s = Retime.run converted in
+      (d', Some s)
+    else (converted, None)
+  in
+  let clocks = clocks_of config in
+  let cg_on =
+    config.clock_gating.Clock_gating.common_enable
+    || config.clock_gating.Clock_gating.ddcg
+    || config.clock_gating.Clock_gating.m2_latch_removal
+  in
+  let final, cg_stats =
+    if cg_on then begin
+      (* profile activity on the pre-gating design *)
+      let engine = Sim.Engine.create retimed ~clocks in
+      let stim =
+        Sim.Stimulus.random ~seed:config.activity_seed
+          ~cycles:config.activity_cycles ~toggle_probability:0.25
+          (Sim.Stimulus.inputs_of retimed)
+      in
+      ignore (Sim.Engine.run_stream engine stim);
+      let activity = (Sim.Engine.toggles engine, Sim.Engine.cycles engine) in
+      let d', s =
+        Clock_gating.run ~options:config.clock_gating ~ports:config.ports
+          ~activity retimed
+      in
+      (d', Some s)
+    end
+    else (retimed, None)
+  in
+  let final =
+    if config.optimize then fst (Netlist.Optimize.run final) else final
+  in
+  (match Netlist.Check.validate final with
+   | Ok () -> ()
+   | Error errors -> fail "final design invalid: %s" (String.concat "; " errors));
+  let timing = Sta.Smo.check final ~clocks in
+  let equivalence =
+    if config.verify_equivalence then begin
+      let stim =
+        Sim.Stimulus.random ~seed:(config.activity_seed + 17)
+          ~cycles:config.verify_cycles ~toggle_probability:0.35
+          (Sim.Stimulus.inputs_of d)
+      in
+      let verdict =
+        Sim.Equivalence.check ~reference:d ~dut:final
+          ~reference_clocks:(reference_clocks d ~period:config.period)
+          ~dut_clocks:clocks ~stimulus:stim ()
+      in
+      (match verdict with
+       | Sim.Equivalence.Equivalent _ -> ()
+       | Sim.Equivalence.Mismatch m ->
+         fail "3-phase design is not stream-equivalent: %a"
+           Sim.Equivalence.pp_mismatch m);
+      Some verdict
+    end
+    else None
+  in
+  { config; original = d; assignment; converted; retimed; final;
+    retime_stats; cg_stats; timing; equivalence }

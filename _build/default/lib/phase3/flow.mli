@@ -1,0 +1,49 @@
+(** The end-to-end conversion flow (Section IV-B):
+
+    validate -> phase assignment (ILP) -> netlist conversion ->
+    modified retiming -> clock gating -> timing sign-off (SMO) ->
+    stream-equivalence validation.
+
+    Each step can be disabled for ablation studies.  The flow never
+    modifies its input; every step yields a new design. *)
+
+type config = {
+  solver : Assignment.solver;
+  node_budget : int;
+  retime : bool;
+  optimize : bool;          (** run {!Netlist.Optimize} on the result *)
+  clock_gating : Clock_gating.options;
+  ports : Convert.clock_ports;
+  period : float;             (** ns; drives timing checks and power *)
+  activity_cycles : int;      (** simulation length for toggle profiling *)
+  activity_seed : int;
+  verify_equivalence : bool;  (** stream-compare against the FF design *)
+  verify_cycles : int;
+}
+
+val default_config : period:float -> config
+
+type result = {
+  config : config;
+  original : Netlist.Design.t;
+  assignment : Assignment.t;
+  converted : Netlist.Design.t;   (** after conversion only *)
+  retimed : Netlist.Design.t;     (** = converted when retiming is off *)
+  final : Netlist.Design.t;       (** after clock gating *)
+  retime_stats : Retime.stats option;
+  cg_stats : Clock_gating.stats option;
+  timing : Sta.Smo.report;
+  equivalence : Sim.Equivalence.verdict option;
+}
+
+(** Three-phase clock spec matching the flow's config. *)
+val clocks_of : config -> Sim.Clock_spec.t
+
+(** Single-clock spec for the original design at the same period. *)
+val reference_clocks : Netlist.Design.t -> period:float -> Sim.Clock_spec.t
+
+exception Flow_error of string
+
+(** [run ~config d] raises {!Flow_error} when the input design fails
+    validation or the result fails equivalence. *)
+val run : config:config -> Netlist.Design.t -> result

@@ -1,0 +1,7 @@
+(** The conventional master-slave latch baseline: every flip-flop becomes
+    a transparent-low master latch followed by a transparent-high slave
+    latch on the same (possibly gated) clock.  Clock-gating cells and all
+    combinational logic are preserved as-is, so the register count exactly
+    doubles — the paper's "M-S" comparison point. *)
+
+val convert : Netlist.Design.t -> Netlist.Design.t

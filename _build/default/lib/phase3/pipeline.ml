@@ -1,0 +1,11 @@
+(* For a chain u1 -> u2 -> ... -> un fed by a primary input, the singles
+   form an independent set in the path; taking the even positions avoids
+   the input penalty, so the inserted count is n - floor(n/2) = ceil(n/2).
+   Choosing odd positions gives floor(n/2) pairs plus one input latch —
+   the same total for odd n and one worse for even n. *)
+let minimum_inserted_stages n =
+  if n <= 0 then 0 else (n + 1) / 2
+
+let expected_latches ~stages ~width =
+  if stages <= 0 || width <= 0 then 0
+  else width * (stages + minimum_inserted_stages stages)

@@ -1,0 +1,14 @@
+(** The linear-pipeline special case of Section III-B: an n-stage
+    flip-flop pipeline converts into a 3-phase design with exactly
+    [ceil(n/2)] inserted latches — one extra latch stage for every other
+    original stage (Fig. 1) — which is the minimum possible under the
+    paper's constraints. *)
+
+(** The closed-form minimum number of inserted [p2] latch stages for an
+    [n]-stage linear pipeline whose first stage is fed by primary
+    inputs. *)
+val minimum_inserted_stages : int -> int
+
+(** [expected_latches ~stages ~width] — total latch count of the optimal
+    3-phase conversion of a [width]-bit, [stages]-deep linear pipeline. *)
+val expected_latches : stages:int -> width:int -> int

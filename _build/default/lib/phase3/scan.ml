@@ -1,0 +1,61 @@
+module Design = Netlist.Design
+module Builder = Netlist.Builder
+
+type chain = {
+  scan_in : string;
+  scan_out : string;
+  scan_en : string;
+  order : string list;
+}
+
+let insert ?(scan_in = "scan_in") ?(scan_out = "scan_out")
+    ?(scan_en = "scan_en") d =
+  let ffs =
+    List.filter
+      (fun i -> Cell_lib.Cell.is_flip_flop (Design.cell d i))
+      (Design.sequential_insts d)
+  in
+  if ffs = [] then invalid_arg "Scan.insert: design has no flip-flops";
+  List.iter
+    (fun name ->
+      if Design.find_input d name <> None
+         || List.exists (fun (p, _) -> String.equal p name) d.Design.primary_outputs
+      then invalid_arg (Printf.sprintf "Scan.insert: port %s already exists" name))
+    [scan_in; scan_out; scan_en];
+  let rw = Netlist.Rewrite.start d in
+  let b = Netlist.Rewrite.builder rw in
+  let en = Builder.add_input b scan_en in
+  let si = Builder.add_input b scan_in in
+  (* the chain link entering each register, in instance order *)
+  let link = ref si in
+  let overrides = Hashtbl.create 64 in
+  List.iter
+    (fun i ->
+      let data_pin, data_net =
+        match (Design.cell d i).Cell_lib.Cell.kind with
+        | Cell_lib.Cell.Flip_flop { data_pin; _ } ->
+          (data_pin, Design.pin_net d i data_pin)
+        | Cell_lib.Cell.Combinational | Cell_lib.Cell.Latch _
+        | Cell_lib.Cell.Clock_gate _ -> assert false
+      in
+      let functional = Netlist.Rewrite.map_net rw data_net in
+      let muxed =
+        Netlist.Gates.mux2 b ~sel:en ~a:functional ~b_in:!link
+          ~prefix:(Design.inst_name d i ^ "_scan")
+      in
+      Hashtbl.replace overrides i (data_pin, muxed);
+      link :=
+        Netlist.Rewrite.map_net rw
+          (match Design.q_net_of d i with Some q -> q | None -> assert false))
+    ffs;
+  Design.fold_insts
+    (fun i () ->
+      match Hashtbl.find_opt overrides i with
+      | Some (pin, net) -> Netlist.Rewrite.copy_inst ~override:[(pin, net)] rw i
+      | None -> Netlist.Rewrite.copy_inst rw i)
+    d ();
+  Builder.add_output b scan_out !link;
+  let scanned = Netlist.Rewrite.finish rw in
+  (scanned,
+   { scan_in; scan_out; scan_en;
+     order = List.map (Design.inst_name d) ffs })

@@ -1,0 +1,26 @@
+(** Scan-chain insertion, the design-for-test structure behind the paper's
+    constraint C1 ("the original position of all FFs must be latched" so
+    that "the application — e.g. reset states, verification, and testing —
+    of latch-based designs" stays easy).
+
+    Every flip-flop's data input is fronted by a scan multiplexer; the
+    registers are stitched into one chain from [scan_in] to [scan_out],
+    shifted when [scan_en] is high.  Because the scan muxes are ordinary
+    combinational cells and the registers keep their positions, the
+    3-phase conversion applies unchanged on a scanned design — which the
+    tests verify by converting a scanned netlist and streaming random
+    functional/scan activity through both. *)
+
+type chain = {
+  scan_in : string;
+  scan_out : string;
+  scan_en : string;
+  order : string list;   (** register instance names, scan-in first *)
+}
+
+(** [insert d] returns the scanned design and its chain description.
+    Raises [Invalid_argument] if the design has no flip-flops or already
+    uses one of the scan port names. *)
+val insert :
+  ?scan_in:string -> ?scan_out:string -> ?scan_en:string ->
+  Netlist.Design.t -> Netlist.Design.t * chain

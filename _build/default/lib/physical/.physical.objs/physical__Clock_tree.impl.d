@@ -1,0 +1,1 @@
+lib/physical/clock_tree.ml: Array Cell_lib Float List Netlist Option Placement Stdlib String

@@ -1,0 +1,1 @@
+lib/physical/clock_tree.mli: Netlist Placement

@@ -1,0 +1,1 @@
+lib/physical/implement.ml: Cell_lib Clock_tree Netlist Placement Sta

@@ -1,0 +1,1 @@
+lib/physical/implement.mli: Clock_tree Netlist Placement Sta

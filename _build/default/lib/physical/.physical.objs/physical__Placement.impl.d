@@ -1,0 +1,1 @@
+lib/physical/placement.ml: Array Cell_lib Float List Netlist Queue Stdlib

@@ -1,0 +1,1 @@
+lib/physical/placement.mli: Netlist

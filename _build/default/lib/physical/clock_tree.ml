@@ -1,0 +1,147 @@
+module Design = Netlist.Design
+
+type subnet = {
+  driver : [ `Port of string | `Icg of Design.inst ];
+  root_net : Design.net;
+  sinks : int;
+  buffers : int;
+  levels : int;
+  wire_cap : float;
+  sink_pin_cap : float;
+  buffer_cap : float;
+  buffer_area : float;
+  buffer_leakage : float;
+  buffer_internal_energy : float;
+}
+
+type t = {
+  subnets : subnet list;
+  total_buffers : int;
+  total_wire_cap : float;
+  total_area : float;
+}
+
+let subnet_cap s = s.wire_cap +. s.sink_pin_cap +. s.buffer_cap
+
+(* Clock sinks of one net: sequential clock pins and ICG clock pins (the
+   ICG output then forms its own subnet). *)
+let direct_sinks d net =
+  List.filter_map
+    (fun (i, pin) ->
+      let c = Design.cell d i in
+      match Cell_lib.Cell.clock_pin_of c with
+      | Some cp when String.equal cp pin ->
+        (match Cell_lib.Cell.find_pin c pin with
+         | Some p -> Some (i, p.Cell_lib.Cell.capacitance)
+         | None -> None)
+      | Some _ | None ->
+        (* auxiliary clock pins (the P3 input of M1-style gates) also load
+           the tree; enable pins are data and excluded *)
+        (match c.Cell_lib.Cell.kind with
+         | Cell_lib.Cell.Clock_gate { aux_clock_pin = Some aux; _ }
+           when String.equal aux pin ->
+           (match Cell_lib.Cell.find_pin c pin with
+            | Some p -> Some (i, p.Cell_lib.Cell.capacitance)
+            | None -> None)
+         | Cell_lib.Cell.Clock_gate _ | Cell_lib.Cell.Combinational
+         | Cell_lib.Cell.Flip_flop _ | Cell_lib.Cell.Latch _ -> None))
+    d.Design.net_sinks.(net)
+
+(* Buffers are sized for load, so the tree cost scales with the total pin
+   capacitance it drives (the paper's master-slave data confirms this:
+   twice the sinks at half the pin cap costs the same clock power as the
+   flip-flop original).  Each buffer drives [drive_cap] fF of load across
+   a local cluster whose span shrinks as buffers multiply; a small trunk
+   per level connects the clusters. *)
+let drive_cap = 12.0
+
+(* Routed clock distribution (stubs, shielding, intermediate repeater
+   wiring) scales with the load it serves; silicon clock networks carry
+   roughly 2-4x the sink capacitance in wire.  *)
+let distribution_factor = 3.0
+
+let synthesize d pl =
+  let lib = d.Design.library in
+  let tech = Cell_lib.Library.tech lib in
+  let clkbuf = Cell_lib.Library.clock_buffer lib in
+  let clkbuf_in_cap =
+    match Cell_lib.Cell.input_pins clkbuf with
+    | [p] -> p.Cell_lib.Cell.capacitance
+    | [] | _ :: _ :: _ -> 1.5
+  in
+  let die_span = pl.Placement.die_width +. pl.Placement.die_height in
+  let die_area = pl.Placement.die_width *. pl.Placement.die_height in
+  let roots =
+    List.filter_map
+      (fun port ->
+        Option.map (fun net -> (`Port port, net)) (Design.find_input d port))
+      d.Design.clock_ports
+    @ List.filter_map
+        (fun i ->
+          Option.map (fun net -> (`Icg i, net)) (Design.q_net_of d i))
+        (Design.clock_gate_insts d)
+  in
+  ignore die_area;
+  let subnets =
+    List.map
+      (fun (driver, net) ->
+        let sinks = direct_sinks d net in
+        let n_sinks = List.length sinks in
+        let sink_pin_cap = List.fold_left (fun a (_, c) -> a +. c) 0.0 sinks in
+        (* bounding box of the placed sinks *)
+        let bbox_span =
+          match sinks with
+          | [] -> 0.0
+          | (i0, _) :: rest ->
+            let x0 = pl.Placement.x.(i0) and y0 = pl.Placement.y.(i0) in
+            let xmin, xmax, ymin, ymax =
+              List.fold_left
+                (fun (a, b, c, e) (i, _) ->
+                  let x = pl.Placement.x.(i) and y = pl.Placement.y.(i) in
+                  (Float.min a x, Float.max b x, Float.min c y, Float.max e y))
+                (x0, x0, y0, y0) rest
+            in
+            (xmax -. xmin) +. (ymax -. ymin)
+        in
+        (* CTS-aware placement clusters the sinks of a gated subnet, so
+           the usable span is bounded by the area the sinks themselves
+           occupy *)
+        let bbox_span =
+          Float.min bbox_span (4.0 *. sqrt (float_of_int n_sinks *. 3.0))
+        in
+        (* light subnets are driven directly by their ICG; heavier ones
+           get load-sized buffers *)
+        let buffers =
+          if n_sinks = 0 || sink_pin_cap <= drive_cap then 0
+          else int_of_float (ceil (sink_pin_cap /. drive_cap))
+        in
+        let levels =
+          if buffers <= 1 then 1
+          else 1 + int_of_float (ceil (log (float_of_int buffers) /. log 4.0))
+        in
+        let wire_um =
+          if n_sinks = 0 then 0.0
+          else
+            (1.2 *. bbox_span *. sqrt (float_of_int (Stdlib.max 1 buffers)))
+            +. (float_of_int (levels - 1) *. die_span /. 4.0)
+        in
+        { driver;
+          root_net = net;
+          sinks = n_sinks;
+          buffers;
+          levels;
+          wire_cap =
+            (wire_um *. tech.Cell_lib.Tech.wire_cap_per_um)
+            +. (distribution_factor *. sink_pin_cap);
+          sink_pin_cap;
+          buffer_cap = float_of_int buffers *. clkbuf_in_cap;
+          buffer_area = float_of_int buffers *. clkbuf.Cell_lib.Cell.area;
+          buffer_leakage = float_of_int buffers *. clkbuf.Cell_lib.Cell.leakage;
+          buffer_internal_energy =
+            float_of_int buffers *. clkbuf.Cell_lib.Cell.internal_energy })
+      roots
+  in
+  { subnets;
+    total_buffers = List.fold_left (fun a s -> a + s.buffers) 0 subnets;
+    total_wire_cap = List.fold_left (fun a s -> a +. s.wire_cap) 0.0 subnets;
+    total_area = List.fold_left (fun a s -> a +. s.buffer_area) 0.0 subnets }

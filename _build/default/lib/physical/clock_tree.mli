@@ -1,0 +1,36 @@
+(** Clock-tree synthesis estimate.
+
+    Each clock subnet (a root clock port or an ICG output, with the
+    sequential clock pins, downstream ICG clock pins and auxiliary clock
+    pins it drives) gets a buffer tree sized for its load: clock buffers
+    drive a bounded capacitance, so tree cost scales with the total pin
+    capacitance rather than the sink count — the behaviour the paper's
+    master-slave data exhibits (twice the sinks at half the pin cap cost
+    the same clock power).  Wire length combines per-buffer local cluster
+    spans with a per-level trunk.  The result feeds the clock-power
+    group: capacitance that toggles at the subnet's rate. *)
+
+type subnet = {
+  driver : [ `Port of string | `Icg of Netlist.Design.inst ];
+  root_net : Netlist.Design.net;
+  sinks : int;
+  buffers : int;
+  levels : int;
+  wire_cap : float;     (** fF of clock routing *)
+  sink_pin_cap : float; (** fF of the driven clock pins *)
+  buffer_cap : float;   (** fF of inserted buffer input pins *)
+  buffer_area : float;  (** um^2 of inserted buffers *)
+  buffer_leakage : float;
+  buffer_internal_energy : float; (** fJ per clock toggle, all buffers *)
+}
+
+type t = {
+  subnets : subnet list;
+  total_buffers : int;
+  total_wire_cap : float;
+  total_area : float;
+}
+
+val synthesize : Netlist.Design.t -> Placement.t -> t
+
+val subnet_cap : subnet -> float

@@ -1,0 +1,14 @@
+(** The "physical design" step of the flow: place, estimate routing, and
+    synthesize clock trees.  Bundles what the power model needs. *)
+
+type t = {
+  design : Netlist.Design.t;
+  placement : Placement.t;
+  clock_tree : Clock_tree.t;
+  wire : Sta.Delay.wire_model;
+  total_wirelength : float;   (** um, signal nets *)
+  cell_area : float;          (** um^2, netlist cells *)
+  total_area : float;         (** cells + clock-tree buffers *)
+}
+
+val run : ?utilization:float -> Netlist.Design.t -> t

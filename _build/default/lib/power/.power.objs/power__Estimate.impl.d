@@ -1,0 +1,1 @@
+lib/power/estimate.ml: Array Cell_lib Float Format Hashtbl List Netlist Physical Stdlib String

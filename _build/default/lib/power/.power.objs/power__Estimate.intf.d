@@ -1,0 +1,1 @@
+lib/power/estimate.mli: Format Physical

@@ -1,0 +1,70 @@
+type align = Left | Right
+
+type row = Cells of string list | Rule
+
+type t = {
+  title : string;
+  columns : (string * align) list;
+  mutable rows : row list;  (* reversed *)
+}
+
+let create ~title columns = { title; columns; rows = [] }
+
+let add_row t cells = t.rows <- Cells cells :: t.rows
+
+let add_rule t = t.rows <- Rule :: t.rows
+
+let render t =
+  let n = List.length t.columns in
+  let headers = List.map fst t.columns in
+  let rows = List.rev t.rows in
+  let widths = Array.make n 0 in
+  let measure cells =
+    List.iteri
+      (fun k cell -> if k < n then widths.(k) <- max widths.(k) (String.length cell))
+      cells
+  in
+  measure headers;
+  List.iter (function Cells c -> measure c | Rule -> ()) rows;
+  let buf = Buffer.create 1024 in
+  let pad align width s =
+    let fill = String.make (max 0 (width - String.length s)) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+  in
+  let emit_cells cells =
+    List.iteri
+      (fun k (_, align) ->
+        let cell = match List.nth_opt cells k with Some c -> c | None -> "" in
+        if k > 0 then Buffer.add_string buf "  ";
+        Buffer.add_string buf (pad align widths.(k) cell))
+      t.columns;
+    Buffer.add_char buf '\n'
+  in
+  let total_width =
+    Array.fold_left ( + ) 0 widths + (2 * (n - 1))
+  in
+  Buffer.add_string buf t.title;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (String.make (max (String.length t.title) total_width) '=');
+  Buffer.add_char buf '\n';
+  emit_cells headers;
+  Buffer.add_string buf (String.make total_width '-');
+  Buffer.add_char buf '\n';
+  List.iter
+    (function
+      | Cells c -> emit_cells c
+      | Rule ->
+        Buffer.add_string buf (String.make total_width '-');
+        Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf
+
+let print t = print_string (render t)
+
+let pct ~ref_ v =
+  if Float.abs ref_ < 1e-12 then "-"
+  else Printf.sprintf "%.1f" (100.0 *. (ref_ -. v) /. ref_)
+
+let f1 v = Printf.sprintf "%.1f" v
+
+let f2 v = Printf.sprintf "%.2f" v

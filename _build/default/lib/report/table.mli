@@ -1,0 +1,28 @@
+(** Plain-text tables in the style of the paper's Tables I and II. *)
+
+type align = Left | Right
+
+type t
+
+val create : title:string -> (string * align) list -> t
+
+(** Add a data row; cells beyond the column count are dropped, missing
+    cells are blank. *)
+val add_row : t -> string list -> unit
+
+(** Add a separator line. *)
+val add_rule : t -> unit
+
+val render : t -> string
+
+val print : t -> unit
+
+(** Percentage string in the paper's style: [pct ~ref_ ~v] is the saving
+    of [v] relative to [ref_], e.g. 15.5 means "v is 15.5% below ref". *)
+val pct : ref_:float -> float -> string
+
+(** One decimal place. *)
+val f1 : float -> string
+
+(** Two decimal places. *)
+val f2 : float -> string

@@ -1,0 +1,1 @@
+lib/sim/activity.ml: Array Buffer Engine List Netlist Printf String

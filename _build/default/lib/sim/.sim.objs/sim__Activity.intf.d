@@ -1,0 +1,1 @@
+lib/sim/activity.mli: Engine Netlist

@@ -1,0 +1,1 @@
+lib/sim/clock_spec.ml: Float List Option String

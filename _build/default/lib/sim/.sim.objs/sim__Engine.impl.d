@@ -1,0 +1,1 @@
+lib/sim/engine.ml: Array Cell_lib Clock_spec Hashtbl List Logic Netlist Option Printf Queue String

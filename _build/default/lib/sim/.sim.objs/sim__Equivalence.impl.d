@@ -1,0 +1,1 @@
+lib/sim/equivalence.ml: Array Engine Format List Logic

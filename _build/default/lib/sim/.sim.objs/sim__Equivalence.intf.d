@@ -1,0 +1,1 @@
+lib/sim/equivalence.mli: Clock_spec Format Logic Netlist Stimulus

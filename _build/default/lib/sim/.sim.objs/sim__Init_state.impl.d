@@ -1,0 +1,1 @@
+lib/sim/init_state.ml: Array Cell_lib Hashtbl Logic Netlist

@@ -1,0 +1,1 @@
+lib/sim/init_state.mli: Logic Netlist

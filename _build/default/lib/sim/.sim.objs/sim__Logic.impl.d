@@ -1,0 +1,1 @@
+lib/sim/logic.ml: Cell_lib Format

@@ -1,0 +1,1 @@
+lib/sim/logic.mli: Cell_lib Format

@@ -1,0 +1,1 @@
+lib/sim/stimulus.ml: Int64 List Logic Netlist

@@ -1,0 +1,1 @@
+lib/sim/vcd.ml: Array Buffer Char Engine List Logic Netlist Option Printf String

@@ -1,0 +1,57 @@
+type entry = {
+  net : Netlist.Design.net;
+  net_name : string;
+  toggles : int;
+  rate : float;
+}
+
+type t = {
+  design_name : string;
+  cycles : int;
+  entries : entry list;
+}
+
+let capture engine =
+  let design = Engine.design engine in
+  let toggles = Engine.toggles engine in
+  let cycles = max 1 (Engine.cycles engine) in
+  let entries =
+    List.init (Netlist.Design.num_nets design) (fun net ->
+        { net;
+          net_name = Netlist.Design.net_name design net;
+          toggles = toggles.(net);
+          rate = float_of_int toggles.(net) /. float_of_int cycles })
+    |> List.sort (fun a b -> compare b.toggles a.toggles)
+  in
+  { design_name = design.Netlist.Design.design_name;
+    cycles = Engine.cycles engine;
+    entries }
+
+let quiet_nets t ~threshold =
+  List.filter (fun e -> e.rate < threshold) t.entries
+
+let mean_rate t =
+  match t.entries with
+  | [] -> 0.0
+  | es ->
+    List.fold_left (fun acc e -> acc +. e.rate) 0.0 es
+    /. float_of_int (List.length es)
+
+let sanitize name =
+  String.map
+    (fun c ->
+      if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+         || (c >= '0' && c <= '9') || c = '_' then c
+      else '_')
+    name
+
+let render t =
+  let buf = Buffer.create 4096 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "(SAIFILE\n (SAIFVERSION \"2.0\")\n (DIRECTION \"backward\")\n";
+  add " (DURATION %d)\n (INSTANCE %s\n  (NET\n" t.cycles (sanitize t.design_name);
+  List.iter
+    (fun e -> add "   (%s (TC %d))\n" (sanitize e.net_name) e.toggles)
+    t.entries;
+  add "  )\n )\n)\n";
+  Buffer.contents buf

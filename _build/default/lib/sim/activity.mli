@@ -1,0 +1,29 @@
+(** Switching-activity reporting: per-net toggle counts and rates from a
+    simulation run, with a SAIF-flavoured text export.  This is the
+    artifact the flow's data-driven clock gating consumes and the natural
+    hand-off to an external power tool. *)
+
+type entry = {
+  net : Netlist.Design.net;
+  net_name : string;
+  toggles : int;
+  rate : float;    (** toggles per cycle *)
+}
+
+type t = {
+  design_name : string;
+  cycles : int;
+  entries : entry list;   (** descending by toggle count *)
+}
+
+(** Snapshot the engine's counters. *)
+val capture : Engine.t -> t
+
+(** Nets quieter than [threshold] toggles/cycle — the DDCG candidates. *)
+val quiet_nets : t -> threshold:float -> entry list
+
+(** Mean toggle rate across all nets. *)
+val mean_rate : t -> float
+
+(** SAIF-flavoured rendering ([DURATION] in cycles, [TC] toggle counts). *)
+val render : t -> string

@@ -1,0 +1,68 @@
+type waveform = {
+  rise_at : float;
+  fall_at : float;
+}
+
+type t = {
+  period : float;
+  ports : (string * waveform) list;
+}
+
+let single ~period ~port =
+  { period; ports = [(port, { rise_at = 0.0; fall_at = 0.5 })] }
+
+let master_slave ~period ~clk ~clkbar =
+  { period;
+    ports = [
+      (clk, { rise_at = 0.0; fall_at = 0.5 });
+      (clkbar, { rise_at = 0.5; fall_at = 1.0 });
+    ] }
+
+let three_phase ?(gap = 0.04) ~period ~p1 ~p2 ~p3 () =
+  { period;
+    ports = [
+      (p1, { rise_at = gap; fall_at = 1.0 /. 3.0 });
+      (p2, { rise_at = (1.0 /. 3.0) +. gap; fall_at = 2.0 /. 3.0 });
+      (p3, { rise_at = (2.0 /. 3.0) +. gap; fall_at = 1.0 });
+    ] }
+
+let closing_time t port =
+  Option.map
+    (fun (_, w) -> w.fall_at *. t.period)
+    (List.find_opt (fun (p, _) -> String.equal p port) t.ports)
+
+let events t =
+  let add acc time port level =
+    let time =
+      (* normalise 1.0 to 0.0: a fall at the period boundary happens at the
+         start of the next period *)
+      if time >= 1.0 then time -. 1.0 else time
+    in
+    (time, (port, level)) :: acc
+  in
+  let raw =
+    List.fold_left
+      (fun acc (port, w) ->
+        add (add acc w.rise_at port true) w.fall_at port false)
+      [] t.ports
+  in
+  let sorted = List.sort (fun (a, _) (b, _) -> compare a b) raw in
+  (* group equal times *)
+  let rec group = function
+    | [] -> []
+    | (time, change) :: rest ->
+      let same, others =
+        List.partition (fun (t2, _) -> Float.abs (t2 -. time) < 1e-9) rest
+      in
+      (time *. t.period, change :: List.map snd same) :: group others
+  in
+  group sorted
+
+let level_at t port time =
+  Option.map
+    (fun (_, w) ->
+      let frac = Float.rem (time /. t.period) 1.0 in
+      let frac = if frac < 0.0 then frac +. 1.0 else frac in
+      let fall = if w.fall_at >= 1.0 then 1.0 else w.fall_at in
+      frac >= w.rise_at && frac < fall)
+    (List.find_opt (fun (p, _) -> String.equal p port) t.ports)

@@ -1,0 +1,42 @@
+(** Multi-phase clock waveform descriptions.
+
+    Each clock port has one high pulse per period, from [rise_at] to
+    [fall_at] (fractions of the period, [0 <= rise_at < fall_at <= 1]).
+    The 3-phase spec follows the SMO convention of the paper: phase [p_i]
+    is transparent during [(e_{i-1}, e_i]] with closing edges
+    [e_1 = T/3], [e_2 = 2T/3], [e_3 = T]. *)
+
+type waveform = {
+  rise_at : float;  (** fraction of the period in [0, 1) *)
+  fall_at : float;  (** fraction of the period in (rise_at, 1] *)
+}
+
+type t = {
+  period : float;   (** ns *)
+  ports : (string * waveform) list;
+}
+
+(** Single clock, 50% duty: high during [0, T/2). *)
+val single : period:float -> port:string -> t
+
+(** Master-slave pair: [clk] high during [0, T/2) (slave transparent),
+    [clkbar] high during [T/2, T) (master transparent). *)
+val master_slave : period:float -> clk:string -> clkbar:string -> t
+
+(** Three non-overlapping phases with closing edges at T/3, 2T/3 and T.
+    Each phase opens [gap] (fraction of the period, default 0.04) after
+    the previous phase closes — the "small gap between p1 rising and p3
+    falling" the paper relies on for hold robustness of the clock-gate
+    modifications. *)
+val three_phase :
+  ?gap:float -> period:float -> p1:string -> p2:string -> p3:string -> unit -> t
+
+(** The closing (falling-edge) time of a port within the period, ns. *)
+val closing_time : t -> string -> float option
+
+(** Event times within one period, sorted ascending: at each time, the
+    listed ports take the given level. *)
+val events : t -> (float * (string * bool) list) list
+
+(** Level of a port at time [t] (absolute, any period). *)
+val level_at : t -> string -> float -> bool option

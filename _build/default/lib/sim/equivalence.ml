@@ -1,0 +1,66 @@
+type mismatch = {
+  cycle : int;
+  port : string;
+  expected : Logic.t;
+  got : Logic.t;
+}
+
+type verdict =
+  | Equivalent of { shift : int }
+  | Mismatch of mismatch
+
+let pp_mismatch ppf m =
+  Format.fprintf ppf "cycle %d port %s: expected %a, got %a"
+    m.cycle m.port Logic.pp m.expected Logic.pp m.got
+
+let sample_mismatch cycle ref_sample dut_sample =
+  List.fold_left
+    (fun acc (port, expected) ->
+      match acc with
+      | Some _ -> acc
+      | None ->
+        (match List.assoc_opt port dut_sample with
+         | None -> Some { cycle; port; expected; got = Logic.LX }
+         | Some got ->
+           if Logic.equal expected got then None
+           else Some { cycle; port; expected; got }))
+    None ref_sample
+
+let try_shift ~warmup shift ref_stream dut_stream =
+  (* dut lags the reference by [shift] cycles *)
+  let ref_arr = Array.of_list ref_stream in
+  let dut_arr = Array.of_list dut_stream in
+  let n = min (Array.length ref_arr) (Array.length dut_arr - shift) in
+  let rec go cycle =
+    if cycle >= n then Ok ()
+    else if cycle < warmup then go (cycle + 1)
+    else
+      match sample_mismatch cycle ref_arr.(cycle) dut_arr.(cycle + shift) with
+      | None -> go (cycle + 1)
+      | Some m -> Error m
+  in
+  go 0
+
+let compare_streams ~warmup ~max_shift ref_stream dut_stream =
+  let rec attempt shift first_error =
+    if shift > max_shift then
+      match first_error with
+      | Some m -> Mismatch m
+      | None ->
+        Mismatch { cycle = 0; port = "?"; expected = Logic.LX; got = Logic.LX }
+    else
+      match try_shift ~warmup shift ref_stream dut_stream with
+      | Ok () -> Equivalent { shift }
+      | Error m ->
+        let first_error = match first_error with None -> Some m | Some _ -> first_error in
+        attempt (shift + 1) first_error
+  in
+  attempt 0 None
+
+let check ?(warmup = 8) ?(max_shift = 2) ~reference ~dut ~reference_clocks
+    ~dut_clocks ~stimulus () =
+  let ref_engine = Engine.create reference ~clocks:reference_clocks in
+  let dut_engine = Engine.create dut ~clocks:dut_clocks in
+  let ref_stream = Engine.run_stream ref_engine stimulus in
+  let dut_stream = Engine.run_stream dut_engine stimulus in
+  compare_streams ~warmup ~max_shift ref_stream dut_stream

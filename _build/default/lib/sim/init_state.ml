@@ -1,0 +1,38 @@
+module Design = Netlist.Design
+
+type t = {
+  design : Design.t;
+  memo : (Design.net, Logic.t) Hashtbl.t;
+}
+
+let create design = { design; memo = Hashtbl.create 256 }
+
+let rec net_value t net =
+  match Hashtbl.find_opt t.memo net with
+  | Some v -> v
+  | None ->
+    Hashtbl.replace t.memo net Logic.LX;  (* combinational-cycle guard *)
+    let d = t.design in
+    let v =
+      match d.Design.net_driver.(net) with
+      | Design.Driven_const b -> Logic.of_bool b
+      | Design.Driven_by_input _ -> Logic.L0
+      | Design.Undriven -> Logic.LX
+      | Design.Driven_by (i, pin) ->
+        let c = Design.cell d i in
+        (match c.Cell_lib.Cell.kind with
+         | Cell_lib.Cell.Flip_flop _ | Cell_lib.Cell.Latch _ -> Logic.L0
+         | Cell_lib.Cell.Clock_gate _ -> Logic.LX
+         | Cell_lib.Cell.Combinational ->
+           (match Cell_lib.Cell.find_pin c pin with
+            | Some { Cell_lib.Cell.func = Some f; _ } ->
+              Logic.eval_expr
+                (fun pname ->
+                  match Design.pin_net_opt d i pname with
+                  | Some n -> net_value t n
+                  | None -> Logic.LX)
+                f
+            | Some _ | None -> Logic.LX))
+    in
+    Hashtbl.replace t.memo net v;
+    v

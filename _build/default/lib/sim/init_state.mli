@@ -1,0 +1,14 @@
+(** Values of nets in the initial (reset) state: every sequential element
+    at 0, every input port at 0, constants at their tie value, and
+    combinational logic evaluated accordingly.  Used by transforms that
+    must preserve reset-state equivalence — forward retiming of a latch
+    across a gate is only taken when the gate's reset-state output equals
+    the latch's reset value, and a latch is only clock-gated when holding
+    its reset value is indistinguishable from evaluating its cone. *)
+
+type t
+
+val create : Netlist.Design.t -> t
+
+(** Memoized; clock-gate outputs and undriven nets evaluate to X. *)
+val net_value : t -> Netlist.Design.net -> Logic.t

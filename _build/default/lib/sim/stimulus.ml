@@ -1,0 +1,56 @@
+type t = (string * Logic.t) list list
+
+(* A small splitmix-style deterministic PRNG so streams do not depend on
+   the global Random state. *)
+module Prng = struct
+  type s = { mutable x : int64 }
+
+  let create seed = { x = Int64.of_int (seed * 2654435769 + 1) }
+
+  let next s =
+    s.x <- Int64.add s.x 0x9E3779B97F4A7C15L;
+    let z = s.x in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+    Int64.logxor z (Int64.shift_right_logical z 31)
+
+  let float s =
+    let v = Int64.to_float (Int64.shift_right_logical (next s) 11) in
+    v /. 9007199254740992.0  (* 2^53 *)
+
+  let bool s = float s < 0.5
+end
+
+let drive ~seed ~cycles inputs toggle_prob_of =
+  let rng = Prng.create seed in
+  let current =
+    List.map (fun name -> (name, ref (Logic.of_bool (Prng.bool rng)))) inputs
+  in
+  List.init cycles (fun cycle ->
+      List.map
+        (fun (name, v) ->
+          if cycle > 0 && Prng.float rng < toggle_prob_of ~cycle ~name then
+            v := Logic.lnot !v;
+          (name, !v))
+        current)
+
+let random ~seed ~cycles ~toggle_probability inputs =
+  drive ~seed ~cycles inputs (fun ~cycle:_ ~name:_ -> toggle_probability)
+
+let profiled ~seed ~cycles profile inputs =
+  drive ~seed ~cycles inputs (fun ~cycle:_ ~name -> profile name)
+
+let bursty ~seed ~cycles ~burst_len ~idle_len ~toggle_probability inputs =
+  let span = burst_len + idle_len in
+  drive ~seed ~cycles inputs (fun ~cycle ~name:_ ->
+      if span = 0 || cycle mod span < burst_len then toggle_probability
+      else 0.01)
+
+let constant ~cycles v inputs =
+  List.init cycles (fun _ -> List.map (fun name -> (name, v)) inputs)
+
+let inputs_of d =
+  List.filter_map
+    (fun (p, _) ->
+      if Netlist.Design.is_clock_port d p then None else Some p)
+    d.Netlist.Design.primary_inputs

@@ -1,0 +1,32 @@
+(** Input streams for simulation: deterministic pseudo-random vectors and
+    activity-profiled workloads (the stand-ins for the paper's testbench
+    programs). *)
+
+type t = (string * Logic.t) list list  (** one element per cycle *)
+
+(** [random ~seed ~cycles ~toggle_probability inputs] produces a stream
+    where each input starts at a random value and then toggles each cycle
+    with the given probability.  Deterministic in [seed]. *)
+val random :
+  seed:int -> cycles:int -> toggle_probability:float -> string list -> t
+
+(** [profiled ~seed ~cycles profile inputs] drives each input with the
+    toggle probability returned by [profile input]; use for workload
+    models (e.g. a Dhrystone-like profile toggles data buses more than a
+    hello-world-like one). *)
+val profiled :
+  seed:int -> cycles:int -> (string -> float) -> string list -> t
+
+(** [bursty ~seed ~cycles ~burst_len ~idle_len ~toggle_probability inputs]
+    alternates active bursts with idle stretches where inputs freeze —
+    the shape of the CEP self-check programs.  During idle cycles only
+    a [keep-alive] fraction of inputs toggle. *)
+val bursty :
+  seed:int -> cycles:int -> burst_len:int -> idle_len:int ->
+  toggle_probability:float -> string list -> t
+
+(** Constant stream (all inputs at the given value each cycle). *)
+val constant : cycles:int -> Logic.t -> string list -> t
+
+(** Non-clock primary input names of a design, the usual argument. *)
+val inputs_of : Netlist.Design.t -> string list

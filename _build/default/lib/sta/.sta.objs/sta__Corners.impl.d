@@ -1,0 +1,1 @@
+lib/sta/corners.ml: Delay List Smo

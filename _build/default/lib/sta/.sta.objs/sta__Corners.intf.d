@@ -1,0 +1,1 @@
+lib/sta/corners.mli: Delay Netlist Sim Smo

@@ -1,0 +1,1 @@
+lib/sta/delay.ml: Array Cell_lib List Netlist

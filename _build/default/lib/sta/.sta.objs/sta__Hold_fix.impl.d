@@ -1,0 +1,1 @@
+lib/sta/hold_fix.ml: Cell_lib Float Hashtbl List Netlist Option Printf Smo Stdlib

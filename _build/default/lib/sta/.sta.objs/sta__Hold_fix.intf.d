@@ -1,0 +1,1 @@
+lib/sta/hold_fix.mli: Netlist Sim

@@ -1,0 +1,1 @@
+lib/sta/paths.ml: Array Delay Float Hashtbl List Netlist Option

@@ -1,0 +1,1 @@
+lib/sta/paths.mli: Delay Netlist

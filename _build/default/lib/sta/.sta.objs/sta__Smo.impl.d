@@ -1,0 +1,1 @@
+lib/sta/smo.ml: Array Cell_lib Delay Float Format Hashtbl List Map Netlist Paths Printf Sim String

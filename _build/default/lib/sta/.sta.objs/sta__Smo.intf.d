@@ -1,0 +1,1 @@
+lib/sta/smo.mli: Delay Format Netlist Sim

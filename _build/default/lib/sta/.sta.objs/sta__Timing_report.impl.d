@@ -1,0 +1,1 @@
+lib/sta/timing_report.ml: Array Cell_lib Delay Float Format List Netlist Paths

@@ -1,0 +1,1 @@
+lib/sta/timing_report.mli: Delay Format Netlist

@@ -1,0 +1,26 @@
+type wire_model = Netlist.Design.net -> float
+
+let no_wire _ = 0.0
+
+let fanout_wire d k net = k *. float_of_int (List.length d.Netlist.Design.net_sinks.(net))
+
+let net_load d wire net =
+  let pin_caps =
+    List.fold_left
+      (fun acc (i, pin) ->
+        match Cell_lib.Cell.find_pin (Netlist.Design.cell d i) pin with
+        | Some p -> acc +. p.Cell_lib.Cell.capacitance
+        | None -> acc)
+      0.0 d.Netlist.Design.net_sinks.(net)
+  in
+  pin_caps +. wire net
+
+let output_load d wire i =
+  List.fold_left (fun acc n -> acc +. net_load d wire n) 0.0
+    (Netlist.Design.output_nets d i)
+
+let inst_delay_max d wire i =
+  Cell_lib.Cell.delay_through (Netlist.Design.cell d i) ~load:(output_load d wire i)
+
+let inst_delay_min d wire i =
+  Cell_lib.Cell.min_delay_through (Netlist.Design.cell d i) ~load:(output_load d wire i)

@@ -1,0 +1,20 @@
+(** The linear gate-delay model: cell delay = intrinsic + drive resistance
+    x output load.  Loads combine sink pin capacitances with an optional
+    per-net wire capacitance (supplied after placement). *)
+
+type wire_model = Netlist.Design.net -> float
+(** extra capacitance per net, fF *)
+
+(** No routing parasitics (pre-layout). *)
+val no_wire : wire_model
+
+(** A fanout-based estimate: [k] fF per sink pin. *)
+val fanout_wire : Netlist.Design.t -> float -> wire_model
+
+(** [net_load d wire net] — total capacitance seen by the driver, fF. *)
+val net_load : Netlist.Design.t -> wire_model -> Netlist.Design.net -> float
+
+(** Max/min propagation delay through instance [i] (ns). *)
+val inst_delay_max : Netlist.Design.t -> wire_model -> Netlist.Design.inst -> float
+
+val inst_delay_min : Netlist.Design.t -> wire_model -> Netlist.Design.inst -> float

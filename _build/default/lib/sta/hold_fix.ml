@@ -1,0 +1,83 @@
+module Design = Netlist.Design
+
+type stats = {
+  buffers_added : int;
+  iterations : int;
+  fixed : bool;
+}
+
+(* Insert [count] delay buffers in front of the data pin of [targets]. *)
+let pad_inputs d targets =
+  let rw = Netlist.Rewrite.start d in
+  let b = Netlist.Rewrite.builder rw in
+  let buf = Cell_lib.Library.buffer d.Design.library in
+  let counter = ref 0 in
+  Design.fold_insts
+    (fun i () ->
+      match Hashtbl.find_opt targets i with
+      | None -> Netlist.Rewrite.copy_inst rw i
+      | Some count ->
+        let data_pin =
+          match (Design.cell d i).Cell_lib.Cell.kind with
+          | Cell_lib.Cell.Flip_flop { data_pin; _ }
+          | Cell_lib.Cell.Latch { data_pin; _ } -> data_pin
+          | Cell_lib.Cell.Combinational | Cell_lib.Cell.Clock_gate _ ->
+            assert false
+        in
+        let old_net = Design.pin_net d i data_pin in
+        let rec chain src k =
+          if k = 0 then src
+          else begin
+            incr counter;
+            let out =
+              Netlist.Builder.fresh_net b
+                (Printf.sprintf "%s_hold%d" (Design.inst_name d i) k)
+            in
+            let in_pin, out_pin =
+              match Cell_lib.Cell.input_pins buf, Cell_lib.Cell.output_pins buf with
+              | [ip], [op] -> ip.Cell_lib.Cell.pin_name, op.Cell_lib.Cell.pin_name
+              | _, _ -> invalid_arg "Hold_fix: buffer cell must be 1-in 1-out"
+            in
+            ignore
+              (Netlist.Builder.add_instance b
+                 (Printf.sprintf "%s_holdbuf%d" (Design.inst_name d i) k) buf
+                 [(in_pin, src); (out_pin, out)]);
+            chain out (k - 1)
+          end
+        in
+        let padded = chain (Netlist.Rewrite.map_net rw old_net) count in
+        Netlist.Rewrite.copy_inst ~override:[(data_pin, padded)] rw i)
+    d ();
+  (Netlist.Rewrite.finish rw, !counter)
+
+let run ?(skew = 0.05) ?(hold_margin = 0.02) ?(max_iterations = 4) d ~clocks =
+  let buf = Cell_lib.Library.buffer d.Design.library in
+  let buf_min_delay = Float.max 0.012 buf.Cell_lib.Cell.delay_min in
+  let rec loop d iteration added =
+    let report = Smo.check ~hold_margin ~clock_skew:skew d ~clocks in
+    let targets = Hashtbl.create 32 in
+    List.iter
+      (fun (v : Smo.violation) ->
+        match v.Smo.kind with
+        | `Hold ->
+          let needed =
+            Stdlib.min 6
+              (int_of_float (ceil (-.v.Smo.slack /. buf_min_delay)))
+          in
+          let needed = Stdlib.max 1 needed in
+          let current =
+            Option.value ~default:0 (Hashtbl.find_opt targets v.Smo.dst)
+          in
+          Hashtbl.replace targets v.Smo.dst (Stdlib.max current needed)
+        | `Setup -> ())
+      report.Smo.violations;
+    if Hashtbl.length targets = 0 then
+      (d, { buffers_added = added; iterations = iteration; fixed = true })
+    else if iteration >= max_iterations then
+      (d, { buffers_added = added; iterations = iteration; fixed = false })
+    else begin
+      let d', count = pad_inputs d targets in
+      loop d' (iteration + 1) (added + count)
+    end
+  in
+  loop d 0 0

@@ -1,0 +1,57 @@
+(** Register-to-register path delays through combinational logic.
+
+    For every pair (source register j, destination register i) connected by
+    a purely combinational path, computes the longest and shortest path
+    delays (the paper's Delta_ji and delta_ji).  Sources also include
+    non-clock primary inputs; destinations also include primary outputs. *)
+
+type endpoint =
+  | Reg of Netlist.Design.inst
+  | Port of string
+
+type path = {
+  src : endpoint;
+  dst : endpoint;
+  max_delay : float;  (** ns, excluding source clk->q, including all gates *)
+  min_delay : float;
+}
+
+type t
+
+(** [compute ?wire d] walks the combinational network once per source. *)
+val compute : ?wire:Delay.wire_model -> Netlist.Design.t -> t
+
+val all : t -> path list
+
+(** Paths into a given destination register. *)
+val into : t -> Netlist.Design.inst -> path list
+
+(** Paths out of a given source register. *)
+val out_of : t -> Netlist.Design.inst -> path list
+
+(** The longest combinational delay anywhere (for minimum-period estims). *)
+val critical : t -> path option
+
+(** Longest delay of the combinational cone feeding each register's data
+    pin, from any source (register or input port). *)
+val max_into : t -> Netlist.Design.inst -> float
+
+val max_out_of : t -> Netlist.Design.inst -> float
+
+(** Scalable variants: one relaxation per class / direction instead of one
+    per register, for large designs. *)
+
+(** [class_arrivals d classes] relaxes once per class; each class is a set
+    of source nets launched together.  Returns per class the arrays of
+    max/min arrival per net ([neg_infinity]/[infinity] when unreachable). *)
+val class_arrivals :
+  ?wire:Delay.wire_model -> Netlist.Design.t ->
+  ('k * Netlist.Design.net list) list -> ('k * (float array * float array)) list
+
+(** Longest combinational delay from any register output or input port to
+    each net. *)
+val forward_arrivals : ?wire:Delay.wire_model -> Netlist.Design.t -> float array
+
+(** Longest combinational delay from each net to any register data pin or
+    primary output. *)
+val backward_delays : ?wire:Delay.wire_model -> Netlist.Design.t -> float array

@@ -1,0 +1,55 @@
+(** Multi-phase timing verification after Sakallah-Mudge-Olukotun (the
+    paper's Section II).
+
+    Every sequential element is modelled as a latch with an opening and a
+    closing time inside the common period (a flip-flop is a zero-width
+    latch closing at its capture edge; primary inputs are zero-width
+    sources launching at cycle start).  Departure times iterate to a fixed
+    point so level-sensitive time borrowing is honoured, then the General
+    System Timing Constraints are checked:
+
+    setup:  arrival at latch [i] (relative to its closing edge) + setup <= 0
+    hold:   earliest arrival after the previous closing edge >= hold
+
+    Launch points are grouped into per-clock-port classes (one path
+    relaxation per class), which scales to large designs at the cost of
+    slight pessimism: the worst departure of a class is combined with the
+    worst path delay of the class.  [~exact:true] makes every register its
+    own launch class, removing that pairing pessimism at O(registers)
+    relaxations — use it on small designs or for sign-off spot checks. *)
+
+type violation = {
+  dst : Netlist.Design.inst;
+  kind : [ `Setup | `Hold ];
+  slack : float;               (** negative = violated *)
+  src_class : string;          (** launching clock port or "input" *)
+}
+
+type report = {
+  worst_setup_slack : float;
+  worst_hold_slack : float;
+  violations : violation list;
+  max_borrow : float;          (** worst positive departure (time borrowed) *)
+  iterations : int;
+}
+
+val ok : report -> bool
+
+(** [check d ~clocks] — [setup_margin]/[hold_margin] default to 0.03/0.02
+    ns.  [input_delay] = (min, max) ns after the cycle start at which
+    primary inputs change, the usual external timing constraint; defaults
+    to (0.05, 0.10).  [clock_skew] (default 0) tightens both checks by
+    the given uncertainty.  [derate] = (early, late) scales minimum and
+    maximum path delays for process/voltage/temperature corner analysis
+    (e.g. [(0.8, 1.25)]). *)
+val check :
+  ?wire:Delay.wire_model ->
+  ?exact:bool ->
+  ?setup_margin:float ->
+  ?hold_margin:float ->
+  ?input_delay:float * float ->
+  ?clock_skew:float ->
+  ?derate:float * float ->
+  Netlist.Design.t -> clocks:Sim.Clock_spec.t -> report
+
+val pp_report : Format.formatter -> report -> unit

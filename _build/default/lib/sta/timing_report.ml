@@ -1,0 +1,106 @@
+module Design = Netlist.Design
+
+type step = {
+  inst : Design.inst;
+  cell : string;
+  through : string;
+  delay : float;
+  arrival : float;
+}
+
+type endpoint =
+  | At_register of Design.inst
+  | At_output of string
+
+type path = {
+  startpoint : string;
+  endpoint : endpoint;
+  total_delay : float;
+  steps : step list;
+}
+
+(* Walk back from [net] through the instance whose output realises the
+   worst arrival, collecting steps in reverse. *)
+let trace d wire arrivals net =
+  let rec go net acc =
+    match d.Design.net_driver.(net) with
+    | Design.Driven_by (i, _) ->
+      let c = Design.cell d i in
+      (match c.Cell_lib.Cell.kind with
+       | Cell_lib.Cell.Combinational ->
+         let delay = Delay.inst_delay_max d wire i in
+         let step = {
+           inst = i;
+           cell = c.Cell_lib.Cell.name;
+           through = Design.net_name d net;
+           delay;
+           arrival = arrivals.(net);
+         } in
+         (* pick the input pin with the largest arrival *)
+         let worst_in =
+           List.fold_left
+             (fun best n ->
+               match best with
+               | None -> Some n
+               | Some b -> if arrivals.(n) > arrivals.(b) then Some n else best)
+             None (Design.input_nets d i)
+         in
+         (match worst_in with
+          | Some n when arrivals.(n) > Float.neg_infinity -> go n (step :: acc)
+          | Some _ | None -> (Design.inst_name d i, step :: acc))
+       | Cell_lib.Cell.Flip_flop _ | Cell_lib.Cell.Latch _
+       | Cell_lib.Cell.Clock_gate _ -> (Design.inst_name d i, acc))
+    | Design.Driven_by_input port -> (port, acc)
+    | Design.Driven_const _ | Design.Undriven ->
+      (Design.net_name d net, acc)
+  in
+  go net []
+
+let worst_paths ?(wire = Delay.no_wire) ?(count = 5) d =
+  let arrivals = Paths.forward_arrivals ~wire d in
+  let endpoints =
+    List.filter_map
+      (fun i ->
+        match Design.data_net_of d i with
+        | Some dn when arrivals.(dn) > Float.neg_infinity ->
+          Some (At_register i, dn, arrivals.(dn))
+        | Some _ | None -> None)
+      (Design.sequential_insts d)
+    @ List.filter_map
+        (fun (p, n) ->
+          if arrivals.(n) > Float.neg_infinity then Some (At_output p, n, arrivals.(n))
+          else None)
+        d.Design.primary_outputs
+  in
+  let sorted =
+    List.sort (fun (_, _, a) (_, _, b) -> compare b a) endpoints
+  in
+  let rec take k = function
+    | [] -> []
+    | _ when k = 0 -> []
+    | x :: rest -> x :: take (k - 1) rest
+  in
+  List.map
+    (fun (endpoint, net, total_delay) ->
+      let startpoint, steps = trace d wire arrivals net in
+      { startpoint; endpoint; total_delay; steps })
+    (take count sorted)
+
+let pp_path d ppf p =
+  let endpoint_name = match p.endpoint with
+    | At_register i -> Design.inst_name d i ^ "/D"
+    | At_output port -> "output " ^ port
+  in
+  Format.fprintf ppf "@[<v 2>path %s -> %s: %.4f ns@," p.startpoint endpoint_name
+    p.total_delay;
+  List.iter
+    (fun s ->
+      Format.fprintf ppf "%-24s %-12s +%.4f = %.4f (%s)@,"
+        (Design.inst_name d s.inst) s.cell s.delay s.arrival s.through)
+    p.steps;
+  Format.fprintf ppf "@]"
+
+let pp d ppf paths =
+  List.iteri
+    (fun k p -> Format.fprintf ppf "#%d %a@." (k + 1) (pp_path d) p)
+    paths

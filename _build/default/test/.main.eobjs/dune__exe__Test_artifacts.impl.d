@@ -1,0 +1,1 @@
+test/test_artifacts.ml: Alcotest Astring Cell_lib Circuits List Netlist Netlist_io Option Phase3 Sim Sta String

@@ -1,0 +1,1 @@
+test/test_cell_lib.ml: Alcotest Cell_lib Fun List Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_circuits.ml: Alcotest Array Circuits Float List Netlist Netlist_io Phase3 Printf Sim String

@@ -1,0 +1,1 @@
+test/test_fuzz.ml: Alcotest Cell_lib Char Circuits List Netlist Netlist_io Option QCheck QCheck_alcotest Sim Sta String

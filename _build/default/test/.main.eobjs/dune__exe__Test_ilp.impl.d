@@ -1,0 +1,1 @@
+test/test_ilp.ml: Alcotest Array Cell_lib Float Fun Ilp List Lp Netlist Phase3 Printf QCheck QCheck_alcotest

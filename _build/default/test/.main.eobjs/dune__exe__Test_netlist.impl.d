@@ -1,0 +1,1 @@
+test/test_netlist.ml: Alcotest Array Astring Cell_lib Circuits Format Fun Hashtbl List Netlist Option Printf QCheck QCheck_alcotest Sim String

@@ -1,0 +1,1 @@
+test/test_netlist_io.ml: Alcotest Cell_lib Circuits Format List Netlist Netlist_io Phase3 Printf Sim String

@@ -1,0 +1,1 @@
+test/test_phase3.ml: Alcotest Array Astring Cell_lib Circuits Float Format List Netlist Option Phase3 Printf QCheck QCheck_alcotest Sim Sta String

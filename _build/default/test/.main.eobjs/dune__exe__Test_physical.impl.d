@@ -1,0 +1,1 @@
+test/test_physical.ml: Alcotest Array Cell_lib Circuits List Netlist Phase3 Physical Printf

@@ -1,0 +1,1 @@
+test/test_power.ml: Alcotest Cell_lib Circuits Netlist Phase3 Physical Power Printf Sim

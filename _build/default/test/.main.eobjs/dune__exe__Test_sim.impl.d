@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Cell_lib List Netlist Option Printf Sim String

@@ -1,0 +1,1 @@
+test/test_sta.ml: Alcotest Array Cell_lib Circuits List Netlist Option Phase3 Printf Sim Sta

@@ -1,0 +1,16 @@
+let () =
+  Alcotest.run "threephase"
+    [ ("cell_lib", Test_cell_lib.suite);
+      ("netlist", Test_netlist.suite);
+      ("netlist_io", Test_netlist_io.suite);
+      ("lp", Test_lp.suite);
+      ("ilp", Test_ilp.suite);
+      ("sim", Test_sim.suite);
+      ("sta", Test_sta.suite);
+      ("phase3", Test_phase3.suite);
+      ("physical", Test_physical.suite);
+      ("power", Test_power.suite);
+      ("circuits", Test_circuits.suite);
+      ("experiments", Test_experiments.suite);
+      ("artifacts", Test_artifacts.suite);
+      ("fuzz", Test_fuzz.suite) ]

@@ -1,0 +1,220 @@
+(* Unit and property tests for the technology-library substrate:
+   boolean expressions, the Liberty subset, and cell selection. *)
+
+let check = Alcotest.check
+
+module Expr = Cell_lib.Expr
+
+(* --- Expr --- *)
+
+let test_expr_parse_basic () =
+  check Alcotest.bool "and" true
+    (Expr.equal (Expr.parse "A & B") (Expr.And (Expr.Pin "A", Expr.Pin "B")));
+  check Alcotest.bool "not" true
+    (Expr.equal (Expr.parse "!A") (Expr.Not (Expr.Pin "A")));
+  check Alcotest.bool "postfix not" true
+    (Expr.equal (Expr.parse "A'") (Expr.Not (Expr.Pin "A")));
+  check Alcotest.bool "xor" true
+    (Expr.equal (Expr.parse "A ^ B") (Expr.Xor (Expr.Pin "A", Expr.Pin "B")));
+  check Alcotest.bool "const" true
+    (Expr.equal (Expr.parse "0") (Expr.Const false))
+
+let test_expr_precedence () =
+  (* ! binds tighter than &, & tighter than ^, ^ tighter than | *)
+  let e = Expr.parse "!A & B | C ^ D" in
+  let expected =
+    Expr.Or
+      (Expr.And (Expr.Not (Expr.Pin "A"), Expr.Pin "B"),
+       Expr.Xor (Expr.Pin "C", Expr.Pin "D"))
+  in
+  check Alcotest.bool "precedence" true (Expr.equal e expected)
+
+let test_expr_parens () =
+  let e = Expr.parse "!(A | B) & C" in
+  let expected =
+    Expr.And (Expr.Not (Expr.Or (Expr.Pin "A", Expr.Pin "B")), Expr.Pin "C")
+  in
+  check Alcotest.bool "parens" true (Expr.equal e expected)
+
+let test_expr_juxtaposition () =
+  (* Liberty allows "A B" for AND *)
+  let e = Expr.parse "A B" in
+  check Alcotest.bool "juxtaposition is and" true
+    (Expr.equal e (Expr.And (Expr.Pin "A", Expr.Pin "B")))
+
+let test_expr_errors () =
+  Alcotest.check_raises "unbalanced" (Expr.Parse_error "expected ')'")
+    (fun () -> ignore (Expr.parse "(A & B"));
+  (try
+     ignore (Expr.parse "A &");
+     Alcotest.fail "expected parse error"
+   with Expr.Parse_error _ -> ())
+
+let test_expr_pins () =
+  check (Alcotest.list Alcotest.string) "pins sorted unique"
+    ["A"; "B"; "C"]
+    (Expr.pins (Expr.parse "(A & B) | (!A ^ C)"))
+
+let test_expr_eval () =
+  let e = Expr.parse "(A & !B) | C" in
+  let env a b c p = match p with
+    | "A" -> a | "B" -> b | "C" -> c | _ -> raise Not_found
+  in
+  check Alcotest.bool "101 -> true" true (Expr.eval (env true false true) e);
+  check Alcotest.bool "110 -> false" false (Expr.eval (env true true false) e);
+  check Alcotest.bool "100 -> true" true (Expr.eval (env true false false) e)
+
+(* qcheck: printing then parsing is the identity *)
+let expr_gen =
+  let open QCheck.Gen in
+  let pin = map (fun k -> Expr.Pin (Printf.sprintf "P%d" k)) (int_bound 4) in
+  fix
+    (fun self depth ->
+      if depth <= 0 then pin
+      else
+        frequency
+          [ (2, pin);
+            (1, map (fun e -> Expr.Not e) (self (depth - 1)));
+            (2, map2 (fun a b -> Expr.And (a, b)) (self (depth - 1)) (self (depth - 1)));
+            (2, map2 (fun a b -> Expr.Or (a, b)) (self (depth - 1)) (self (depth - 1)));
+            (1, map2 (fun a b -> Expr.Xor (a, b)) (self (depth - 1)) (self (depth - 1))) ])
+    4
+
+let expr_arbitrary = QCheck.make ~print:Expr.to_string expr_gen
+
+let prop_expr_roundtrip =
+  QCheck.Test.make ~name:"expr print/parse roundtrip" ~count:200 expr_arbitrary
+    (fun e -> Expr.equal e (Expr.parse (Expr.to_string e)))
+
+let prop_expr_eval_stable =
+  (* parsing the printed form evaluates identically on all assignments of
+     up to 5 pins *)
+  QCheck.Test.make ~name:"expr eval stable under roundtrip" ~count:100
+    expr_arbitrary (fun e ->
+      let e' = Expr.parse (Expr.to_string e) in
+      List.for_all
+        (fun mask ->
+          let env p =
+            let k = int_of_string (String.sub p 1 (String.length p - 1)) in
+            (mask lsr k) land 1 = 1
+          in
+          Expr.eval env e = Expr.eval env e')
+        (List.init 32 Fun.id))
+
+(* --- Liberty --- *)
+
+let default_lib = Cell_lib.Default_library.library ()
+
+let test_liberty_roundtrip () =
+  let text = Cell_lib.Library.to_liberty default_lib in
+  let lib2 = Cell_lib.Library.of_liberty text in
+  check Alcotest.int "cell count preserved"
+    (List.length (Cell_lib.Library.cells default_lib))
+    (List.length (Cell_lib.Library.cells lib2));
+  List.iter
+    (fun (c : Cell_lib.Cell.t) ->
+      match Cell_lib.Library.find lib2 c.Cell_lib.Cell.name with
+      | None -> Alcotest.failf "cell %s lost in roundtrip" c.Cell_lib.Cell.name
+      | Some c2 ->
+        check (Alcotest.float 1e-9) (c.Cell_lib.Cell.name ^ " area")
+          c.Cell_lib.Cell.area c2.Cell_lib.Cell.area;
+        check Alcotest.bool (c.Cell_lib.Cell.name ^ " kind") true
+          (c.Cell_lib.Cell.kind = c2.Cell_lib.Cell.kind))
+    (Cell_lib.Library.cells default_lib)
+
+let test_liberty_errors () =
+  let bad = "library (x) { cell (A) { pin (P) { direction : sideways ; } } }" in
+  (try
+     ignore (Cell_lib.Library.of_liberty bad);
+     Alcotest.fail "expected Liberty.Error"
+   with Cell_lib.Liberty.Error _ -> ());
+  (try
+     ignore (Cell_lib.Library.of_liberty "cell (A) {}");
+     Alcotest.fail "expected library-group error"
+   with Cell_lib.Liberty.Error _ -> ())
+
+let test_liberty_comments () =
+  let src = {|
+library (c) { /* block comment */
+  // line comment
+  cell (INV) {
+    area : 1.0 ;
+    pin (A) { direction : input ; capacitance : 1.0 ; }
+    pin (Z) { direction : output ; function : "!A" ; }
+  }
+}|}
+  in
+  let lib = Cell_lib.Library.of_liberty src in
+  check Alcotest.int "one cell" 1 (List.length (Cell_lib.Library.cells lib))
+
+(* --- Library selectors --- *)
+
+let test_selectors () =
+  let module L = Cell_lib.Library in
+  let module C = Cell_lib.Cell in
+  (* the smallest flip-flop by area is the pulsed-latch cell (flip-flop
+     semantics, latch footprint) *)
+  check Alcotest.string "ff" "PLATCH_X1" (L.flip_flop default_lib).C.name;
+  check Alcotest.string "ffr" "PLATCHR_X1" (L.flip_flop_with_reset default_lib).C.name;
+  check Alcotest.string "lath" "LATH_X1"
+    (L.latch default_lib ~transparent:C.Active_high).C.name;
+  check Alcotest.string "latl" "LATL_X1"
+    (L.latch default_lib ~transparent:C.Active_low).C.name;
+  check Alcotest.string "icg std" "ICG_X1"
+    (L.clock_gate default_lib ~style:C.Icg_standard).C.name;
+  check Alcotest.string "icg m1" "ICGP3_X1"
+    (L.clock_gate default_lib ~style:C.Icg_m1_p3).C.name;
+  check Alcotest.string "icg m2" "ICGNL_X1"
+    (L.clock_gate default_lib ~style:C.Icg_m2_latchless).C.name;
+  check Alcotest.string "inv" "INV_X1" (L.inverter default_lib).C.name;
+  check Alcotest.string "xor" "XOR2_X1" (L.xor2 default_lib).C.name;
+  check Alcotest.string "clkbuf" "CLKBUF_X4" (L.clock_buffer default_lib).C.name
+
+let test_ratios () =
+  (* the ratios the reproduction depends on *)
+  let module L = Cell_lib.Library in
+  let module C = Cell_lib.Cell in
+  let ff = L.find_exn default_lib "DFF_X1" in
+  let lat = L.latch default_lib ~transparent:C.Active_high in
+  let area_ratio = lat.C.area /. ff.C.area in
+  check Alcotest.bool "latch area between 0.4x and 0.7x FF" true
+    (area_ratio > 0.4 && area_ratio < 0.7);
+  let clk_cap c pin =
+    match C.find_pin c pin with
+    | Some p -> p.C.capacitance
+    | None -> Alcotest.failf "missing pin %s" pin
+  in
+  let cap_ratio = clk_cap lat "E" /. clk_cap ff "CK" in
+  check Alcotest.bool "latch clock-pin cap near half of FF" true
+    (cap_ratio > 0.35 && cap_ratio < 0.65);
+  let icg = L.clock_gate default_lib ~style:C.Icg_standard in
+  let m1 = L.clock_gate default_lib ~style:C.Icg_m1_p3 in
+  let m2 = L.clock_gate default_lib ~style:C.Icg_m2_latchless in
+  check Alcotest.bool "M1 cheaper than standard ICG" true (m1.C.area < icg.C.area);
+  check Alcotest.bool "M2 cheaper than M1" true (m2.C.area < m1.C.area)
+
+let test_delay_model () =
+  let module C = Cell_lib.Cell in
+  let inv = Cell_lib.Library.inverter default_lib in
+  let d0 = C.delay_through inv ~load:0.0 in
+  let d10 = C.delay_through inv ~load:10.0 in
+  check Alcotest.bool "delay grows with load" true (d10 > d0);
+  check Alcotest.bool "min <= max" true
+    (C.min_delay_through inv ~load:5.0 <= C.delay_through inv ~load:5.0)
+
+let suite =
+  [ Alcotest.test_case "expr parse basics" `Quick test_expr_parse_basic;
+    Alcotest.test_case "expr precedence" `Quick test_expr_precedence;
+    Alcotest.test_case "expr parentheses" `Quick test_expr_parens;
+    Alcotest.test_case "expr juxtaposition" `Quick test_expr_juxtaposition;
+    Alcotest.test_case "expr errors" `Quick test_expr_errors;
+    Alcotest.test_case "expr pins" `Quick test_expr_pins;
+    Alcotest.test_case "expr eval" `Quick test_expr_eval;
+    QCheck_alcotest.to_alcotest prop_expr_roundtrip;
+    QCheck_alcotest.to_alcotest prop_expr_eval_stable;
+    Alcotest.test_case "liberty roundtrip" `Quick test_liberty_roundtrip;
+    Alcotest.test_case "liberty errors" `Quick test_liberty_errors;
+    Alcotest.test_case "liberty comments" `Quick test_liberty_comments;
+    Alcotest.test_case "library selectors" `Quick test_selectors;
+    Alcotest.test_case "library ratios" `Quick test_ratios;
+    Alcotest.test_case "delay model" `Quick test_delay_model ]

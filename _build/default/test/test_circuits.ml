@@ -1,0 +1,189 @@
+(* Tests for the benchmark generators and the suite definition. *)
+
+let check = Alcotest.check
+
+let test_generator_valid_and_sized () =
+  List.iter
+    (fun seed ->
+      let spec = { Circuits.Generator.name = Printf.sprintf "v%d" seed;
+                   seed; inputs = 7; outputs = 5; layers = [|9; 4; 7|];
+                   fanin = 3; cone_depth = 4; self_loop_fraction = 0.3;
+                   cross_feedback = 0.3; reuse = 0.3; gated_fraction = 0.5;
+                   bank_size = 4; po_cones = 5; frequency_mhz = 500.0 }
+      in
+      let d = Circuits.Generator.synthesize spec in
+      (match Netlist.Check.validate d with
+       | Ok () -> ()
+       | Error es -> Alcotest.failf "seed %d invalid: %s" seed (String.concat ";" es));
+      let stats = Netlist.Stats.compute d in
+      check Alcotest.int
+        (Printf.sprintf "seed %d ff count" seed)
+        (Circuits.Generator.num_flip_flops spec) stats.Netlist.Stats.flip_flops)
+    [1; 2; 3; 4; 5]
+
+let test_generator_deterministic () =
+  let spec = { Circuits.Generator.name = "det"; seed = 5; inputs = 5; outputs = 4;
+               layers = [|6; 6|]; fanin = 3; cone_depth = 3;
+               self_loop_fraction = 0.2; cross_feedback = 0.2; reuse = 0.2;
+               gated_fraction = 0.3; bank_size = 4; po_cones = 3;
+               frequency_mhz = 1000.0 }
+  in
+  let d1 = Circuits.Generator.synthesize spec in
+  let d2 = Circuits.Generator.synthesize spec in
+  check Alcotest.string "identical netlists"
+    (Netlist_io.Verilog.write d1) (Netlist_io.Verilog.write d2)
+
+let test_alternating_layers () =
+  let layers = Circuits.Generator.alternating_layers ~ffs:300 ~n_layers:6 ~ratio:0.75 in
+  check Alcotest.int "six layers" 6 (Array.length layers);
+  check Alcotest.int "total preserved" 300 (Array.fold_left ( + ) 0 layers);
+  check Alcotest.bool "wide layers wider" true (layers.(0) > layers.(1))
+
+let test_linear_pipeline_structure () =
+  let d = Circuits.Linear_pipeline.make ~width:3 ~stages:5 () in
+  let stats = Netlist.Stats.compute d in
+  check Alcotest.int "ffs" 15 stats.Netlist.Stats.flip_flops;
+  let g = Netlist.Ff_graph.build d in
+  check Alcotest.int "no self loops" 0 (Netlist.Ff_graph.self_loop_count g)
+
+let test_cpu_counts () =
+  List.iter
+    (fun (spec, expect) ->
+      check Alcotest.int (spec.Circuits.Cpu.name ^ " spec count") expect
+        (Circuits.Cpu.num_flip_flops spec);
+      let d = Circuits.Cpu.make spec in
+      let stats = Netlist.Stats.compute d in
+      check Alcotest.int (spec.Circuits.Cpu.name ^ " netlist count") expect
+        stats.Netlist.Stats.flip_flops;
+      match Netlist.Check.validate d with
+      | Ok () -> ()
+      | Error es -> Alcotest.failf "%s invalid: %s" spec.Circuits.Cpu.name
+          (String.concat ";" es))
+    [ (Circuits.Cpu.plasma, 1606); (Circuits.Cpu.riscv, 2795);
+      (Circuits.Cpu.arm_m0, 1397) ]
+
+let test_suite_matches_published_ff_counts () =
+  List.iter
+    (fun b ->
+      let pff, _, _ = b.Circuits.Suite.published.Circuits.Suite.pub_regs in
+      let d = b.Circuits.Suite.build () in
+      let stats = Netlist.Stats.compute d in
+      check Alcotest.int (b.Circuits.Suite.bench_name ^ " ff count") pff
+        stats.Netlist.Stats.flip_flops)
+    (* the big CEP circuits are exercised by the benchmark harness; keep
+       the unit test quick with the small and mid-size entries *)
+    (List.filter
+       (fun b ->
+         List.mem b.Circuits.Suite.bench_name
+           ["s1196"; "s1238"; "s1423"; "s1488"; "s5378"; "s9234"; "des3"; "md5"])
+       (Circuits.Suite.all ()))
+
+let test_conversion_tracks_published_3p_counts () =
+  (* calibration guard: generated structure keeps the conversion results
+     within 15% of the published 3-phase latch counts *)
+  List.iter
+    (fun name ->
+      match Circuits.Suite.find name with
+      | None -> Alcotest.failf "missing benchmark %s" name
+      | Some b ->
+        let d = b.Circuits.Suite.build () in
+        let asg = Phase3.Assignment.solve ~solver:`Mis d in
+        let _, _, p3p = b.Circuits.Suite.published.Circuits.Suite.pub_regs in
+        let mine = Phase3.Assignment.total_latches asg in
+        let err =
+          Float.abs (float_of_int (mine - p3p)) /. float_of_int p3p
+        in
+        if err > 0.15 then
+          Alcotest.failf "%s: %d latches vs published %d (%.0f%% off)" name
+            mine p3p (100.0 *. err))
+    ["s1423"; "s1488"; "s5378"; "s13207"; "des3"; "md5"; "plasma"]
+
+let test_workload_profiles_differ () =
+  let d = Circuits.Cpu.make Circuits.Cpu.arm_m0 in
+  let count_toggles w =
+    let stim = Circuits.Workload.stimulus w ~seed:3 ~cycles:100 d in
+    List.fold_left
+      (fun acc cycle ->
+        List.fold_left (fun a (_, v) -> if v = Sim.Logic.L1 then a + 1 else a) acc cycle)
+      0 stim
+  in
+  let hello = count_toggles (Circuits.Workload.Program Circuits.Workload.Hello_world) in
+  let coremark = count_toggles (Circuits.Workload.Program Circuits.Workload.Coremark) in
+  (* activity ordering is what Fig. 4 relies on *)
+  check Alcotest.bool "profiles produce streams" true (hello > 0 && coremark > 0)
+
+let test_workload_names () =
+  check Alcotest.string "dhrystone" "dhrystone"
+    (Circuits.Workload.name (Circuits.Workload.Program Circuits.Workload.Dhrystone));
+  check Alcotest.string "self-check" "self-check"
+    (Circuits.Workload.name Circuits.Workload.Self_check)
+
+let test_suite_completeness () =
+  let all = Circuits.Suite.all () in
+  check Alcotest.int "18 benchmarks" 18 (List.length all);
+  check Alcotest.int "11 iscas" 11
+    (List.length (List.filter (fun b -> b.Circuits.Suite.family = Circuits.Suite.Iscas) all));
+  check Alcotest.int "4 cep" 4
+    (List.length (List.filter (fun b -> b.Circuits.Suite.family = Circuits.Suite.Cep) all));
+  check Alcotest.int "3 cpu" 3
+    (List.length (List.filter (fun b -> b.Circuits.Suite.family = Circuits.Suite.Cpu) all));
+  check Alcotest.bool "quick subset is a subset" true
+    (List.for_all
+       (fun q -> List.exists (fun b -> b.Circuits.Suite.bench_name = q.Circuits.Suite.bench_name) all)
+       (Circuits.Suite.quick ()))
+
+let suite =
+  [ Alcotest.test_case "generator valid and sized" `Quick test_generator_valid_and_sized;
+    Alcotest.test_case "generator deterministic" `Quick test_generator_deterministic;
+    Alcotest.test_case "alternating layers" `Quick test_alternating_layers;
+    Alcotest.test_case "linear pipeline structure" `Quick test_linear_pipeline_structure;
+    Alcotest.test_case "cpu register counts" `Quick test_cpu_counts;
+    Alcotest.test_case "suite ff counts" `Quick test_suite_matches_published_ff_counts;
+    Alcotest.test_case "conversion tracks published" `Slow
+      test_conversion_tracks_published_3p_counts;
+    Alcotest.test_case "workload profiles" `Quick test_workload_profiles_differ;
+    Alcotest.test_case "workload names" `Quick test_workload_names;
+    Alcotest.test_case "suite completeness" `Quick test_suite_completeness ]
+
+let test_cpu_structure () =
+  (* structural sanity of the CPU generator: register file is gated, the
+     PC self-loops, control registers self-loop *)
+  let d = Circuits.Cpu.make Circuits.Cpu.plasma in
+  let g = Netlist.Ff_graph.build d in
+  check Alcotest.bool "control/pc self-loops exist" true
+    (Netlist.Ff_graph.self_loop_count g > 0);
+  let gated =
+    List.filter
+      (fun i ->
+        match Netlist.Design.clock_net_of d i with
+        | Some cn -> Netlist.Clocking.gating_icg d cn <> None
+        | None -> false)
+      (Netlist.Design.sequential_insts d)
+  in
+  (* the register file (32 x 32) is behind clock gates *)
+  check Alcotest.bool "at least the register file is gated" true
+    (List.length gated >= 1024);
+  check Alcotest.int "one icg per register-file word" 32
+    (List.length (Netlist.Design.clock_gate_insts d))
+
+let test_workload_activity_ordering () =
+  (* coremark drives the interfaces harder than hello-world *)
+  let d = Circuits.Cpu.make Circuits.Cpu.riscv in
+  let clocks = Sim.Clock_spec.single ~period:3.0 ~port:"clk" in
+  let toggles w =
+    let engine = Sim.Engine.create d ~clocks in
+    let stim = Circuits.Workload.stimulus w ~seed:5 ~cycles:128 d in
+    ignore (Sim.Engine.run_stream engine stim);
+    Array.fold_left ( + ) 0 (Sim.Engine.toggles engine)
+  in
+  let hello = toggles (Circuits.Workload.Program Circuits.Workload.Hello_world) in
+  let coremark = toggles (Circuits.Workload.Program Circuits.Workload.Coremark) in
+  check Alcotest.bool
+    (Printf.sprintf "coremark (%d) busier than hello (%d)" coremark hello)
+    true (coremark > hello)
+
+let suite =
+  suite
+  @ [ Alcotest.test_case "cpu structure" `Quick test_cpu_structure;
+      Alcotest.test_case "workload activity ordering" `Slow
+        test_workload_activity_ordering ]

@@ -1,0 +1,60 @@
+(* Smoke tests for the experiment harness shared by bench/main.exe. *)
+
+let check = Alcotest.check
+
+let test_fig1_table () =
+  let t = Experiments.Tables.fig1 ~widths:[2] ~stages:[2; 3; 4] () in
+  let rendered = Report.Table.render t in
+  check Alcotest.bool "no failures flagged" false
+    (Astring.String.is_infix ~affix:"NO" rendered);
+  check Alcotest.bool "rows present" true
+    (Astring.String.is_infix ~affix:"w2 x s3" rendered)
+
+let test_fig2_table () =
+  let t = Experiments.Tables.fig2 () in
+  let rendered = Report.Table.render t in
+  check Alcotest.bool "both styles shown" true
+    (Astring.String.is_infix ~affix:"enabled clock" rendered
+     && Astring.String.is_infix ~affix:"gated clock" rendered)
+
+let test_fig3_table () =
+  let t = Experiments.Tables.fig3 () in
+  let rendered = Report.Table.render t in
+  check Alcotest.bool "trace rows" true
+    (Astring.String.is_infix ~affix:"gck2" rendered)
+
+let test_runner_small_bench () =
+  match Circuits.Suite.find "s1196" with
+  | None -> Alcotest.fail "s1196 missing"
+  | Some b ->
+    let r = Experiments.Runner.run ~cycles:96 b in
+    check Alcotest.bool "3P register saving positive" true
+      (r.Experiments.Runner.threep.Experiments.Runner.regs
+       < 2 * r.Experiments.Runner.ff.Experiments.Runner.regs);
+    check Alcotest.bool "M-S doubles registers" true
+      (r.Experiments.Runner.ms.Experiments.Runner.regs
+       = 2 * r.Experiments.Runner.ff.Experiments.Runner.regs);
+    check Alcotest.bool "powers positive" true
+      (Power.Estimate.total r.Experiments.Runner.ff.Experiments.Runner.power > 0.0
+       && Power.Estimate.total r.Experiments.Runner.threep.Experiments.Runner.power > 0.0);
+    let t1 = Experiments.Tables.table1 [r] in
+    let t2 = Experiments.Tables.table2 [r] in
+    check Alcotest.int "two table-1 views" 2 (List.length t1);
+    check Alcotest.int "one table-2 view" 1 (List.length t2)
+
+let test_report_table_layout () =
+  let t = Report.Table.create ~title:"T" [("a", Report.Table.Left); ("b", Report.Table.Right)] in
+  Report.Table.add_row t ["x"; "1"];
+  Report.Table.add_rule t;
+  Report.Table.add_row t ["longer"; "22"];
+  let s = Report.Table.render t in
+  check Alcotest.bool "contains rows" true
+    (Astring.String.is_infix ~affix:"longer" s);
+  check Alcotest.string "pct" "25.0" (Report.Table.pct ~ref_:4.0 3.0)
+
+let suite =
+  [ Alcotest.test_case "fig1 table" `Quick test_fig1_table;
+    Alcotest.test_case "fig2 table" `Slow test_fig2_table;
+    Alcotest.test_case "fig3 table" `Quick test_fig3_table;
+    Alcotest.test_case "runner on s1196" `Slow test_runner_small_bench;
+    Alcotest.test_case "report table layout" `Quick test_report_table_layout ]

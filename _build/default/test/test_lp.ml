@@ -1,0 +1,124 @@
+(* Tests for the dense two-phase simplex. *)
+
+let check = Alcotest.check
+
+module P = Lp.Problem
+module S = Lp.Simplex
+
+let solve_opt p =
+  match S.solve p with
+  | S.Optimal { x; objective } -> (x, objective)
+  | S.Infeasible -> Alcotest.fail "unexpected infeasible"
+  | S.Unbounded -> Alcotest.fail "unexpected unbounded"
+
+let test_max_basic () =
+  (* max 3x + 2y st x + y <= 4; x + 3y <= 6 -> 12 at (4, 0) *)
+  let p = P.make ~num_vars:2 ~sense:P.Maximize ~objective:[(0, 3.0); (1, 2.0)]
+      [ P.constr [(0, 1.0); (1, 1.0)] P.Le 4.0;
+        P.constr [(0, 1.0); (1, 3.0)] P.Le 6.0 ]
+  in
+  let x, obj = solve_opt p in
+  check (Alcotest.float 1e-6) "objective" 12.0 obj;
+  check (Alcotest.float 1e-6) "x" 4.0 x.(0)
+
+let test_min_with_eq () =
+  (* min x + y st x + y >= 3; x - y = 1 -> 3 at (2, 1) *)
+  let p = P.make ~num_vars:2 ~sense:P.Minimize ~objective:[(0, 1.0); (1, 1.0)]
+      [ P.constr [(0, 1.0); (1, 1.0)] P.Ge 3.0;
+        P.constr [(0, 1.0); (1, -1.0)] P.Eq 1.0 ]
+  in
+  let x, obj = solve_opt p in
+  check (Alcotest.float 1e-6) "objective" 3.0 obj;
+  check (Alcotest.float 1e-6) "x" 2.0 x.(0);
+  check (Alcotest.float 1e-6) "y" 1.0 x.(1)
+
+let test_negative_rhs () =
+  (* constraints with negative right-hand sides are normalised correctly:
+     min x st -x <= -2  (i.e. x >= 2) *)
+  let p = P.make ~num_vars:1 ~sense:P.Minimize ~objective:[(0, 1.0)]
+      [ P.constr [(0, -1.0)] P.Le (-2.0) ]
+  in
+  let x, obj = solve_opt p in
+  check (Alcotest.float 1e-6) "objective" 2.0 obj;
+  check (Alcotest.float 1e-6) "x" 2.0 x.(0)
+
+let test_infeasible () =
+  let p = P.make ~num_vars:1 ~sense:P.Maximize ~objective:[(0, 1.0)]
+      [ P.constr [(0, 1.0)] P.Le 1.0; P.constr [(0, 1.0)] P.Ge 2.0 ]
+  in
+  match S.solve p with
+  | S.Infeasible -> ()
+  | S.Optimal _ | S.Unbounded -> Alcotest.fail "should be infeasible"
+
+let test_unbounded () =
+  let p = P.make ~num_vars:1 ~sense:P.Maximize ~objective:[(0, 1.0)] [] in
+  match S.solve p with
+  | S.Unbounded -> ()
+  | S.Optimal _ | S.Infeasible -> Alcotest.fail "should be unbounded"
+
+let test_degenerate () =
+  (* degenerate vertex should not cycle (Bland's rule) *)
+  let p = P.make ~num_vars:2 ~sense:P.Maximize ~objective:[(0, 1.0); (1, 1.0)]
+      [ P.constr [(0, 1.0)] P.Le 1.0;
+        P.constr [(1, 1.0)] P.Le 1.0;
+        P.constr [(0, 1.0); (1, 1.0)] P.Le 2.0;
+        P.constr [(0, 1.0); (1, 1.0)] P.Ge 2.0 ]
+  in
+  let _, obj = solve_opt p in
+  check (Alcotest.float 1e-6) "objective" 2.0 obj
+
+(* random LP generator for property tests *)
+let random_problem rand =
+  let open QCheck.Gen in
+  let n = 1 + int_bound 4 rand in
+  let m = 1 + int_bound 5 rand in
+  let coeff _ = float_range (-3.0) 3.0 rand in
+  let constraints =
+    List.init m (fun _ ->
+        let coeffs = List.init n (fun j -> (j, coeff ())) in
+        (* keep Le with non-negative rhs so x = 0 is feasible and the
+           optimum exists when the objective rewards staying bounded *)
+        P.constr coeffs P.Le (Float.abs (coeff ())))
+  in
+  let objective = List.init n (fun j -> (j, coeff ())) in
+  P.make ~num_vars:n ~sense:P.Minimize ~objective constraints
+
+let prop_solution_feasible =
+  QCheck.Test.make ~name:"simplex solutions are feasible" ~count:200
+    (QCheck.make random_problem)
+    (fun p ->
+      match S.solve p with
+      | S.Optimal { x; _ } -> P.feasible p x
+      | S.Infeasible -> false  (* x = 0 is always feasible here *)
+      | S.Unbounded -> true)
+
+let prop_optimal_beats_random_points =
+  QCheck.Test.make ~name:"simplex optimum beats sampled feasible points"
+    ~count:100 (QCheck.make random_problem)
+    (fun p ->
+      match S.solve p with
+      | S.Unbounded -> true
+      | S.Infeasible -> false
+      | S.Optimal { objective; _ } ->
+        (* sample random feasible points (scalings of 0 and small grids) *)
+        let n = p.P.num_vars in
+        let candidates =
+          Array.to_list
+            (Array.init 50 (fun k ->
+                 Array.init n (fun j ->
+                     float_of_int ((k * 7 + j * 13) mod 5) /. 4.0)))
+        in
+        List.for_all
+          (fun x ->
+            (not (P.feasible p x)) || P.objective_value p x >= objective -. 1e-6)
+          (Array.make n 0.0 :: candidates))
+
+let suite =
+  [ Alcotest.test_case "maximize basic" `Quick test_max_basic;
+    Alcotest.test_case "minimize with equality" `Quick test_min_with_eq;
+    Alcotest.test_case "negative rhs normalisation" `Quick test_negative_rhs;
+    Alcotest.test_case "infeasible detected" `Quick test_infeasible;
+    Alcotest.test_case "unbounded detected" `Quick test_unbounded;
+    Alcotest.test_case "degenerate vertex" `Quick test_degenerate;
+    QCheck_alcotest.to_alcotest prop_solution_feasible;
+    QCheck_alcotest.to_alcotest prop_optimal_beats_random_points ]

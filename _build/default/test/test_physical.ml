@@ -1,0 +1,120 @@
+(* Tests for placement and clock-tree synthesis. *)
+
+let check = Alcotest.check
+
+let lib = Cell_lib.Default_library.library ()
+
+let sample () =
+  Circuits.Generator.synthesize
+    { Circuits.Generator.name = "phys"; seed = 61; inputs = 8; outputs = 6;
+      layers = [|10; 10|]; fanin = 3; cone_depth = 3; self_loop_fraction = 0.2;
+      cross_feedback = 0.2; reuse = 0.2; gated_fraction = 0.4; bank_size = 5;
+      po_cones = 4; frequency_mhz = 1000.0 }
+
+let test_placement_legal () =
+  let d = sample () in
+  let pl = Physical.Placement.place d in
+  check Alcotest.bool "die has area" true
+    (pl.Physical.Placement.die_width > 0.0 && pl.Physical.Placement.die_height > 0.0);
+  for i = 0 to Netlist.Design.num_insts d - 1 do
+    let x = pl.Physical.Placement.x.(i) and y = pl.Physical.Placement.y.(i) in
+    if x < 0.0 || x > pl.Physical.Placement.die_width
+       || y < 0.0 || y > pl.Physical.Placement.die_height then
+      Alcotest.failf "instance %d placed off-die (%.2f, %.2f)" i x y
+  done
+
+let test_placement_wirelength_sane () =
+  let d = sample () in
+  let pl = Physical.Placement.place d in
+  let wl = Physical.Placement.total_wirelength d pl in
+  check Alcotest.bool "positive wirelength" true (wl > 0.0);
+  (* refinement should not be worse than a reversed-order strawman by a
+     large factor; just sanity-bound against die perimeter * nets *)
+  let bound =
+    float_of_int (Netlist.Design.num_nets d)
+    *. (pl.Physical.Placement.die_width +. pl.Physical.Placement.die_height)
+  in
+  check Alcotest.bool "below trivial bound" true (wl < bound)
+
+let test_hpwl () =
+  let d = sample () in
+  let pl = Physical.Placement.place d in
+  (* single-pin nets have zero HPWL; all HPWLs are non-negative *)
+  for n = 0 to Netlist.Design.num_nets d - 1 do
+    let h = Physical.Placement.net_hpwl d pl n in
+    if h < 0.0 then Alcotest.failf "negative hpwl on net %d" n
+  done
+
+let test_cts_covers_sinks () =
+  let d = sample () in
+  let pl = Physical.Placement.place d in
+  let ct = Physical.Clock_tree.synthesize d pl in
+  let covered =
+    List.fold_left (fun a s -> a + s.Physical.Clock_tree.sinks) 0
+      ct.Physical.Clock_tree.subnets
+  in
+  (* every sequential element's clock pin plus every ICG's clock pin *)
+  let expected =
+    List.length (Netlist.Design.sequential_insts d)
+    + List.length (Netlist.Design.clock_gate_insts d)
+  in
+  check Alcotest.int "all clock sinks covered" expected covered
+
+let test_cts_load_proportional () =
+  (* tree cost tracks pin load, not sink count: the master-slave design
+     has twice the sinks, with slaves at half the FF pin cap and masters
+     (transparent-low, internal clock inverter) somewhat above half — so
+     the M-S tree lands moderately above the FF tree, far below the 2x a
+     sink-count model would give *)
+  let d = sample () in
+  let ms = Phase3.Master_slave.convert d in
+  let cap design =
+    let pl = Physical.Placement.place design in
+    let ct = Physical.Clock_tree.synthesize design pl in
+    List.fold_left
+      (fun a s -> a +. Physical.Clock_tree.subnet_cap s)
+      0.0 ct.Physical.Clock_tree.subnets
+  in
+  let c_ff = cap d and c_ms = cap ms in
+  let ratio = c_ms /. c_ff in
+  check Alcotest.bool
+    (Printf.sprintf "M-S tree tracks load, not sink count (ratio %.2f)" ratio)
+    true (ratio > 0.95 && ratio < 1.6)
+
+let test_implement_bundle () =
+  let d = sample () in
+  let impl = Physical.Implement.run d in
+  check Alcotest.bool "cell area positive" true
+    (impl.Physical.Implement.cell_area > 0.0);
+  check Alcotest.bool "total >= cells" true
+    (impl.Physical.Implement.total_area >= impl.Physical.Implement.cell_area);
+  (* the wire model returns non-negative caps *)
+  for n = 0 to Netlist.Design.num_nets d - 1 do
+    if impl.Physical.Implement.wire n < 0.0 then
+      Alcotest.failf "negative wire cap on net %d" n
+  done
+
+let test_cts_gated_subnets () =
+  (* gated banks become their own subnets rooted at ICG outputs *)
+  let d = sample () in
+  let pl = Physical.Placement.place d in
+  let ct = Physical.Clock_tree.synthesize d pl in
+  let icg_subnets =
+    List.filter
+      (fun s -> match s.Physical.Clock_tree.driver with
+         | `Icg _ -> true
+         | `Port _ -> false)
+      ct.Physical.Clock_tree.subnets
+  in
+  check Alcotest.int "one subnet per ICG"
+    (List.length (Netlist.Design.clock_gate_insts d))
+    (List.length icg_subnets)
+
+let suite =
+  [ Alcotest.test_case "placement legality" `Quick test_placement_legal;
+    Alcotest.test_case "placement wirelength" `Quick test_placement_wirelength_sane;
+    Alcotest.test_case "hpwl non-negative" `Quick test_hpwl;
+    Alcotest.test_case "cts covers all sinks" `Quick test_cts_covers_sinks;
+    Alcotest.test_case "cts load proportional" `Quick test_cts_load_proportional;
+    Alcotest.test_case "implement bundle" `Quick test_implement_bundle;
+    Alcotest.test_case "cts gated subnets" `Quick test_cts_gated_subnets ]

@@ -1,0 +1,125 @@
+(* Tests for the power model. *)
+
+let check = Alcotest.check
+
+let sample () =
+  Circuits.Generator.synthesize
+    { Circuits.Generator.name = "pw"; seed = 71; inputs = 8; outputs = 6;
+      layers = [|8; 8|]; fanin = 3; cone_depth = 3; self_loop_fraction = 0.2;
+      cross_feedback = 0.2; reuse = 0.2; gated_fraction = 0.5; bank_size = 4;
+      po_cones = 4; frequency_mhz = 1000.0 }
+
+let measure ?(toggle = 0.4) ?(cycles = 200) d =
+  let clocks = Sim.Clock_spec.single ~period:1.0 ~port:"clk" in
+  let impl = Physical.Implement.run d in
+  let engine = Sim.Engine.create d ~clocks in
+  let stim = Sim.Stimulus.random ~seed:7 ~cycles ~toggle_probability:toggle
+      (Sim.Stimulus.inputs_of d) in
+  ignore (Sim.Engine.run_stream engine stim);
+  Power.Estimate.run impl
+    ~activity:(Sim.Engine.toggles engine, Sim.Engine.cycles engine) ~period:1.0
+
+let test_groups_positive () =
+  let detail = measure (sample ()) in
+  let o = detail.Power.Estimate.overall in
+  check Alcotest.bool "clock positive" true (o.Power.Estimate.clock > 0.0);
+  check Alcotest.bool "seq positive" true (o.Power.Estimate.seq > 0.0);
+  check Alcotest.bool "comb positive" true (o.Power.Estimate.comb > 0.0);
+  check (Alcotest.float 1e-9) "total = sum"
+    (o.Power.Estimate.clock +. o.Power.Estimate.seq +. o.Power.Estimate.comb)
+    (Power.Estimate.total o)
+
+let test_leakage_independent_of_activity () =
+  let d = sample () in
+  let quiet = measure ~toggle:0.01 d in
+  let busy = measure ~toggle:0.6 d in
+  check (Alcotest.float 1e-9) "leakage equal"
+    (Power.Estimate.total { Power.Estimate.clock = quiet.Power.Estimate.leakage.Power.Estimate.clock;
+                            seq = quiet.Power.Estimate.leakage.Power.Estimate.seq;
+                            comb = quiet.Power.Estimate.leakage.Power.Estimate.comb })
+    (Power.Estimate.total { Power.Estimate.clock = busy.Power.Estimate.leakage.Power.Estimate.clock;
+                            seq = busy.Power.Estimate.leakage.Power.Estimate.seq;
+                            comb = busy.Power.Estimate.leakage.Power.Estimate.comb })
+
+let test_activity_monotone () =
+  let d = sample () in
+  let quiet = measure ~toggle:0.02 d in
+  let busy = measure ~toggle:0.6 d in
+  check Alcotest.bool "busier inputs burn more comb power" true
+    (busy.Power.Estimate.overall.Power.Estimate.comb
+     > quiet.Power.Estimate.overall.Power.Estimate.comb)
+
+let test_dynamic_plus_leakage () =
+  let detail = measure (sample ()) in
+  let approx = Alcotest.float 1e-9 in
+  check approx "clock adds up"
+    (detail.Power.Estimate.dynamic.Power.Estimate.clock
+     +. detail.Power.Estimate.leakage.Power.Estimate.clock)
+    detail.Power.Estimate.overall.Power.Estimate.clock
+
+let test_gating_saves_clock_power () =
+  (* a permanently disabled gated bank burns less clock power than an
+     always-enabled one: drive en=0 vs en=1 on a hand-made design *)
+  let lib = Cell_lib.Default_library.library () in
+  let b = Netlist.Builder.create ~name:"bank" ~library:lib in
+  let clk = Netlist.Builder.add_input ~clock:true b "clk" in
+  let en = Netlist.Builder.add_input b "en" in
+  let gck = Netlist.Builder.fresh_net b "gck" in
+  ignore (Netlist.Builder.add_cell b "icg" "ICG_X1" [("CK", clk); ("EN", en); ("GCK", gck)]);
+  let src = ref (Netlist.Builder.const b false) in
+  for k = 0 to 15 do
+    let q = Netlist.Builder.fresh_net b (Printf.sprintf "q%d" k) in
+    ignore (Netlist.Builder.add_cell b (Printf.sprintf "r%d" k) "DFF_X1"
+              [("CK", gck); ("D", !src); ("Q", q)]);
+    src := q
+  done;
+  Netlist.Builder.add_output b "y" !src;
+  let d = Netlist.Builder.freeze b in
+  let clocks = Sim.Clock_spec.single ~period:1.0 ~port:"clk" in
+  let impl = Physical.Implement.run d in
+  let run en_v =
+    let engine = Sim.Engine.create d ~clocks in
+    for _ = 1 to 100 do
+      ignore (Sim.Engine.run_cycle engine [("en", en_v)])
+    done;
+    (Power.Estimate.run impl
+       ~activity:(Sim.Engine.toggles engine, Sim.Engine.cycles engine)
+       ~period:1.0).Power.Estimate.overall.Power.Estimate.clock
+  in
+  let off = run Sim.Logic.L0 and on = run Sim.Logic.L1 in
+  check Alcotest.bool
+    (Printf.sprintf "gated-off clock %.4f < enabled %.4f" off on)
+    true (off < on)
+
+let test_glitch_model_favours_latches () =
+  (* same structure, FF registers vs latch registers: the FF design's comb
+     group carries the higher glitch factor *)
+  let d = sample () in
+  let config = { (Phase3.Flow.default_config ~period:1.0) with
+                 Phase3.Flow.verify_equivalence = false } in
+  let r = Phase3.Flow.run ~config d in
+  let ff = measure d in
+  let clocks3 = Phase3.Flow.clocks_of config in
+  let impl3 = Physical.Implement.run r.Phase3.Flow.final in
+  let engine = Sim.Engine.create r.Phase3.Flow.final ~clocks:clocks3 in
+  let stim = Sim.Stimulus.random ~seed:7 ~cycles:200 ~toggle_probability:0.4
+      (Sim.Stimulus.inputs_of r.Phase3.Flow.final) in
+  ignore (Sim.Engine.run_stream engine stim);
+  let tp = Power.Estimate.run impl3
+      ~activity:(Sim.Engine.toggles engine, Sim.Engine.cycles engine) ~period:1.0
+  in
+  (* with near-identical logic and activity, the latch design's comb group
+     is not higher than the FF design's (glitch factor difference) *)
+  check Alcotest.bool "comb(3P) <= comb(FF) * 1.1" true
+    (tp.Power.Estimate.overall.Power.Estimate.comb
+     <= 1.1 *. ff.Power.Estimate.overall.Power.Estimate.comb)
+
+let suite =
+  [ Alcotest.test_case "groups positive and additive" `Quick test_groups_positive;
+    Alcotest.test_case "leakage independent of activity" `Quick
+      test_leakage_independent_of_activity;
+    Alcotest.test_case "activity monotone" `Quick test_activity_monotone;
+    Alcotest.test_case "dynamic + leakage = overall" `Quick test_dynamic_plus_leakage;
+    Alcotest.test_case "gating saves clock power" `Quick test_gating_saves_clock_power;
+    Alcotest.test_case "glitch model favours latches" `Quick
+      test_glitch_model_favours_latches ]

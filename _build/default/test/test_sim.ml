@@ -1,0 +1,326 @@
+(* Tests for the simulation substrate: logic values, clock waveforms, the
+   event-driven engine's sequential semantics, stimulus and equivalence. *)
+
+let check = Alcotest.check
+
+let lib = Cell_lib.Default_library.library ()
+
+module B = Netlist.Builder
+module L = Sim.Logic
+
+(* --- Logic --- *)
+
+let test_logic_tables () =
+  check Alcotest.char "and 1x" 'x' (L.to_char (L.land_ L.L1 L.LX));
+  check Alcotest.char "and 0x" '0' (L.to_char (L.land_ L.L0 L.LX));
+  check Alcotest.char "or 1x" '1' (L.to_char (L.lor_ L.L1 L.LX));
+  check Alcotest.char "or 0x" 'x' (L.to_char (L.lor_ L.L0 L.LX));
+  check Alcotest.char "xor 1x" 'x' (L.to_char (L.lxor_ L.L1 L.LX));
+  check Alcotest.char "not x" 'x' (L.to_char (L.lnot L.LX));
+  check Alcotest.bool "rising" true (L.rising ~from_:L.L0 ~to_:L.L1);
+  check Alcotest.bool "x to 1 is not an edge" false (L.rising ~from_:L.LX ~to_:L.L1)
+
+(* --- Clock_spec --- *)
+
+let test_clock_events () =
+  let spec = Sim.Clock_spec.three_phase ~gap:0.04 ~period:3.0 ~p1:"p1" ~p2:"p2" ~p3:"p3" () in
+  let events = Sim.Clock_spec.events spec in
+  check Alcotest.int "six events (p3 fall shares t=0 slot alone)" 6
+    (List.length events);
+  (* sorted ascending *)
+  let times = List.map fst events in
+  check Alcotest.bool "sorted" true
+    (List.sort compare times = times);
+  (* p1 closes at T/3 *)
+  check (Alcotest.option (Alcotest.float 1e-9)) "p1 closing" (Some 1.0)
+    (Sim.Clock_spec.closing_time spec "p1")
+
+let test_clock_levels () =
+  let spec = Sim.Clock_spec.single ~period:2.0 ~port:"clk" in
+  check (Alcotest.option Alcotest.bool) "high early" (Some true)
+    (Sim.Clock_spec.level_at spec "clk" 0.5);
+  check (Alcotest.option Alcotest.bool) "low late" (Some false)
+    (Sim.Clock_spec.level_at spec "clk" 1.5);
+  check (Alcotest.option Alcotest.bool) "periodic" (Some true)
+    (Sim.Clock_spec.level_at spec "clk" 4.3);
+  check (Alcotest.option Alcotest.bool) "unknown port" None
+    (Sim.Clock_spec.level_at spec "nope" 0.0)
+
+(* --- Engine: flip-flop semantics --- *)
+
+let ff_chain () =
+  let b = B.create ~name:"chain" ~library:lib in
+  let clk = B.add_input ~clock:true b "clk" in
+  let a = B.add_input b "a" in
+  let q1 = B.fresh_net b "q1" in
+  let q2 = B.fresh_net b "q2" in
+  ignore (B.add_cell b "f1" "DFF_X1" [("CK", clk); ("D", a); ("Q", q1)]);
+  ignore (B.add_cell b "f2" "DFF_X1" [("CK", clk); ("D", q1); ("Q", q2)]);
+  B.add_output b "y" q2;
+  B.freeze b
+
+let test_ff_chain_latency () =
+  let d = ff_chain () in
+  let engine = Sim.Engine.create d ~clocks:(Sim.Clock_spec.single ~period:1.0 ~port:"clk") in
+  let inputs = [L.L1; L.L0; L.L1; L.L1; L.L0; L.L0; L.L1] in
+  let outs = List.map (fun v -> List.assoc "y" (Sim.Engine.run_cycle engine [("a", v)])) inputs in
+  (* y at cycle k equals a at cycle k-2 (simultaneous-capture semantics) *)
+  List.iteri
+    (fun k out ->
+      if k >= 2 then
+        check Alcotest.char (Printf.sprintf "cycle %d" k)
+          (L.to_char (List.nth inputs (k - 2))) (L.to_char out))
+    outs
+
+let test_ff_simultaneous_capture () =
+  (* shift register: f2 must capture f1's OLD value on the shared edge *)
+  let d = ff_chain () in
+  let engine = Sim.Engine.create d ~clocks:(Sim.Clock_spec.single ~period:1.0 ~port:"clk") in
+  ignore (Sim.Engine.run_cycle engine [("a", L.L1)]);
+  ignore (Sim.Engine.run_cycle engine [("a", L.L0)]);
+  (* after 2 cycles: q2 = a(0) only if captures were simultaneous *)
+  let out = Sim.Engine.run_cycle engine [("a", L.L0)] in
+  check Alcotest.char "no shoot-through" '1' (L.to_char (List.assoc "y" out))
+
+(* --- Engine: latch semantics --- *)
+
+let test_latch_follows_and_holds () =
+  let b = B.create ~name:"lat" ~library:lib in
+  let en = B.add_input ~clock:true b "en" in
+  let a = B.add_input b "a" in
+  let q = B.fresh_net b "q" in
+  ignore (B.add_cell b "l0" "LATH_X1" [("E", en); ("D", a); ("Q", q)]);
+  B.add_output b "y" q;
+  let d = B.freeze b in
+  (* enable high during the first half of each period *)
+  let engine = Sim.Engine.create d ~clocks:(Sim.Clock_spec.single ~period:1.0 ~port:"en") in
+  let y1 = List.assoc "y" (Sim.Engine.run_cycle engine [("a", L.L1)]) in
+  (* at end of cycle the latch is opaque and holds the value sampled while
+     open *)
+  check Alcotest.char "held 1" '1' (L.to_char y1);
+  let y2 = List.assoc "y" (Sim.Engine.run_cycle engine [("a", L.L0)]) in
+  check Alcotest.char "follows to 0" '0' (L.to_char y2)
+
+(* --- Engine: ICG behaviour --- *)
+
+let gated_reg style_cell =
+  let b = B.create ~name:"g" ~library:lib in
+  let clk = B.add_input ~clock:true b "clk" in
+  let p3 = B.add_input ~clock:true b "p3" in
+  let en = B.add_input b "en" in
+  let a = B.add_input b "a" in
+  let gck = B.fresh_net b "gck" in
+  let conns = [("CK", clk); ("EN", en); ("GCK", gck)] in
+  let conns =
+    if String.equal style_cell "ICGP3_X1" then ("P3", p3) :: conns else conns
+  in
+  ignore (B.add_cell b "cg" style_cell conns);
+  let q = B.fresh_net b "q" in
+  ignore (B.add_cell b "r" "DFF_X1" [("CK", gck); ("D", a); ("Q", q)]);
+  B.add_output b "y" q;
+  (B.freeze b, gck)
+
+let ms_clocks = Sim.Clock_spec.master_slave ~period:1.0 ~clk:"clk" ~clkbar:"p3"
+
+let test_icg_standard_gates_pulses () =
+  let d, gck = gated_reg "ICG_X1" in
+  let engine = Sim.Engine.create d ~clocks:ms_clocks in
+  (* enable low: no gated pulses, register holds *)
+  ignore (Sim.Engine.run_cycle engine [("en", L.L0); ("a", L.L1)]);
+  ignore (Sim.Engine.run_cycle engine [("en", L.L0); ("a", L.L1)]);
+  let toggles_when_off = (Sim.Engine.toggles engine).(gck) in
+  let y = List.assoc "y" (Sim.Engine.run_cycle engine [("en", L.L1); ("a", L.L1)]) in
+  check Alcotest.int "gck silent while disabled" 0 toggles_when_off;
+  check Alcotest.char "held reset value while gated" '0' (L.to_char y);
+  (* enable captured, next cycle the register takes the data *)
+  let y2 = List.assoc "y" (Sim.Engine.run_cycle engine [("en", L.L1); ("a", L.L1)]) in
+  check Alcotest.char "captures once enabled" '1' (L.to_char y2)
+
+let test_icg_glitch_free_vs_latchless () =
+  (* the standard ICG ignores an enable that rises while CK is high; the
+     latch-less M2 cell propagates it (that is the hazard the paper's
+     condition must rule out) — both behaviours are modelled *)
+  let d_std, gck_std = gated_reg "ICG_X1" in
+  let d_nl, gck_nl = gated_reg "ICGNL_X1" in
+  ignore gck_std;
+  ignore gck_nl;
+  (* behavioural difference is observable on enables toggling with data;
+     here we just verify both simulate and gate when EN = 0 *)
+  List.iter
+    (fun d ->
+      let engine = Sim.Engine.create d ~clocks:ms_clocks in
+      ignore (Sim.Engine.run_cycle engine [("en", L.L0); ("a", L.L1)]);
+      let y = List.assoc "y" (Sim.Engine.run_cycle engine [("en", L.L0); ("a", L.L1)]) in
+      check Alcotest.char "gated off" '0' (L.to_char y))
+    [d_std; d_nl]
+
+let test_oscillation_detected () =
+  (* a combinational loop through a transparent latch oscillates *)
+  let b = B.create ~name:"osc" ~library:lib in
+  let en = B.add_input ~clock:true b "en" in
+  let q = B.fresh_net b "q" in
+  let nq = B.fresh_net b "nq" in
+  ignore (B.add_cell b "inv" "INV_X1" [("A", q); ("ZN", nq)]);
+  ignore (B.add_cell b "l" "LATH_X1" [("E", en); ("D", nq); ("Q", q)]);
+  B.add_output b "y" q;
+  let d = B.freeze b in
+  let engine = Sim.Engine.create d ~clocks:(Sim.Clock_spec.single ~period:1.0 ~port:"en") in
+  try
+    ignore (Sim.Engine.run_cycle engine []);
+    Alcotest.fail "expected Oscillation"
+  with Sim.Engine.Oscillation _ -> ()
+
+let test_toggle_counting () =
+  let d = ff_chain () in
+  let engine = Sim.Engine.create d ~clocks:(Sim.Clock_spec.single ~period:1.0 ~port:"clk") in
+  List.iter
+    (fun v -> ignore (Sim.Engine.run_cycle engine [("a", v)]))
+    [L.L1; L.L0; L.L1; L.L0];
+  let toggles = Sim.Engine.toggles engine in
+  let clk_net = Option.get (Netlist.Design.find_input d "clk") in
+  check Alcotest.int "clock toggles twice per cycle" 8 toggles.(clk_net);
+  check Alcotest.int "cycles counted" 4 (Sim.Engine.cycles engine)
+
+(* --- Stimulus --- *)
+
+let test_stimulus_deterministic () =
+  let s1 = Sim.Stimulus.random ~seed:9 ~cycles:20 ~toggle_probability:0.5 ["a"; "b"] in
+  let s2 = Sim.Stimulus.random ~seed:9 ~cycles:20 ~toggle_probability:0.5 ["a"; "b"] in
+  check Alcotest.bool "same seed same stream" true (s1 = s2);
+  let s3 = Sim.Stimulus.random ~seed:10 ~cycles:20 ~toggle_probability:0.5 ["a"; "b"] in
+  check Alcotest.bool "different seed differs" true (s1 <> s3)
+
+let test_stimulus_constant () =
+  let s = Sim.Stimulus.constant ~cycles:3 L.L1 ["x"] in
+  check Alcotest.int "3 cycles" 3 (List.length s);
+  List.iter
+    (fun cycle -> check Alcotest.char "held" '1' (L.to_char (List.assoc "x" cycle)))
+    s
+
+(* --- Equivalence --- *)
+
+let test_equivalence_shift_detection () =
+  let mk k = [("y", if k land 1 = 1 then L.L1 else L.L0)] in
+  let ref_stream = List.init 20 mk in
+  let dut_stream = mk 1 :: List.init 20 mk in
+  (* dut has an extra leading sample: reference matches at shift 1 *)
+  (match Sim.Equivalence.compare_streams ~warmup:2 ~max_shift:2
+           ref_stream dut_stream with
+   | Sim.Equivalence.Equivalent { shift } -> check Alcotest.int "shift" 1 shift
+   | Sim.Equivalence.Mismatch _ -> Alcotest.fail "should align at shift 1")
+
+let test_equivalence_mismatch_reported () =
+  let a = List.init 10 (fun k -> [("y", if k = 7 then L.L1 else L.L0)]) in
+  let b = List.init 10 (fun _ -> [("y", L.L0)]) in
+  match Sim.Equivalence.compare_streams ~warmup:2 ~max_shift:0 a b with
+  | Sim.Equivalence.Mismatch m ->
+    check Alcotest.int "cycle" 7 m.Sim.Equivalence.cycle;
+    check Alcotest.string "port" "y" m.Sim.Equivalence.port
+  | Sim.Equivalence.Equivalent _ -> Alcotest.fail "must mismatch"
+
+let suite =
+  [ Alcotest.test_case "logic tables" `Quick test_logic_tables;
+    Alcotest.test_case "clock events" `Quick test_clock_events;
+    Alcotest.test_case "clock levels" `Quick test_clock_levels;
+    Alcotest.test_case "ff chain latency" `Quick test_ff_chain_latency;
+    Alcotest.test_case "ff simultaneous capture" `Quick test_ff_simultaneous_capture;
+    Alcotest.test_case "latch follows and holds" `Quick test_latch_follows_and_holds;
+    Alcotest.test_case "icg gates pulses" `Quick test_icg_standard_gates_pulses;
+    Alcotest.test_case "icg styles simulate" `Quick test_icg_glitch_free_vs_latchless;
+    Alcotest.test_case "oscillation detected" `Quick test_oscillation_detected;
+    Alcotest.test_case "toggle counting" `Quick test_toggle_counting;
+    Alcotest.test_case "stimulus deterministic" `Quick test_stimulus_deterministic;
+    Alcotest.test_case "stimulus constant" `Quick test_stimulus_constant;
+    Alcotest.test_case "equivalence shift" `Quick test_equivalence_shift_detection;
+    Alcotest.test_case "equivalence mismatch" `Quick test_equivalence_mismatch_reported ]
+
+(* --- asynchronous reset cells --- *)
+
+let test_dffr_reset () =
+  let b = B.create ~name:"rst" ~library:lib in
+  let clk = B.add_input ~clock:true b "clk" in
+  let rn = B.add_input b "rn" in
+  let a = B.add_input b "a" in
+  let q = B.fresh_net b "q" in
+  ignore (B.add_cell b "r" "DFFR_X1" [("CK", clk); ("D", a); ("Q", q); ("RN", rn)]);
+  B.add_output b "y" q;
+  let d = B.freeze b in
+  let engine = Sim.Engine.create d ~clocks:(Sim.Clock_spec.single ~period:1.0 ~port:"clk") in
+  (* load a 1 *)
+  ignore (Sim.Engine.run_cycle engine [("a", L.L1); ("rn", L.L1)]);
+  let y = List.assoc "y" (Sim.Engine.run_cycle engine [("a", L.L1); ("rn", L.L1)]) in
+  check Alcotest.char "captured" '1' (L.to_char y);
+  (* assert reset: output clears regardless of data *)
+  let y = List.assoc "y" (Sim.Engine.run_cycle engine [("a", L.L1); ("rn", L.L0)]) in
+  check Alcotest.char "cleared" '0' (L.to_char y);
+  (* release: next capture takes data again *)
+  ignore (Sim.Engine.run_cycle engine [("a", L.L1); ("rn", L.L1)]);
+  let y = List.assoc "y" (Sim.Engine.run_cycle engine [("a", L.L1); ("rn", L.L1)]) in
+  check Alcotest.char "recaptured" '1' (L.to_char y)
+
+let test_lathr_reset () =
+  let b = B.create ~name:"rstl" ~library:lib in
+  let en = B.add_input ~clock:true b "en" in
+  let rn = B.add_input b "rn" in
+  let a = B.add_input b "a" in
+  let q = B.fresh_net b "q" in
+  ignore (B.add_cell b "l" "LATHR_X1" [("E", en); ("D", a); ("Q", q); ("RN", rn)]);
+  B.add_output b "y" q;
+  let d = B.freeze b in
+  let engine = Sim.Engine.create d ~clocks:(Sim.Clock_spec.single ~period:1.0 ~port:"en") in
+  ignore (Sim.Engine.run_cycle engine [("a", L.L1); ("rn", L.L1)]);
+  let y = List.assoc "y" (Sim.Engine.run_cycle engine [("a", L.L1); ("rn", L.L0)]) in
+  check Alcotest.char "latch cleared by reset" '0' (L.to_char y)
+
+let test_x_init_propagates () =
+  let d = ff_chain () in
+  let engine =
+    Sim.Engine.create ~init:`X d
+      ~clocks:(Sim.Clock_spec.single ~period:1.0 ~port:"clk")
+  in
+  (* before any defined input reaches the chain output it reads X *)
+  let y = List.assoc "y" (Sim.Engine.run_cycle engine [("a", L.L1)]) in
+  check Alcotest.char "x initially" 'x' (L.to_char y);
+  ignore (Sim.Engine.run_cycle engine [("a", L.L1)]);
+  ignore (Sim.Engine.run_cycle engine [("a", L.L1)]);
+  let y = List.assoc "y" (Sim.Engine.run_cycle engine [("a", L.L1)]) in
+  check Alcotest.char "washes out" '1' (L.to_char y)
+
+let test_unknown_input_rejected () =
+  let d = ff_chain () in
+  let engine = Sim.Engine.create d ~clocks:(Sim.Clock_spec.single ~period:1.0 ~port:"clk") in
+  try
+    ignore (Sim.Engine.run_cycle engine [("nonexistent", L.L1)]);
+    Alcotest.fail "expected Invalid_argument"
+  with Invalid_argument _ -> ()
+
+let suite =
+  suite
+  @ [ Alcotest.test_case "dffr async reset" `Quick test_dffr_reset;
+      Alcotest.test_case "lathr async reset" `Quick test_lathr_reset;
+      Alcotest.test_case "x-init propagation" `Quick test_x_init_propagates;
+      Alcotest.test_case "unknown input rejected" `Quick test_unknown_input_rejected ]
+
+let test_three_phase_gap () =
+  let spec = Sim.Clock_spec.three_phase ~gap:0.05 ~period:1.0 ~p1:"p1" ~p2:"p2" ~p3:"p3" () in
+  (* each phase opens strictly after the previous closes *)
+  let wf p = List.assoc p spec.Sim.Clock_spec.ports in
+  check Alcotest.bool "p1 opens after t=0" true ((wf "p1").Sim.Clock_spec.rise_at > 0.0);
+  check Alcotest.bool "p2 opens after p1 closes" true
+    ((wf "p2").Sim.Clock_spec.rise_at > (wf "p1").Sim.Clock_spec.fall_at);
+  check Alcotest.bool "p3 opens after p2 closes" true
+    ((wf "p3").Sim.Clock_spec.rise_at > (wf "p2").Sim.Clock_spec.fall_at);
+  (* no instant has two phases high *)
+  let high t =
+    List.filter
+      (fun (p, _) -> Sim.Clock_spec.level_at spec p t = Some true)
+      spec.Sim.Clock_spec.ports
+  in
+  List.iter
+    (fun t ->
+      if List.length (high t) > 1 then
+        Alcotest.failf "phases overlap at t=%.3f" t)
+    [0.0; 0.1; 0.2; 0.34; 0.36; 0.5; 0.68; 0.71; 0.9; 0.999]
+
+let suite =
+  suite @ [ Alcotest.test_case "three-phase gap non-overlap" `Quick test_three_phase_gap ]

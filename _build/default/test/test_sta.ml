@@ -1,0 +1,200 @@
+(* Tests for the timing substrate: path delays, SMO multi-phase checks and
+   hold fixing. *)
+
+let check = Alcotest.check
+
+let lib = Cell_lib.Default_library.library ()
+
+module B = Netlist.Builder
+module D = Netlist.Design
+
+(* clk -> r1 -> inv -> inv -> r2 : exact delays are computable by hand *)
+let two_stage () =
+  let b = B.create ~name:"two" ~library:lib in
+  let clk = B.add_input ~clock:true b "clk" in
+  let a = B.add_input b "a" in
+  let q1 = B.fresh_net b "q1" in
+  ignore (B.add_cell b "r1" "DFF_X1" [("CK", clk); ("D", a); ("Q", q1)]);
+  let n1 = B.fresh_net b "n1" in
+  ignore (B.add_cell b "i1" "INV_X1" [("A", q1); ("ZN", n1)]);
+  let n2 = B.fresh_net b "n2" in
+  ignore (B.add_cell b "i2" "INV_X1" [("A", n1); ("ZN", n2)]);
+  let q2 = B.fresh_net b "q2" in
+  ignore (B.add_cell b "r2" "DFF_X1" [("CK", clk); ("D", n2); ("Q", q2)]);
+  B.add_output b "y" q2;
+  B.freeze b
+
+let inv_delay d wire inst_name =
+  let i = Option.get (D.find_inst d inst_name) in
+  Sta.Delay.inst_delay_max d wire i
+
+let test_path_delays_exact () =
+  let d = two_stage () in
+  let paths = Sta.Paths.compute d in
+  let r1 = Option.get (D.find_inst d "r1") in
+  let r2 = Option.get (D.find_inst d "r2") in
+  let p =
+    List.find
+      (fun (p : Sta.Paths.path) ->
+        p.Sta.Paths.src = Sta.Paths.Reg r1 && p.Sta.Paths.dst = Sta.Paths.Reg r2)
+      (Sta.Paths.all paths)
+  in
+  let expect = inv_delay d Sta.Delay.no_wire "i1" +. inv_delay d Sta.Delay.no_wire "i2" in
+  check (Alcotest.float 1e-9) "max = sum of inverter delays" expect
+    p.Sta.Paths.max_delay;
+  check Alcotest.bool "min <= max" true (p.Sta.Paths.min_delay <= p.Sta.Paths.max_delay)
+
+let test_forward_backward_consistent () =
+  let d = two_stage () in
+  let fwd = Sta.Paths.forward_arrivals d in
+  let bwd = Sta.Paths.backward_delays d in
+  let r2 = Option.get (D.find_inst d "r2") in
+  let dn = Option.get (D.data_net_of d r2) in
+  let r1 = Option.get (D.find_inst d "r1") in
+  let qn = Option.get (D.q_net_of d r1) in
+  (* forward arrival at r2's D equals backward delay from r1's Q *)
+  check (Alcotest.float 1e-9) "forward = backward on a chain" fwd.(dn) bwd.(qn)
+
+let test_smo_ff_design_ok () =
+  let d = two_stage () in
+  let clocks = Sim.Clock_spec.single ~period:1.0 ~port:"clk" in
+  let r = Sta.Smo.check d ~clocks in
+  check Alcotest.bool "meets timing at 1ns" true (Sta.Smo.ok r);
+  (* setup slack should be roughly T - margins - path - clk2q *)
+  check Alcotest.bool "slack below period" true
+    (r.Sta.Smo.worst_setup_slack < 1.0)
+
+let test_smo_catches_setup_violation () =
+  let d = two_stage () in
+  let clocks = Sim.Clock_spec.single ~period:0.1 ~port:"clk" in
+  let r = Sta.Smo.check d ~clocks in
+  check Alcotest.bool "violated at 100ps" false (Sta.Smo.ok r);
+  check Alcotest.bool "reports setup violations" true
+    (List.exists (fun v -> v.Sta.Smo.kind = `Setup) r.Sta.Smo.violations)
+
+let test_smo_three_phase_budgets () =
+  (* p2 -> p1 paths get roughly 2T/3 of budget; validate on a converted
+     pipeline that timing passes at the design period but fails when the
+     period shrinks below the combinational delay's phase budget *)
+  let d = Circuits.Linear_pipeline.make ~width:4 ~stages:4 () in
+  let config = { (Phase3.Flow.default_config ~period:1.0) with
+                 Phase3.Flow.verify_equivalence = false } in
+  let r = Phase3.Flow.run ~config d in
+  let final = r.Phase3.Flow.final in
+  let ok_spec = Phase3.Flow.clocks_of config in
+  check Alcotest.bool "passes at 1ns" true (Sta.Smo.ok (Sta.Smo.check final ~clocks:ok_spec));
+  let tight =
+    Sim.Clock_spec.three_phase ~period:0.12 ~p1:"p1" ~p2:"p2" ~p3:"p3" ()
+  in
+  check Alcotest.bool "fails at 120ps" false
+    (Sta.Smo.ok (Sta.Smo.check final ~clocks:tight))
+
+let test_smo_borrowing_reported () =
+  (* a latch pipeline with a long cone borrows into the next window *)
+  let b = B.create ~name:"borrow" ~library:lib in
+  let p1 = B.add_input ~clock:true b "p1" in
+  let p2 = B.add_input ~clock:true b "p2" in
+  let p3 = B.add_input ~clock:true b "p3" in
+  ignore p3;
+  let a = B.add_input b "a" in
+  let q1 = B.fresh_net b "q1" in
+  ignore (B.add_cell b "l1" "LATH_X1" [("E", p1); ("D", a); ("Q", q1)]);
+  (* long inverter chain *)
+  let rec chain src k =
+    if k = 0 then src
+    else begin
+      let n = B.fresh_net b (Printf.sprintf "c%d" k) in
+      ignore (B.add_cell b (Printf.sprintf "iv%d" k) "INV_X1" [("A", src); ("ZN", n)]);
+      chain n (k - 1)
+    end
+  in
+  let long = chain q1 14 in
+  let q2 = B.fresh_net b "q2" in
+  ignore (B.add_cell b "l2" "LATH_X1" [("E", p2); ("D", long); ("Q", q2)]);
+  B.add_output b "y" q2;
+  let d = B.freeze b in
+  let clocks = Sim.Clock_spec.three_phase ~period:0.8 ~p1:"p1" ~p2:"p2" ~p3:"p3" () in
+  let r = Sta.Smo.check d ~clocks in
+  (* the chain is longer than the p1->p2 shift, so l2's departure borrows *)
+  check Alcotest.bool "borrowing observed" true (r.Sta.Smo.max_borrow > 0.0)
+
+let test_hold_fix_pads_ff_design () =
+  (* a direct register-to-register path violates hold under skew and gets
+     padded until clean *)
+  let b = B.create ~name:"hold" ~library:lib in
+  let clk = B.add_input ~clock:true b "clk" in
+  let a = B.add_input b "a" in
+  let q1 = B.fresh_net b "q1" in
+  ignore (B.add_cell b "r1" "DFF_X1" [("CK", clk); ("D", a); ("Q", q1)]);
+  let q2 = B.fresh_net b "q2" in
+  ignore (B.add_cell b "r2" "DFF_X1" [("CK", clk); ("D", q1); ("Q", q2)]);
+  B.add_output b "y" q2;
+  let d = B.freeze b in
+  let clocks = Sim.Clock_spec.single ~period:1.0 ~port:"clk" in
+  let d', stats = Sta.Hold_fix.run ~skew:0.08 d ~clocks in
+  check Alcotest.bool "buffers added" true (stats.Sta.Hold_fix.buffers_added > 0);
+  check Alcotest.bool "fixed" true stats.Sta.Hold_fix.fixed;
+  let r = Sta.Smo.check ~clock_skew:0.08 d' ~clocks in
+  check Alcotest.bool "hold clean after fix" true (r.Sta.Smo.worst_hold_slack >= 0.0);
+  (* behaviour is unchanged by buffering *)
+  let stim = Sim.Stimulus.random ~seed:2 ~cycles:40 ~toggle_probability:0.5 ["a"] in
+  match Sim.Equivalence.check ~reference:d ~dut:d' ~reference_clocks:clocks
+          ~dut_clocks:clocks ~stimulus:stim () with
+  | Sim.Equivalence.Equivalent { shift } -> check Alcotest.int "no shift" 0 shift
+  | Sim.Equivalence.Mismatch _ -> Alcotest.fail "hold buffers changed behaviour"
+
+let test_hold_fix_three_phase_needs_fewer () =
+  (* the same logical design converted to 3-phase needs fewer hold buffers
+     than the FF original — the paper's comb-power argument *)
+  let d = Circuits.Linear_pipeline.make ~width:8 ~stages:4 () in
+  let period = 1.0 in
+  let ff_clocks = Sim.Clock_spec.single ~period ~port:"clk" in
+  let _, ff_stats = Sta.Hold_fix.run d ~clocks:ff_clocks in
+  let config = { (Phase3.Flow.default_config ~period) with
+                 Phase3.Flow.verify_equivalence = false } in
+  let r = Phase3.Flow.run ~config d in
+  let _, tp_stats =
+    Sta.Hold_fix.run r.Phase3.Flow.final ~clocks:(Phase3.Flow.clocks_of config)
+  in
+  check Alcotest.bool "3-phase needs no more hold buffers than FF" true
+    (tp_stats.Sta.Hold_fix.buffers_added <= ff_stats.Sta.Hold_fix.buffers_added)
+
+let suite =
+  [ Alcotest.test_case "path delays exact" `Quick test_path_delays_exact;
+    Alcotest.test_case "forward/backward consistent" `Quick test_forward_backward_consistent;
+    Alcotest.test_case "smo ok on ff design" `Quick test_smo_ff_design_ok;
+    Alcotest.test_case "smo catches setup violation" `Quick test_smo_catches_setup_violation;
+    Alcotest.test_case "smo three-phase budgets" `Quick test_smo_three_phase_budgets;
+    Alcotest.test_case "smo reports borrowing" `Quick test_smo_borrowing_reported;
+    Alcotest.test_case "hold fix pads ff design" `Quick test_hold_fix_pads_ff_design;
+    Alcotest.test_case "hold fix favours latches" `Quick test_hold_fix_three_phase_needs_fewer ]
+
+let test_smo_exact_vs_class () =
+  (* exact mode can only report equal or better (larger) slacks than the
+     class-based approximation, and they agree when each port has a single
+     register *)
+  let d = Circuits.Generator.synthesize
+      { Circuits.Generator.name = "sx"; seed = 17; inputs = 6; outputs = 4;
+        layers = [|7; 7|]; fanin = 3; cone_depth = 4; self_loop_fraction = 0.2;
+        cross_feedback = 0.2; reuse = 0.2; gated_fraction = 0.0; bank_size = 4;
+        po_cones = 3; frequency_mhz = 1000.0 }
+  in
+  let clocks = Sim.Clock_spec.single ~period:1.0 ~port:"clk" in
+  let approx = Sta.Smo.check d ~clocks in
+  let exact = Sta.Smo.check ~exact:true d ~clocks in
+  check Alcotest.bool "exact setup slack >= class slack" true
+    (exact.Sta.Smo.worst_setup_slack >= approx.Sta.Smo.worst_setup_slack -. 1e-9);
+  check Alcotest.bool "exact hold slack >= class slack" true
+    (exact.Sta.Smo.worst_hold_slack >= approx.Sta.Smo.worst_hold_slack -. 1e-9);
+  (* the converted three-phase design agrees too *)
+  let config = { (Phase3.Flow.default_config ~period:1.0) with
+                 Phase3.Flow.verify_equivalence = false } in
+  let r = Phase3.Flow.run ~config d in
+  let c3 = Phase3.Flow.clocks_of config in
+  let a3 = Sta.Smo.check r.Phase3.Flow.final ~clocks:c3 in
+  let e3 = Sta.Smo.check ~exact:true r.Phase3.Flow.final ~clocks:c3 in
+  check Alcotest.bool "3-phase: exact >= class" true
+    (e3.Sta.Smo.worst_setup_slack >= a3.Sta.Smo.worst_setup_slack -. 1e-9)
+
+let suite =
+  suite @ [ Alcotest.test_case "smo exact vs class" `Quick test_smo_exact_vs_class ]
