@@ -7,6 +7,9 @@
      bench/main.exe                  run everything on the full suite
      bench/main.exe quick            one benchmark per family
      bench/main.exe table1 fig4 ...  selected experiments only
+     bench/main.exe micro --json     also write BENCH_sim.json
+   The suite loop and each benchmark's variants run on multiple domains;
+   set THREEPHASE_JOBS=1 to force a serial run.
    Experiments: table1 table2 fig1 fig2 fig3 fig4 runtime
                 ablation-solver ablation-cg ablation-retime ablation-ddcg
                 ablation-skew ablation-pvt baselines freq-sweep micro *)
@@ -18,7 +21,11 @@ let wants args name =
 
 let run_suite quick =
   let benches = if quick then Circuits.Suite.quick () else Circuits.Suite.all () in
-  List.map
+  (* benchmarks fan out over domains (THREEPHASE_JOBS); results keep the
+     suite order.  The shared cell library parses lazily and Lazy.force
+     is not domain-safe, so force it before spawning. *)
+  ignore (Cell_lib.Default_library.library ());
+  Experiments.Jobs.parallel_map
     (fun b ->
       log "[suite] running %s ..." b.Circuits.Suite.bench_name;
       let r = Experiments.Runner.run b in
@@ -31,7 +38,7 @@ let print_tables ts = List.iter (fun t -> Report.Table.print t; print_newline ()
 
 (* --- Bechamel micro-benchmarks ------------------------------------- *)
 
-let micro () =
+let micro ~json () =
   let open Bechamel in
   let bench = match Circuits.Suite.find "s5378" with
     | Some b -> b
@@ -43,6 +50,7 @@ let micro () =
   let converted = Phase3.Convert.to_three_phase design asg in
   let clocks = Phase3.Flow.clocks_of config in
   let engine = Sim.Engine.create converted ~clocks in
+  let kernel = Sim.Kernel.create converted ~clocks in
   let inputs = Sim.Stimulus.inputs_of converted in
   let stim_cycle =
     match Sim.Stimulus.random ~seed:3 ~cycles:1 ~toggle_probability:0.3 inputs with
@@ -63,6 +71,8 @@ let micro () =
           (Staged.stage (fun () -> Physical.Placement.place design));
         Test.make ~name:"table2:sim-cycle-s5378-3p"
           (Staged.stage (fun () -> ignore (Sim.Engine.run_cycle engine stim_cycle)));
+        Test.make ~name:"table2:kernel-cycle-s5378-3p"
+          (Staged.stage (fun () -> Sim.Kernel.run_cycle_broadcast kernel stim_cycle));
         Test.make ~name:"table2:smo-check-s5378"
           (Staged.stage (fun () -> Sta.Smo.check converted ~clocks)) ]
   in
@@ -77,22 +87,66 @@ let micro () =
       [ ("step", Report.Table.Left); ("ns/run", Report.Table.Right) ]
   in
   let rows = Hashtbl.fold (fun name est acc -> (name, est) :: acc) results [] in
+  let ns_of est =
+    match Bechamel.Analyze.OLS.estimates est with
+    | Some [v] -> Some v
+    | Some _ | None -> None
+  in
   List.iter
     (fun (name, est) ->
       let ns =
-        match Bechamel.Analyze.OLS.estimates est with
-        | Some [v] -> Printf.sprintf "%.0f" v
-        | Some _ | None -> "-"
+        match ns_of est with
+        | Some v -> Printf.sprintf "%.0f" v
+        | None -> "-"
       in
       Report.Table.add_row t [name; ns])
-    (List.sort compare rows);
+    (* estimates are abstract, so order rows by name alone *)
+    (List.sort (fun (a, _) (b, _) -> String.compare a b) rows);
   Report.Table.print t;
-  print_newline ()
+  print_newline ();
+  if json then begin
+    let contains_sub s sub =
+      let n = String.length s and m = String.length sub in
+      let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+      go 0
+    in
+    let find infix =
+      List.find_map
+        (fun (name, est) ->
+          if contains_sub name infix then ns_of est else None)
+        rows
+    in
+    match find "sim-cycle-s5378", find "kernel-cycle-s5378" with
+    | Some scalar_ns, Some kernel_ns ->
+      let lanes = Sim.Kernel.lanes kernel in
+      let per_lane = kernel_ns /. float_of_int lanes in
+      let payload =
+        Printf.sprintf
+          "{\n  \"benchmark\": \"s5378-3phase\",\n  \
+           \"scalar_ns_per_cycle\": %.1f,\n  \
+           \"kernel_ns_per_cycle\": %.1f,\n  \
+           \"lanes\": %d,\n  \
+           \"kernel_ns_per_lane_cycle\": %.2f,\n  \
+           \"speedup_per_lane_cycle\": %.1f\n}\n"
+          scalar_ns kernel_ns lanes per_lane (scalar_ns /. per_lane)
+      in
+      let oc = open_out "BENCH_sim.json" in
+      output_string oc payload;
+      close_out oc;
+      log "[micro] wrote BENCH_sim.json (%.1fx per lane-cycle)"
+        (scalar_ns /. per_lane)
+    | _ -> log "[micro] missing simulator estimates; BENCH_sim.json not written"
+  end
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let quick = List.exists (String.equal "quick") args in
-  let args = List.filter (fun a -> not (String.equal a "quick")) args in
+  let json = List.exists (String.equal "--json") args in
+  let args =
+    List.filter
+      (fun a -> not (String.equal a "quick" || String.equal a "--json"))
+      args
+  in
   let need_suite =
     List.exists (wants args) ["table1"; "table2"; "runtime"]
   in
@@ -123,4 +177,4 @@ let () =
     print_tables [Experiments.Ablation.pvt ()];
   if wants args "freq-sweep" then
     print_tables [Experiments.Tables.frequency_sweep ()];
-  if wants args "micro" then micro ()
+  if wants args "micro" then micro ~json ()

@@ -1,0 +1,90 @@
+(* Bounded domain-level parallelism for the experiment suite.
+
+   [parallel_map] fans a list out over [Domain.spawn] workers while a
+   global token budget keeps the total number of live worker domains
+   bounded even when parallel sections nest (the suite loop in bench/
+   maps over benchmarks whose runners themselves map over variants).
+   Results come back in input order and exceptions are re-raised from
+   the first failing index, so a parallel run is observationally
+   identical to the serial one. *)
+
+let default_jobs () =
+  match Sys.getenv_opt "THREEPHASE_JOBS" with
+  | Some s ->
+    (match int_of_string_opt (String.trim s) with
+     | Some n when n >= 1 -> n
+     | Some _ | None -> 1)
+  | None -> Domain.recommended_domain_count ()
+
+(* tokens for *extra* domains beyond the calling one *)
+let budget = Atomic.make (-1)
+
+let init_budget () =
+  (* first caller fixes the budget; races both write the same value *)
+  if Atomic.get budget < 0 then
+    Atomic.set budget (max 0 (default_jobs () - 1))
+
+let rec try_reserve () =
+  let n = Atomic.get budget in
+  if n <= 0 then 0
+  else begin
+    let want = n in
+    if Atomic.compare_and_set budget n 0 then want else try_reserve ()
+  end
+
+let release n = if n > 0 then ignore (Atomic.fetch_and_add budget n)
+
+exception Worker of int * exn * Printexc.raw_backtrace
+
+let parallel_map f items =
+  init_budget ();
+  let items = Array.of_list items in
+  let n = Array.length items in
+  if n <= 1 then Array.to_list (Array.map f items)
+  else begin
+    let tokens = try_reserve () in
+    let extra = min tokens (n - 1) in
+    if extra = 0 then begin
+      release tokens;
+      Array.to_list (Array.map f items)
+    end
+    else begin
+      release (tokens - extra);
+      let results = Array.make n None in
+      let next = Atomic.make 0 in
+      let work () =
+        let continue = ref true in
+        while !continue do
+          let i = Atomic.fetch_and_add next 1 in
+          if i >= n then continue := false
+          else
+            results.(i) <-
+              (match f items.(i) with
+               | r -> Some (Ok r)
+               | exception e ->
+                 Some (Error (i, e, Printexc.get_raw_backtrace ())))
+        done
+      in
+      let domains = Array.init extra (fun _ -> Domain.spawn work) in
+      work ();
+      Array.iter Domain.join domains;
+      release extra;
+      (* surface the first failure in input order, like a serial run *)
+      Array.iter
+        (function
+          | Some (Error (i, e, bt)) -> raise (Worker (i, e, bt))
+          | Some (Ok _) | None -> ())
+        results;
+      Array.to_list
+        (Array.map
+           (function
+             | Some (Ok r) -> r
+             | Some (Error _) | None -> assert false)
+           results)
+    end
+  end
+
+let parallel_map f items =
+  match parallel_map f items with
+  | r -> r
+  | exception Worker (_, e, bt) -> Printexc.raise_with_backtrace e bt

@@ -1,0 +1,22 @@
+(** Bounded domain-level parallelism for the experiment suite.
+
+    The worker count comes from the [THREEPHASE_JOBS] environment
+    variable when set (values below 1, or unparsable, fall back to
+    serial), otherwise from [Domain.recommended_domain_count].  A global
+    token budget bounds the total number of live domains across nested
+    [parallel_map] calls, so the suite loop mapping over benchmarks and
+    each runner mapping over variants cannot oversubscribe the machine.
+
+    Results preserve input order and the first exception (by input
+    index) is re-raised with its backtrace — a parallel run is
+    observationally identical to a serial one. *)
+
+(** Effective worker count ([THREEPHASE_JOBS] or the domain count). *)
+val default_jobs : unit -> int
+
+(** [parallel_map f items] maps [f] over [items], possibly on multiple
+    domains.  [f] must not depend on evaluation order and, because it
+    may run on a fresh domain, must not race on shared mutable state —
+    force any lazily-initialised shared structure (e.g. the parsed cell
+    library) before calling. *)
+val parallel_map : ('a -> 'b) -> 'a list -> 'b list

@@ -20,13 +20,21 @@ type t = {
 
 let now () = Unix.gettimeofday ()
 
+(* Monte-Carlo activity: the bit-parallel kernel runs one independently
+   seeded workload stream per lane, so one simulation pass gathers
+   [Kernel.max_lanes] workloads' worth of toggle statistics.  Activity is
+   normalised per lane-cycle, keeping the power model's rates comparable
+   to a scalar run. *)
 let evaluate design ~clocks ~workload ~cycles ~seed =
   let design, _hold = Sta.Hold_fix.run design ~clocks in
   let impl = Physical.Implement.run design in
-  let engine = Sim.Engine.create design ~clocks in
-  let stim = Circuits.Workload.stimulus workload ~seed ~cycles design in
-  ignore (Sim.Engine.run_stream engine stim);
-  let activity = (Sim.Engine.toggles engine, Sim.Engine.cycles engine) in
+  let kernel = Sim.Kernel.create design ~clocks in
+  let streams =
+    Array.init (Sim.Kernel.lanes kernel) (fun l ->
+        Circuits.Workload.stimulus workload ~seed:(seed + l) ~cycles design)
+  in
+  Sim.Kernel.run_streams kernel streams;
+  let activity = (Sim.Kernel.toggles kernel, Sim.Kernel.lane_cycles kernel) in
   let detail =
     Power.Estimate.run impl ~activity ~period:clocks.Sim.Clock_spec.period
   in
@@ -47,48 +55,64 @@ let variant_of design ~clocks ~workload ~cycles ~seed ~t0 =
       impl.Physical.Implement.clock_tree.Physical.Clock_tree.total_buffers;
     runtime_s = now () -. t0 }
 
+type variant_result =
+  | R_ff of variant
+  | R_ms of variant
+  | R_threep of variant * Phase3.Flow.result
+
 let run ?(cycles = 384) ?(verify = true) (bench : Circuits.Suite.benchmark) =
   let total0 = now () in
   let period = bench.Circuits.Suite.period_ns in
   let workload = bench.Circuits.Suite.workload in
   let seed = 2024 in
   let original = bench.Circuits.Suite.build () in
-  (* flip-flop reference *)
-  let t0 = now () in
   let ff_clocks = Phase3.Flow.reference_clocks original ~period in
-  let ff = variant_of original ~clocks:ff_clocks ~workload ~cycles ~seed ~t0 in
-  (* master-slave baseline *)
-  let t0 = now () in
-  let ms_design = Phase3.Master_slave.convert original in
-  (if verify then
-     let stim = Circuits.Workload.stimulus workload ~seed:(seed + 1) ~cycles:128 original in
-     match
-       Sim.Equivalence.check ~reference:original ~dut:ms_design
-         ~reference_clocks:ff_clocks ~dut_clocks:ff_clocks ~stimulus:stim ()
-     with
-     | Sim.Equivalence.Equivalent _ -> ()
-     | Sim.Equivalence.Mismatch m ->
-       failwith
-         (Format.asprintf "master-slave conversion of %s not equivalent: %a"
-            bench.Circuits.Suite.bench_name Sim.Equivalence.pp_mismatch m));
-  let ms = variant_of ms_design ~clocks:ff_clocks ~workload ~cycles ~seed ~t0 in
-  (* 3-phase flow *)
-  let t0 = now () in
-  let config =
-    { (Phase3.Flow.default_config ~period) with
-      Phase3.Flow.verify_equivalence = verify;
-      activity_cycles = cycles }
+  (* the three variants are independent given the original design, so
+     they can run on separate domains; force the lazily parsed cell
+     library first — Lazy.force is not domain-safe *)
+  ignore (Cell_lib.Default_library.library ());
+  let build_ff () =
+    let t0 = now () in
+    R_ff (variant_of original ~clocks:ff_clocks ~workload ~cycles ~seed ~t0)
   in
-  let flow = Phase3.Flow.run ~config original in
-  let threep_clocks = Phase3.Flow.clocks_of config in
-  let threep =
-    variant_of flow.Phase3.Flow.final ~clocks:threep_clocks ~workload ~cycles
-      ~seed ~t0
+  let build_ms () =
+    let t0 = now () in
+    let ms_design = Phase3.Master_slave.convert original in
+    (if verify then
+       let stim = Circuits.Workload.stimulus workload ~seed:(seed + 1) ~cycles:128 original in
+       match
+         Sim.Equivalence.check ~reference:original ~dut:ms_design
+           ~reference_clocks:ff_clocks ~dut_clocks:ff_clocks ~stimulus:stim ()
+       with
+       | Sim.Equivalence.Equivalent _ -> ()
+       | Sim.Equivalence.Mismatch m ->
+         failwith
+           (Format.asprintf "master-slave conversion of %s not equivalent: %a"
+              bench.Circuits.Suite.bench_name Sim.Equivalence.pp_mismatch m));
+    R_ms (variant_of ms_design ~clocks:ff_clocks ~workload ~cycles ~seed ~t0)
   in
-  { bench;
-    ff;
-    ms;
-    threep;
-    flow;
-    ilp_time_s = flow.Phase3.Flow.assignment.Phase3.Assignment.solve_time_s;
-    total_time_s = now () -. total0 }
+  let build_threep () =
+    let t0 = now () in
+    let config =
+      { (Phase3.Flow.default_config ~period) with
+        Phase3.Flow.verify_equivalence = verify;
+        activity_cycles = cycles }
+    in
+    let flow = Phase3.Flow.run ~config original in
+    let threep_clocks = Phase3.Flow.clocks_of config in
+    let threep =
+      variant_of flow.Phase3.Flow.final ~clocks:threep_clocks ~workload ~cycles
+        ~seed ~t0
+    in
+    R_threep (threep, flow)
+  in
+  match Jobs.parallel_map (fun f -> f ()) [build_ff; build_ms; build_threep] with
+  | [R_ff ff; R_ms ms; R_threep (threep, flow)] ->
+    { bench;
+      ff;
+      ms;
+      threep;
+      flow;
+      ilp_time_s = flow.Phase3.Flow.assignment.Phase3.Assignment.solve_time_s;
+      total_time_s = now () -. total0 }
+  | _ -> assert false

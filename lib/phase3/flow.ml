@@ -85,15 +85,19 @@ let run ~config d =
   in
   let final, cg_stats =
     if cg_on then begin
-      (* profile activity on the pre-gating design *)
-      let engine = Sim.Engine.create retimed ~clocks in
-      let stim =
-        Sim.Stimulus.random ~seed:config.activity_seed
-          ~cycles:config.activity_cycles ~toggle_probability:0.25
-          (Sim.Stimulus.inputs_of retimed)
+      (* profile activity on the pre-gating design: the bit-parallel
+         kernel runs one independently seeded stimulus stream per lane,
+         so the DDCG decisions see Monte-Carlo toggle statistics rather
+         than a single random trace *)
+      let kernel = Sim.Kernel.create retimed ~clocks in
+      let inputs = Sim.Stimulus.inputs_of retimed in
+      let streams =
+        Array.init (Sim.Kernel.lanes kernel) (fun l ->
+            Sim.Stimulus.random ~seed:(config.activity_seed + l)
+              ~cycles:config.activity_cycles ~toggle_probability:0.25 inputs)
       in
-      ignore (Sim.Engine.run_stream engine stim);
-      let activity = (Sim.Engine.toggles engine, Sim.Engine.cycles engine) in
+      Sim.Kernel.run_streams kernel streams;
+      let activity = (Sim.Kernel.toggles kernel, Sim.Kernel.lane_cycles kernel) in
       let d', s =
         Clock_gating.run ~options:config.clock_gating ~ports:config.ports
           ~activity retimed

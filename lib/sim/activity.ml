@@ -11,21 +11,29 @@ type t = {
   entries : entry list;
 }
 
-let capture engine =
-  let design = Engine.design engine in
-  let toggles = Engine.toggles engine in
-  let cycles = max 1 (Engine.cycles engine) in
+let of_counts design ~toggles ~cycles =
+  let denom = max 1 cycles in
   let entries =
     List.init (Netlist.Design.num_nets design) (fun net ->
         { net;
           net_name = Netlist.Design.net_name design net;
           toggles = toggles.(net);
-          rate = float_of_int toggles.(net) /. float_of_int cycles })
+          rate = float_of_int toggles.(net) /. float_of_int denom })
     |> List.sort (fun a b -> compare b.toggles a.toggles)
   in
-  { design_name = design.Netlist.Design.design_name;
-    cycles = Engine.cycles engine;
-    entries }
+  { design_name = design.Netlist.Design.design_name; cycles; entries }
+
+let capture engine =
+  of_counts (Engine.design engine)
+    ~toggles:(Engine.toggles engine)
+    ~cycles:(Engine.cycles engine)
+
+(* rates are per simulated lane-cycle, so a 63-lane Monte-Carlo run and a
+   scalar run of the same length are directly comparable *)
+let capture_kernel kernel =
+  of_counts (Kernel.design kernel)
+    ~toggles:(Kernel.toggles kernel)
+    ~cycles:(Kernel.lane_cycles kernel)
 
 let quiet_nets t ~threshold =
   List.filter (fun e -> e.rate < threshold) t.entries

@@ -19,6 +19,11 @@ type t = {
 (** Snapshot the engine's counters. *)
 val capture : Engine.t -> t
 
+(** Snapshot a bit-parallel kernel's counters, summed over all lanes;
+    [cycles] is {!Kernel.lane_cycles} so rates stay toggles per simulated
+    cycle. *)
+val capture_kernel : Kernel.t -> t
+
 (** Nets quieter than [threshold] toggles/cycle — the DDCG candidates. *)
 val quiet_nets : t -> threshold:float -> entry list
 

@@ -37,9 +37,16 @@ type t = {
   toggle_count : int array;
   mutable cycle_count : int;
   period_events : (float * (string * bool) list) list;
-  queue : int Queue.t;
+  (* level-ordered worklist: woken instances drain lowest level first, so
+     every gate sees fully settled inputs of the current wave (glitch-free
+     and deterministic; matches Sim.Kernel's evaluation order) *)
+  levels : int array;             (* per instance; sequential = last bucket *)
+  buckets : int Queue.t array;
+  mutable cursor : int;           (* <= lowest non-empty bucket *)
+  mutable queued : int;
   in_queue : bool array;
-  input_nets : (string * int) list;  (* non-clock PIs *)
+  input_nets : (string * int) list;       (* non-clock PIs *)
+  input_index : (string, int) Hashtbl.t;  (* port name -> net *)
 }
 
 (* --- Compilation --- *)
@@ -119,42 +126,6 @@ let compile_inst d i =
     C_comb { ins; out = conn out_pin; f = compile_expr pin_names func;
              scratch = Array.make (Array.length ins) Logic.LX }
 
-let clock_network_order d =
-  (* BFS from all clock ports through buffers and ICGs *)
-  let order = ref [] in
-  let seen_inst = Hashtbl.create 64 in
-  let seen_net = Hashtbl.create 64 in
-  let frontier = Queue.create () in
-  List.iter
-    (fun port ->
-      match Design.find_input d port with
-      | Some n -> Queue.add n frontier
-      | None -> ())
-    d.Design.clock_ports;
-  while not (Queue.is_empty frontier) do
-    let net = Queue.pop frontier in
-    if not (Hashtbl.mem seen_net net) then begin
-      Hashtbl.add seen_net net ();
-      List.iter
-        (fun (i, pin) ->
-          let c = Design.cell d i in
-          let continue_through =
-            match c.Cell_lib.Cell.kind with
-            | Cell_lib.Cell.Clock_gate { clock_pin; _ } -> String.equal pin clock_pin
-            | Cell_lib.Cell.Combinational ->
-              List.length (Cell_lib.Cell.input_pins c) = 1
-            | Cell_lib.Cell.Flip_flop _ | Cell_lib.Cell.Latch _ -> false
-          in
-          if continue_through && not (Hashtbl.mem seen_inst i) then begin
-            Hashtbl.add seen_inst i ();
-            order := i :: !order;
-            List.iter (fun n -> Queue.add n frontier) (Design.output_nets d i)
-          end)
-        d.Design.net_sinks.(net)
-    end
-  done;
-  Array.of_list (List.rev !order)
-
 let make_raw ~init design ~clocks =
   let n_nets = Design.num_nets design in
   let n_insts = Design.num_insts design in
@@ -180,6 +151,9 @@ let make_raw ~init design ~clocks =
         if Design.is_clock_port design p then None else Some (p, n))
       design.Design.primary_inputs
   in
+  let input_index = Hashtbl.create (List.length input_nets) in
+  List.iter (fun (p, n) -> Hashtbl.replace input_index p n) input_nets;
+  let lv = Levelize.compute design in
   let t = {
     design;
     clocks;
@@ -188,15 +162,37 @@ let make_raw ~init design ~clocks =
     prev_clk;
     compiled;
     fanout_insts;
-    clock_insts = clock_network_order design;
+    clock_insts = Levelize.clock_network_order design;
     toggle_count = Array.make n_nets 0;
     cycle_count = 0;
     period_events = Clock_spec.events clocks;
-    queue = Queue.create ();
+    levels = lv.Levelize.level;
+    buckets = Array.init lv.Levelize.n_buckets (fun _ -> Queue.create ());
+    cursor = 0;
+    queued = 0;
     in_queue = Array.make n_insts false;
-  input_nets;
+    input_nets;
+    input_index;
   } in
   t
+
+(* --- Worklist ------------------------------------------------------- *)
+
+let wake t i =
+  if not t.in_queue.(i) then begin
+    t.in_queue.(i) <- true;
+    let l = t.levels.(i) in
+    Queue.add i t.buckets.(l);
+    t.queued <- t.queued + 1;
+    if l < t.cursor then t.cursor <- l
+  end
+
+let pop t =
+  while Queue.is_empty t.buckets.(t.cursor) do
+    t.cursor <- t.cursor + 1
+  done;
+  t.queued <- t.queued - 1;
+  Queue.pop t.buckets.(t.cursor)
 
 (* --- Value updates --- *)
 
@@ -222,11 +218,7 @@ let set_net t net v =
     t.values.(net) <- v;
     let fo = t.fanout_insts.(net) in
     for k = 0 to Array.length fo - 1 do
-      let i = fo.(k) in
-      if not (t.in_queue.(i)) then begin
-        t.in_queue.(i) <- true;
-        Queue.add i t.queue
-      end
+      wake t fo.(k)
     done
   end
 
@@ -282,13 +274,13 @@ let eval_inst t i =
 let settle t =
   let budget = 64 * (Design.num_insts t.design + 16) in
   let steps = ref 0 in
-  while not (Queue.is_empty t.queue) do
+  while t.queued > 0 do
     incr steps;
     if !steps > budget then
       raise (Oscillation
                (Printf.sprintf "design %s failed to settle"
                   t.design.Design.design_name));
-    let i = Queue.pop t.queue in
+    let i = pop t in
     t.in_queue.(i) <- false;
     eval_inst t i
   done
@@ -378,11 +370,7 @@ let apply_clock_event t changes =
       | Some net ->
         let fo = t.fanout_insts.(net) in
         for k = 0 to Array.length fo - 1 do
-          let i = fo.(k) in
-          if not t.in_queue.(i) then begin
-            t.in_queue.(i) <- true;
-            Queue.add i t.queue
-          end
+          wake t fo.(k)
         done
       | None -> ())
     changes;
@@ -392,11 +380,7 @@ let apply_clock_event t changes =
       | C_comb { out; _ } | C_icg { gck = out; _ } ->
         let fo = t.fanout_insts.(out) in
         for k = 0 to Array.length fo - 1 do
-          let j = fo.(k) in
-          if not t.in_queue.(j) then begin
-            t.in_queue.(j) <- true;
-            Queue.add j t.queue
-          end
+          wake t fo.(k)
         done
       | C_ff _ | C_latch _ -> ())
     t.clock_insts;
@@ -440,8 +424,8 @@ let run_cycle t inputs =
     evs;
   List.iter
     (fun (port, v) ->
-      match List.find_opt (fun (p, _) -> String.equal p port) t.input_nets with
-      | Some (_, net) -> set_net t net v
+      match Hashtbl.find_opt t.input_index port with
+      | Some net -> set_net t net v
       | None -> invalid_arg (Printf.sprintf "Engine.run_cycle: unknown input %s" port))
     inputs;
   settle t;
@@ -487,11 +471,7 @@ let create ?(init = `Zero) design ~clocks =
   Array.iteri
     (fun i comp ->
       match comp with
-      | C_comb _ ->
-        if not t.in_queue.(i) then begin
-          t.in_queue.(i) <- true;
-          Queue.add i t.queue
-        end
+      | C_comb _ -> wake t i
       | C_ff _ | C_latch _ | C_icg _ -> ())
     t.compiled;
   settle t;
@@ -512,12 +492,6 @@ let create ?(init = `Zero) design ~clocks =
   propagate_clock_network t;
   (* final settle: latches whose (possibly gated) enables are active at
      time zero-minus now track their data inputs *)
-  Array.iteri
-    (fun i _ ->
-      if not t.in_queue.(i) then begin
-        t.in_queue.(i) <- true;
-        Queue.add i t.queue
-      end)
-    t.compiled;
+  Array.iteri (fun i _ -> wake t i) t.compiled;
   settle t;
   t

@@ -1,0 +1,861 @@
+module Design = Netlist.Design
+
+exception Oscillation of string
+
+let max_lanes = 63
+
+(* --- Lane words ------------------------------------------------------
+
+   A net's 3-valued state is two bitplanes packed into one native int
+   each: bit [l] of [v] is lane [l]'s value, bit [l] of [x] marks lane
+   [l] unknown.  Canonical form: [v land x = 0] and both planes stay
+   inside the lane mask.  One bitwise pass therefore evaluates up to 63
+   independent stimulus lanes. *)
+
+let mask_of lanes = if lanes >= 63 then -1 else (1 lsl lanes) - 1
+
+(* popcount over the 63-bit pattern via a 16-bit table (lsr is logical,
+   so the sign bit lands in the top chunk) *)
+let pop16 =
+  let tbl = Bytes.create 65536 in
+  for i = 0 to 65535 do
+    let rec cnt n acc = if n = 0 then acc else cnt (n lsr 1) (acc + (n land 1)) in
+    Bytes.unsafe_set tbl i (Char.unsafe_chr (cnt i 0))
+  done;
+  tbl
+
+let popcount n =
+  Char.code (Bytes.unsafe_get pop16 (n land 0xffff))
+  + Char.code (Bytes.unsafe_get pop16 ((n lsr 16) land 0xffff))
+  + Char.code (Bytes.unsafe_get pop16 ((n lsr 32) land 0xffff))
+  + Char.code (Bytes.unsafe_get pop16 (n lsr 48))
+
+(* --- Instruction set -------------------------------------------------
+
+   Every instance compiles to one opcode over a CSR operand slice.
+   Common cell functions get fused opcodes; anything else falls back to
+   a postfix micro-program over the cell's input pins. *)
+
+let op_const0 = 0
+let op_const1 = 1
+let op_buf = 2
+let op_inv = 3
+let op_and = 4      (* n-ary *)
+let op_nand = 5
+let op_or = 6
+let op_nor = 7
+let op_xor2 = 8
+let op_xnor2 = 9
+let op_mux = 10     (* ins = [s; b; a], out = s ? b : a *)
+let op_aoi21 = 11   (* !((i0 & i1) | i2) *)
+let op_oai21 = 12   (* !((i0 | i1) & i2) *)
+let op_prog = 13
+let op_ff = 16      (* ins = [clk; d (; rn)] *)
+let op_latch_h = 17 (* ins = [en; d (; rn)] *)
+let op_latch_l = 18
+let op_icg_std = 19 (* ins = [ck; en] *)
+let op_icg_m1 = 20  (* ins = [ck; en (; p3)] *)
+let op_icg_m2 = 21
+
+(* postfix micro-ops: tag in low 3 bits, pin index above *)
+let p_pin = 0
+let p_c0 = 1
+let p_c1 = 2
+let p_not = 3
+let p_and = 4
+let p_or = 5
+let p_xor = 6
+
+type t = {
+  design : Design.t;
+  clocks : Clock_spec.t;
+  lanes : int;
+  mask : int;
+  (* nets: bitplanes and toggle counters *)
+  v : int array;
+  x : int array;
+  toggles : int array;        (* popcount-summed over all lanes *)
+  toggles0 : int array;       (* lane 0 only — the scalar-oracle view *)
+  (* instances: flat compiled form *)
+  opcode : int array;
+  ins_off : int array;        (* CSR into ins, length n_insts+1 *)
+  ins : int array;            (* operand nets *)
+  out_net : int array;
+  st_v : int array;           (* FF/latch state; ICG enable-latch state *)
+  st_x : int array;
+  pv_v : int array;           (* previous clock/enable pin planes *)
+  pv_x : int array;
+  prog_off : int array;       (* CSR into prog (op_prog instances only) *)
+  prog : int array;
+  prog_sv : int array;        (* shared evaluation stacks *)
+  prog_sx : int array;
+  (* graph: CSR fanout net -> sink instances *)
+  fo_off : int array;
+  fo : int array;
+  (* level-ordered worklist (same discipline as Engine.settle) *)
+  levels : int array;
+  buckets : int Queue.t array;
+  mutable cursor : int;
+  mutable queued : int;
+  in_queue : bool array;
+  clock_insts : int array;
+  period_events : (float * (string * bool) list) list;
+  input_nets : (string * int) list;
+  input_index : (string, int) Hashtbl.t;
+  (* primary-input staging for per-lane application *)
+  stage_v : int array;
+  stage_x : int array;
+  staged : bool array;
+  mutable touched : int list;
+  mutable cycle_count : int;
+}
+
+(* --- Compilation ----------------------------------------------------- *)
+
+type compiled_inst = {
+  c_op : int;
+  c_ins : int list;       (* operand nets *)
+  c_out : int;
+  c_prog : int list;      (* postfix program, op_prog only *)
+  c_depth : int;          (* its stack need *)
+}
+
+let rec flatten_and e acc =
+  match e with
+  | Cell_lib.Expr.And (a, b) -> flatten_and a (flatten_and b acc)
+  | e -> e :: acc
+
+let rec flatten_or e acc =
+  match e with
+  | Cell_lib.Expr.Or (a, b) -> flatten_or a (flatten_or b acc)
+  | e -> e :: acc
+
+let all_pins es =
+  let rec go acc = function
+    | [] -> Some (List.rev acc)
+    | Cell_lib.Expr.Pin p :: rest -> go (p :: acc) rest
+    | _ -> None
+  in
+  go [] es
+
+(* recognize a fused opcode; operands returned as pin names *)
+let classify expr =
+  let open Cell_lib.Expr in
+  match expr with
+  | Const false -> Some (op_const0, [])
+  | Const true -> Some (op_const1, [])
+  | Pin p -> Some (op_buf, [p])
+  | Xor (Pin a, Pin b) -> Some (op_xor2, [a; b])
+  | Or (And (Pin s, Pin b), And (Not (Pin s'), Pin a)) when String.equal s s' ->
+    Some (op_mux, [s; b; a])
+  | Or (And (Not (Pin s), Pin a), And (Pin s', Pin b)) when String.equal s s' ->
+    Some (op_mux, [s; b; a])
+  | Not inner ->
+    (match inner with
+     | Pin p -> Some (op_inv, [p])
+     | Xor (Pin a, Pin b) -> Some (op_xnor2, [a; b])
+     | Or (And (Pin a1, Pin a2), Pin b) -> Some (op_aoi21, [a1; a2; b])
+     | Or (Pin b, And (Pin a1, Pin a2)) -> Some (op_aoi21, [a1; a2; b])
+     | And (Or (Pin a1, Pin a2), Pin b) -> Some (op_oai21, [a1; a2; b])
+     | And (Pin b, Or (Pin a1, Pin a2)) -> Some (op_oai21, [a1; a2; b])
+     | And _ ->
+       (match all_pins (flatten_and inner []) with
+        | Some pins -> Some (op_nand, pins)
+        | None -> None)
+     | Or _ ->
+       (match all_pins (flatten_or inner []) with
+        | Some pins -> Some (op_nor, pins)
+        | None -> None)
+     | _ -> None)
+  | And _ ->
+    (match all_pins (flatten_and expr []) with
+     | Some pins -> Some (op_and, pins)
+     | None -> None)
+  | Or _ ->
+    (match all_pins (flatten_or expr []) with
+     | Some pins -> Some (op_or, pins)
+     | None -> None)
+  | Xor _ -> None
+
+(* postfix fallback: program over input-pin indexes *)
+let compile_prog pins expr =
+  let index p =
+    let rec go k = function
+      | [] -> invalid_arg ("Kernel: function references unknown pin " ^ p)
+      | name :: rest -> if String.equal name p then k else go (k + 1) rest
+    in
+    go 0 pins
+  in
+  let code = ref [] in
+  let emit op = code := op :: !code in
+  let depth = ref 0 and max_depth = ref 0 in
+  let push () =
+    incr depth;
+    if !depth > !max_depth then max_depth := !depth
+  in
+  let rec go = function
+    | Cell_lib.Expr.Const b -> emit (if b then p_c1 else p_c0); push ()
+    | Cell_lib.Expr.Pin p -> emit (p_pin lor (index p lsl 3)); push ()
+    | Cell_lib.Expr.Not e -> go e; emit p_not
+    | Cell_lib.Expr.And (a, b) -> go a; go b; emit p_and; decr depth
+    | Cell_lib.Expr.Or (a, b) -> go a; go b; emit p_or; decr depth
+    | Cell_lib.Expr.Xor (a, b) -> go a; go b; emit p_xor; decr depth
+  in
+  go expr;
+  (List.rev !code, !max_depth)
+
+let compile_inst d i =
+  let c = Design.cell d i in
+  let conn pin =
+    match Design.pin_net_opt d i pin with
+    | Some n -> n
+    | None ->
+      invalid_arg
+        (Printf.sprintf "Kernel: %s pin %s unconnected" (Design.inst_name d i) pin)
+  in
+  match c.Cell_lib.Cell.kind with
+  | Cell_lib.Cell.Flip_flop { clock_pin; data_pin; edge; reset_pin } ->
+    (* active-low-edge FFs are not used by this project *)
+    assert (edge = Cell_lib.Cell.Active_high);
+    let rn = match reset_pin with Some p -> [conn p] | None -> [] in
+    { c_op = op_ff; c_ins = conn clock_pin :: conn data_pin :: rn;
+      c_out = conn "Q"; c_prog = []; c_depth = 0 }
+  | Cell_lib.Cell.Latch { enable_pin; data_pin; transparent; reset_pin } ->
+    let rn = match reset_pin with Some p -> [conn p] | None -> [] in
+    let op =
+      if transparent = Cell_lib.Cell.Active_high then op_latch_h else op_latch_l
+    in
+    { c_op = op; c_ins = conn enable_pin :: conn data_pin :: rn;
+      c_out = conn "Q"; c_prog = []; c_depth = 0 }
+  | Cell_lib.Cell.Clock_gate { clock_pin; enable_pin; style; aux_clock_pin } ->
+    let op, aux =
+      match style with
+      | Cell_lib.Cell.Icg_standard -> op_icg_std, []
+      | Cell_lib.Cell.Icg_m1_p3 ->
+        op_icg_m1, (match aux_clock_pin with Some p -> [conn p] | None -> [])
+      | Cell_lib.Cell.Icg_m2_latchless -> op_icg_m2, []
+    in
+    { c_op = op; c_ins = conn clock_pin :: conn enable_pin :: aux;
+      c_out = conn "GCK"; c_prog = []; c_depth = 0 }
+  | Cell_lib.Cell.Combinational ->
+    let input_pins = Cell_lib.Cell.input_pins c in
+    let pin_names =
+      List.map (fun (p : Cell_lib.Cell.pin) -> p.Cell_lib.Cell.pin_name) input_pins
+    in
+    let out_pin, func =
+      match Cell_lib.Cell.output_pins c with
+      | [p] ->
+        (match p.Cell_lib.Cell.func with
+         | Some f -> p.Cell_lib.Cell.pin_name, f
+         | None ->
+           invalid_arg
+             (Printf.sprintf "Kernel: comb cell %s output has no function"
+                c.Cell_lib.Cell.name))
+      | [] | _ :: _ :: _ ->
+        invalid_arg
+          (Printf.sprintf "Kernel: comb cell %s must have one output"
+             c.Cell_lib.Cell.name)
+    in
+    (match classify func with
+     | Some (op, operand_pins) ->
+       { c_op = op; c_ins = List.map conn operand_pins; c_out = conn out_pin;
+         c_prog = []; c_depth = 0 }
+     | None ->
+       let prog, depth = compile_prog pin_names func in
+       { c_op = op_prog; c_ins = List.map conn pin_names; c_out = conn out_pin;
+         c_prog = prog; c_depth = depth })
+
+let is_seq_op op = op = op_ff || op = op_latch_h || op = op_latch_l
+
+let is_icg_op op = op >= op_icg_std
+
+(* --- Worklist -------------------------------------------------------- *)
+
+let wake t i =
+  if not t.in_queue.(i) then begin
+    t.in_queue.(i) <- true;
+    let l = t.levels.(i) in
+    Queue.add i t.buckets.(l);
+    t.queued <- t.queued + 1;
+    if l < t.cursor then t.cursor <- l
+  end
+
+let pop t =
+  while Queue.is_empty t.buckets.(t.cursor) do
+    t.cursor <- t.cursor + 1
+  done;
+  t.queued <- t.queued - 1;
+  Queue.pop t.buckets.(t.cursor)
+
+(* --- Net commits ------------------------------------------------------ *)
+
+let count_toggles t n ov ox nv nx =
+  let d = (ov lxor nv) land lnot ox land lnot nx in
+  if d <> 0 then begin
+    t.toggles.(n) <- t.toggles.(n) + popcount d;
+    t.toggles0.(n) <- t.toggles0.(n) + (d land 1)
+  end
+
+(* quiet: count, don't wake readers (clock-network propagation) *)
+let set_net_quiet t n nv nx =
+  let ov = t.v.(n) and ox = t.x.(n) in
+  if ov <> nv || ox <> nx then begin
+    count_toggles t n ov ox nv nx;
+    t.v.(n) <- nv;
+    t.x.(n) <- nx
+  end
+
+let set_net t n nv nx =
+  let ov = t.v.(n) and ox = t.x.(n) in
+  if ov <> nv || ox <> nx then begin
+    count_toggles t n ov ox nv nx;
+    t.v.(n) <- nv;
+    t.x.(n) <- nx;
+    for k = t.fo_off.(n) to t.fo_off.(n + 1) - 1 do
+      wake t t.fo.(k)
+    done
+  end
+
+(* --- Bitwise 3-valued primitives (canonical planes in, canonical out) *)
+
+(* AND: 0 dominates X; unknown only where no side is a definite 0 *)
+let and_v va vb = va land vb
+let and_x va xa vb xb = (xa lor xb) land (va lor xa) land (vb lor xb)
+
+(* OR: 1 dominates X *)
+let or_v va vb = va lor vb
+let or_x va xa vb xb = (xa lor xb) land lnot (va lor vb)
+
+let xor_x xa xb = xa lor xb
+let xor_v va xa vb xb = (va lxor vb) land lnot (xa lor xb)
+
+let not_v mask va xa = mask land lnot (va lor xa)
+
+(* --- Instance evaluation --------------------------------------------- *)
+
+(* comb/ICG result planes for instance [i]; ICG also updates its
+   enable-latch state (mirrors Engine.icg_output) *)
+let eval_value t i op =
+  let off = t.ins_off.(i) in
+  let arity = t.ins_off.(i + 1) - off in
+  if op = op_prog then begin
+    let sv = t.prog_sv and sx = t.prog_sx in
+    let sp = ref 0 in
+    for k = t.prog_off.(i) to t.prog_off.(i + 1) - 1 do
+      let c = t.prog.(k) in
+      match c land 7 with
+      | 0 (* p_pin *) ->
+        let n = t.ins.(off + (c lsr 3)) in
+        sv.(!sp) <- t.v.(n); sx.(!sp) <- t.x.(n); incr sp
+      | 1 (* p_c0 *) -> sv.(!sp) <- 0; sx.(!sp) <- 0; incr sp
+      | 2 (* p_c1 *) -> sv.(!sp) <- t.mask; sx.(!sp) <- 0; incr sp
+      | 3 (* p_not *) ->
+        let j = !sp - 1 in
+        sv.(j) <- not_v t.mask sv.(j) sx.(j)
+      | 4 (* p_and *) ->
+        let j = !sp - 2 in
+        let rv = and_v sv.(j) sv.(j + 1) in
+        sx.(j) <- and_x sv.(j) sx.(j) sv.(j + 1) sx.(j + 1);
+        sv.(j) <- rv;
+        decr sp
+      | 5 (* p_or *) ->
+        let j = !sp - 2 in
+        let rv = or_v sv.(j) sv.(j + 1) in
+        sx.(j) <- or_x sv.(j) sx.(j) sv.(j + 1) sx.(j + 1);
+        sv.(j) <- rv;
+        decr sp
+      | _ (* p_xor *) ->
+        let j = !sp - 2 in
+        let rv = xor_v sv.(j) sx.(j) sv.(j + 1) sx.(j + 1) in
+        sx.(j) <- xor_x sx.(j) sx.(j + 1);
+        sv.(j) <- rv;
+        decr sp
+    done;
+    (sv.(0), sx.(0))
+  end
+  else if op = op_buf then
+    let n = t.ins.(off) in
+    (t.v.(n), t.x.(n))
+  else if op = op_inv then
+    let n = t.ins.(off) in
+    (not_v t.mask t.v.(n) t.x.(n), t.x.(n))
+  else if op = op_and || op = op_nand then begin
+    let n0 = t.ins.(off) in
+    let rv = ref t.v.(n0) and rx = ref t.x.(n0) in
+    for k = off + 1 to off + arity - 1 do
+      let n = t.ins.(k) in
+      let nv = and_v !rv t.v.(n) in
+      rx := and_x !rv !rx t.v.(n) t.x.(n);
+      rv := nv
+    done;
+    if op = op_nand then (not_v t.mask !rv !rx, !rx) else (!rv, !rx)
+  end
+  else if op = op_or || op = op_nor then begin
+    let n0 = t.ins.(off) in
+    let rv = ref t.v.(n0) and rx = ref t.x.(n0) in
+    for k = off + 1 to off + arity - 1 do
+      let n = t.ins.(k) in
+      let nv = or_v !rv t.v.(n) in
+      rx := or_x !rv !rx t.v.(n) t.x.(n);
+      rv := nv
+    done;
+    if op = op_nor then (not_v t.mask !rv !rx, !rx) else (!rv, !rx)
+  end
+  else if op = op_xor2 || op = op_xnor2 then begin
+    let a = t.ins.(off) and b = t.ins.(off + 1) in
+    let rv = xor_v t.v.(a) t.x.(a) t.v.(b) t.x.(b) in
+    let rx = xor_x t.x.(a) t.x.(b) in
+    if op = op_xnor2 then (not_v t.mask rv rx, rx) else (rv, rx)
+  end
+  else if op = op_mux then begin
+    (* (s & b) | (!s & a) *)
+    let s = t.ins.(off) and b = t.ins.(off + 1) and a = t.ins.(off + 2) in
+    let ns_v = not_v t.mask t.v.(s) t.x.(s) and ns_x = t.x.(s) in
+    let l_v = and_v t.v.(s) t.v.(b) in
+    let l_x = and_x t.v.(s) t.x.(s) t.v.(b) t.x.(b) in
+    let r_v = and_v ns_v t.v.(a) in
+    let r_x = and_x ns_v ns_x t.v.(a) t.x.(a) in
+    (or_v l_v r_v, or_x l_v l_x r_v r_x)
+  end
+  else if op = op_aoi21 then begin
+    let a1 = t.ins.(off) and a2 = t.ins.(off + 1) and b = t.ins.(off + 2) in
+    let p_v = and_v t.v.(a1) t.v.(a2) in
+    let p_x = and_x t.v.(a1) t.x.(a1) t.v.(a2) t.x.(a2) in
+    let s_v = or_v p_v t.v.(b) in
+    let s_x = or_x p_v p_x t.v.(b) t.x.(b) in
+    (not_v t.mask s_v s_x, s_x)
+  end
+  else if op = op_oai21 then begin
+    let a1 = t.ins.(off) and a2 = t.ins.(off + 1) and b = t.ins.(off + 2) in
+    let p_v = or_v t.v.(a1) t.v.(a2) in
+    let p_x = or_x t.v.(a1) t.x.(a1) t.v.(a2) t.x.(a2) in
+    let s_v = and_v p_v t.v.(b) in
+    let s_x = and_x p_v p_x t.v.(b) t.x.(b) in
+    (not_v t.mask s_v s_x, s_x)
+  end
+  else if op = op_const0 then (0, 0)
+  else if op = op_const1 then (t.mask, 0)
+  else begin
+    (* ICG: update the enable latch, return the gated clock.  The
+       standard cell latches EN while CK is a known 0; M1 latches while
+       P3 is a known 1; M2 has no latch. *)
+    let ck = t.ins.(off) and en = t.ins.(off + 1) in
+    let m =
+      if op = op_icg_std then t.mask land lnot (t.v.(ck) lor t.x.(ck))
+      else if op = op_icg_m1 then
+        (if arity > 2 then t.v.(t.ins.(off + 2)) else t.mask)
+      else t.mask
+    in
+    if m <> 0 then begin
+      t.st_v.(i) <- (t.st_v.(i) land lnot m) lor (t.v.(en) land m);
+      t.st_x.(i) <- (t.st_x.(i) land lnot m) lor (t.x.(en) land m)
+    end;
+    (and_v t.v.(ck) t.st_v.(i),
+     and_x t.v.(ck) t.x.(ck) t.st_v.(i) t.st_x.(i))
+  end
+
+(* per-lane mask of reset-asserted lanes (RN a known 0) *)
+let reset_mask t i =
+  let off = t.ins_off.(i) in
+  if t.ins_off.(i + 1) - off > 2 then begin
+    let rn = t.ins.(off + 2) in
+    t.mask land lnot (t.v.(rn) lor t.x.(rn))
+  end
+  else 0
+
+(* update FF state: capture data on lanes with a known 0->1 clock edge,
+   clear lanes under reset; advance the previous-clock planes *)
+let ff_update t i =
+  let off = t.ins_off.(i) in
+  let clk = t.ins.(off) and dn = t.ins.(off + 1) in
+  let cv = t.v.(clk) and cx = t.x.(clk) in
+  let r = reset_mask t i in
+  (* canonical planes: cv already implies "known 1" *)
+  let rise = lnot t.pv_v.(i) land lnot t.pv_x.(i) land cv in
+  let cap = rise land lnot r land t.mask in
+  if cap <> 0 then begin
+    t.st_v.(i) <- (t.st_v.(i) land lnot cap) lor (t.v.(dn) land cap);
+    t.st_x.(i) <- (t.st_x.(i) land lnot cap) lor (t.x.(dn) land cap)
+  end;
+  if r <> 0 then begin
+    t.st_v.(i) <- t.st_v.(i) land lnot r;
+    t.st_x.(i) <- t.st_x.(i) land lnot r
+  end;
+  t.pv_v.(i) <- cv;
+  t.pv_x.(i) <- cx
+
+(* update latch state: follow data on transparent lanes *)
+let latch_update t i op =
+  let off = t.ins_off.(i) in
+  let en = t.ins.(off) and dn = t.ins.(off + 1) in
+  let ev = t.v.(en) and ex = t.x.(en) in
+  let r = reset_mask t i in
+  let trans =
+    if op = op_latch_h then ev else t.mask land lnot (ev lor ex)
+  in
+  let cap = trans land lnot r land t.mask in
+  if cap <> 0 then begin
+    t.st_v.(i) <- (t.st_v.(i) land lnot cap) lor (t.v.(dn) land cap);
+    t.st_x.(i) <- (t.st_x.(i) land lnot cap) lor (t.x.(dn) land cap)
+  end;
+  if r <> 0 then begin
+    t.st_v.(i) <- t.st_v.(i) land lnot r;
+    t.st_x.(i) <- t.st_x.(i) land lnot r
+  end;
+  t.pv_v.(i) <- ev;
+  t.pv_x.(i) <- ex
+
+(* Evaluate one instance against the current planes.  FF edges seen here
+   (during data settle, not at a scheduled clock event) capture
+   immediately — this models gated-clock glitches, like the engine. *)
+let eval_inst t i =
+  let op = t.opcode.(i) in
+  if op = op_ff then begin
+    ff_update t i;
+    set_net t t.out_net.(i) t.st_v.(i) t.st_x.(i)
+  end
+  else if op = op_latch_h || op = op_latch_l then begin
+    latch_update t i op;
+    set_net t t.out_net.(i) t.st_v.(i) t.st_x.(i)
+  end
+  else begin
+    let rv, rx = eval_value t i op in
+    set_net t t.out_net.(i) rv rx
+  end
+
+let settle t =
+  let budget = 64 * (Design.num_insts t.design + 16) in
+  let steps = ref 0 in
+  while t.queued > 0 do
+    incr steps;
+    if !steps > budget then
+      raise (Oscillation
+               (Printf.sprintf "design %s failed to settle"
+                  t.design.Design.design_name));
+    let i = pop t in
+    t.in_queue.(i) <- false;
+    eval_inst t i
+  done
+
+(* --- Clock events ----------------------------------------------------- *)
+
+let propagate_clock_network t =
+  Array.iter
+    (fun i ->
+      let op = t.opcode.(i) in
+      if not (is_seq_op op) then begin
+        let rv, rx = eval_value t i op in
+        set_net_quiet t t.out_net.(i) rv rx
+      end)
+    t.clock_insts
+
+let bool_planes t level = if level then (t.mask, 0) else (0, 0)
+
+let apply_clock_event t changes =
+  (* 1. apply clock port levels *)
+  List.iter
+    (fun (port, level) ->
+      match Design.find_input t.design port with
+      | Some net ->
+        let nv, nx = bool_planes t level in
+        set_net_quiet t net nv nx
+      | None -> ())
+    changes;
+  (* 2. propagate through the clock network in BFS order *)
+  propagate_clock_network t;
+  (* 3. simultaneous FF captures + latch transparency transitions *)
+  Array.iteri
+    (fun i op ->
+      if op = op_ff then ff_update t i
+      else if op = op_latch_h || op = op_latch_l then latch_update t i op)
+    t.opcode;
+  (* 4. release the new register outputs and settle the data network;
+     wake the readers of every clock net touched in step 2.  Descending
+     instance order matches the engine's release order (it conses pending
+     captures during an ascending scan), keeping worklist order — and so
+     glitch toggle counts — identical. *)
+  for i = Array.length t.opcode - 1 downto 0 do
+    if is_seq_op t.opcode.(i) then
+      set_net t t.out_net.(i) t.st_v.(i) t.st_x.(i)
+  done;
+  List.iter
+    (fun (port, _) ->
+      match Design.find_input t.design port with
+      | Some net ->
+        for k = t.fo_off.(net) to t.fo_off.(net + 1) - 1 do
+          wake t t.fo.(k)
+        done
+      | None -> ())
+    changes;
+  Array.iter
+    (fun i ->
+      if not (is_seq_op t.opcode.(i)) then begin
+        let out = t.out_net.(i) in
+        for k = t.fo_off.(out) to t.fo_off.(out + 1) - 1 do
+          wake t t.fo.(k)
+        done
+      end)
+    t.clock_insts;
+  settle t
+
+(* --- Accessors -------------------------------------------------------- *)
+
+let design t = t.design
+
+let lanes t = t.lanes
+
+let cycles t = t.cycle_count
+
+let lane_cycles t = t.cycle_count * t.lanes
+
+let toggles t = t.toggles
+
+let toggles_lane0 t = t.toggles0
+
+let net_value t ~lane n =
+  if lane < 0 || lane >= t.lanes then invalid_arg "Kernel.net_value: bad lane";
+  let bit = 1 lsl lane in
+  if t.x.(n) land bit <> 0 then Logic.LX
+  else if t.v.(n) land bit <> 0 then Logic.L1
+  else Logic.L0
+
+let output_sample t ~lane =
+  List.map
+    (fun (port, net) -> (port, net_value t ~lane net))
+    t.design.Design.primary_outputs
+
+(* --- Cycle driving ---------------------------------------------------- *)
+
+let stage_input t lane (port, value) =
+  match Hashtbl.find_opt t.input_index port with
+  | None -> invalid_arg (Printf.sprintf "Kernel.run_cycle: unknown input %s" port)
+  | Some n ->
+    if not t.staged.(n) then begin
+      t.staged.(n) <- true;
+      t.touched <- n :: t.touched;
+      t.stage_v.(n) <- t.v.(n);
+      t.stage_x.(n) <- t.x.(n)
+    end;
+    let bit = 1 lsl lane in
+    (match value with
+     | Logic.L0 ->
+       t.stage_v.(n) <- t.stage_v.(n) land lnot bit;
+       t.stage_x.(n) <- t.stage_x.(n) land lnot bit
+     | Logic.L1 ->
+       t.stage_v.(n) <- t.stage_v.(n) lor bit;
+       t.stage_x.(n) <- t.stage_x.(n) land lnot bit
+     | Logic.LX ->
+       t.stage_v.(n) <- t.stage_v.(n) land lnot bit;
+       t.stage_x.(n) <- t.stage_x.(n) lor bit)
+
+let commit_staged t =
+  (* commit in first-touch order, i.e. the lane-0 stimulus port order —
+     the same order the scalar engine applies its input list in *)
+  List.iter
+    (fun n ->
+      t.staged.(n) <- false;
+      set_net t n t.stage_v.(n) t.stage_x.(n))
+    (List.rev t.touched);
+  t.touched <- []
+
+(* Primary inputs change right after the first rising clock event of the
+   cycle, exactly like Engine.run_cycle. *)
+let run_cycle t (inputs : (string * Logic.t) list array) =
+  if Array.length inputs <> t.lanes then
+    invalid_arg "Kernel.run_cycle: one input list per lane expected";
+  let evs = t.period_events in
+  let first_rise =
+    List.fold_left
+      (fun acc (time, changes) ->
+        match acc with
+        | Some _ -> acc
+        | None -> if List.exists snd changes then Some time else None)
+      None evs
+  in
+  let threshold = Option.value ~default:(-1.0) first_rise in
+  List.iter
+    (fun (time, changes) ->
+      if time <= threshold +. 1e-9 then apply_clock_event t changes)
+    evs;
+  Array.iteri (fun lane l -> List.iter (stage_input t lane) l) inputs;
+  commit_staged t;
+  settle t;
+  List.iter
+    (fun (time, changes) ->
+      if time > threshold +. 1e-9 then apply_clock_event t changes)
+    evs;
+  t.cycle_count <- t.cycle_count + 1
+
+let run_cycle_broadcast t inputs = run_cycle t (Array.make t.lanes inputs)
+
+let run_streams t streams =
+  if Array.length streams <> t.lanes then
+    invalid_arg "Kernel.run_streams: one stream per lane expected";
+  let arrs = Array.map Array.of_list streams in
+  let n_cycles = Array.length arrs.(0) in
+  Array.iter
+    (fun a ->
+      if Array.length a <> n_cycles then
+        invalid_arg "Kernel.run_streams: lane streams of different lengths")
+    arrs;
+  let cycle_inputs = Array.make t.lanes [] in
+  for c = 0 to n_cycles - 1 do
+    for l = 0 to t.lanes - 1 do
+      cycle_inputs.(l) <- arrs.(l).(c)
+    done;
+    run_cycle t cycle_inputs
+  done
+
+let run_stream_broadcast t stream =
+  List.iter (run_cycle_broadcast t) stream
+
+(* --- Creation --------------------------------------------------------- *)
+
+let create ?(init = `Zero) ?(lanes = max_lanes) design ~clocks =
+  if lanes < 1 || lanes > max_lanes then
+    invalid_arg (Printf.sprintf "Kernel.create: lanes must be 1..%d" max_lanes);
+  let n_nets = Design.num_nets design in
+  let n_insts = Design.num_insts design in
+  let mask = mask_of lanes in
+  let compiled = Array.init n_insts (compile_inst design) in
+  (* CSR operand and program arrays *)
+  let ins_off = Array.make (n_insts + 1) 0 in
+  let prog_off = Array.make (n_insts + 1) 0 in
+  Array.iteri
+    (fun i c ->
+      ins_off.(i + 1) <- ins_off.(i) + List.length c.c_ins;
+      prog_off.(i + 1) <- prog_off.(i) + List.length c.c_prog)
+    compiled;
+  let ins = Array.make (max 1 ins_off.(n_insts)) 0 in
+  let prog = Array.make (max 1 prog_off.(n_insts)) 0 in
+  let opcode = Array.make n_insts 0 in
+  let out_net = Array.make n_insts 0 in
+  let max_depth = ref 1 in
+  Array.iteri
+    (fun i c ->
+      opcode.(i) <- c.c_op;
+      out_net.(i) <- c.c_out;
+      List.iteri (fun k n -> ins.(ins_off.(i) + k) <- n) c.c_ins;
+      List.iteri (fun k w -> prog.(prog_off.(i) + k) <- w) c.c_prog;
+      if c.c_depth > !max_depth then max_depth := c.c_depth)
+    compiled;
+  (* CSR fanout (duplicates preserved, like Engine's fanout_insts) *)
+  let fo_off = Array.make (n_nets + 1) 0 in
+  Array.iteri
+    (fun n sinks -> fo_off.(n + 1) <- List.length sinks)
+    design.Design.net_sinks;
+  for n = 1 to n_nets do
+    fo_off.(n) <- fo_off.(n) + fo_off.(n - 1)
+  done;
+  let fo = Array.make (max 1 fo_off.(n_nets)) 0 in
+  Array.iteri
+    (fun n sinks ->
+      List.iteri (fun k (i, _) -> fo.(fo_off.(n) + k) <- i) sinks)
+    design.Design.net_sinks;
+  let lv = Levelize.compute design in
+  let input_nets =
+    List.filter_map
+      (fun (p, n) ->
+        if Design.is_clock_port design p then None else Some (p, n))
+      design.Design.primary_inputs
+  in
+  let input_index = Hashtbl.create (List.length input_nets) in
+  List.iter (fun (p, n) -> Hashtbl.replace input_index p n) input_nets;
+  let st_x0 = match init with `Zero -> 0 | `X -> mask in
+  let t = {
+    design;
+    clocks;
+    lanes;
+    mask;
+    v = Array.make n_nets 0;
+    x = Array.make n_nets mask;          (* every net starts X *)
+    toggles = Array.make n_nets 0;
+    toggles0 = Array.make n_nets 0;
+    opcode;
+    ins_off;
+    ins;
+    out_net;
+    st_v = Array.make n_insts 0;
+    st_x = Array.make n_insts st_x0;
+    pv_v = Array.make n_insts 0;
+    pv_x = Array.make n_insts mask;      (* previous clock starts X *)
+    prog_off;
+    prog;
+    prog_sv = Array.make (!max_depth + 1) 0;
+    prog_sx = Array.make (!max_depth + 1) 0;
+    fo_off;
+    fo;
+    levels = lv.Levelize.level;
+    buckets = Array.init lv.Levelize.n_buckets (fun _ -> Queue.create ());
+    cursor = 0;
+    queued = 0;
+    in_queue = Array.make n_insts false;
+    clock_insts = Levelize.clock_network_order design;
+    period_events = Clock_spec.events clocks;
+    input_nets;
+    input_index;
+    stage_v = Array.make n_nets 0;
+    stage_x = Array.make n_nets 0;
+    staged = Array.make n_nets false;
+    touched = [];
+    cycle_count = 0;
+  } in
+  (* constants *)
+  Array.iteri
+    (fun n drv ->
+      match drv with
+      | Design.Driven_const bv ->
+        let nv, nx = bool_planes t bv in
+        t.v.(n) <- nv; t.x.(n) <- nx
+      | Design.Driven_by _ | Design.Driven_by_input _ | Design.Undriven -> ())
+    design.Design.net_driver;
+  (* establish the pre-time-0 state, mirroring Engine.create step for
+     step so lane 0's toggle counters stay bit-exact with the engine *)
+  let just_before_zero = clocks.Clock_spec.period *. (1.0 -. 1e-7) in
+  List.iter
+    (fun (port, _) ->
+      match Design.find_input design port,
+            Clock_spec.level_at clocks port just_before_zero with
+      | Some net, Some level ->
+        let nv, nx = bool_planes t level in
+        t.v.(net) <- nv; t.x.(net) <- nx
+      | Some net, None -> t.v.(net) <- 0; t.x.(net) <- t.mask
+      | None, _ -> ())
+    clocks.Clock_spec.ports;
+  (match init with
+   | `Zero ->
+     List.iter (fun (_, net) -> t.v.(net) <- 0; t.x.(net) <- 0) t.input_nets
+   | `X -> ());
+  propagate_clock_network t;
+  Array.iteri
+    (fun i op ->
+      if is_seq_op op then begin
+        let clk = t.ins.(t.ins_off.(i)) in
+        t.pv_v.(i) <- t.v.(clk);
+        t.pv_x.(i) <- t.x.(clk);
+        let q = t.out_net.(i) in
+        t.v.(q) <- t.st_v.(i);
+        t.x.(q) <- t.st_x.(i)
+      end)
+    t.opcode;
+  Array.iteri
+    (fun i op -> if op <= op_prog then wake t i)
+    t.opcode;
+  settle t;
+  (* clock-gate enable latches behave as if the clocks had always been
+     running (see Engine.create) *)
+  Array.iteri
+    (fun i op ->
+      if is_icg_op op then begin
+        match init with
+        | `Zero ->
+          let en = t.ins.(t.ins_off.(i) + 1) in
+          t.st_v.(i) <- t.v.(en);
+          t.st_x.(i) <- t.x.(en)
+        | `X -> ()
+      end)
+    t.opcode;
+  propagate_clock_network t;
+  Array.iteri (fun i _ -> wake t i) t.opcode;
+  settle t;
+  t

@@ -1,0 +1,82 @@
+(** Compiled, bit-parallel gate-level simulator.
+
+    Where {!Engine} interprets a design through per-instance closures,
+    the kernel compiles a {!Netlist.Design} once into flat arrays: an int
+    opcode per instance, operand nets in a CSR slice, fanout in a CSR
+    slice, and a levelized worklist for the combinational core.  Cell
+    functions that match common shapes (inverters, n-ary AND/OR trees,
+    XOR, MUX, AOI21/OAI21) get fused opcodes; anything else runs as a
+    tiny postfix program.
+
+    3-valued logic is packed as two bitplanes per net — [v] carries the
+    value bit and [x] the unknown bit of each lane, with [v land x = 0] —
+    so a single bitwise pass evaluates up to {!max_lanes} independent
+    stimulus lanes.  This is the classic word-parallel trick from fault
+    simulation, used here to run many independent random workloads
+    simultaneously for Monte-Carlo switching-activity estimation.
+    Toggles are counted per net on every commit via
+    [popcount ((prev lxor next) land known)]; lane 0 keeps a separate
+    scalar counter so it can be cross-checked against the engine.
+
+    Lanes are fully independent: with identical stimulus, lane 0 is
+    bit-exact against {!Engine} — same outputs and same per-net toggle
+    counts — because both simulators share {!Levelize} and drain their
+    worklists in the same level order. *)
+
+exception Oscillation of string
+
+type t
+
+(** Number of lanes packed per word: 63, keeping every plane inside an
+    OCaml immediate int. *)
+val max_lanes : int
+
+(** Compile [design] and establish the same pre-time-0 state as
+    {!Engine.create} on every lane.  [lanes] defaults to {!max_lanes}.
+    [init] as for the engine: [`Zero] resets all state and inputs to 0,
+    [`X] starts everything unknown. *)
+val create :
+  ?init:[ `Zero | `X ] ->
+  ?lanes:int ->
+  Netlist.Design.t ->
+  clocks:Clock_spec.t ->
+  t
+
+(** Simulate one full clock period, one input assignment per lane.
+    Inputs change right after the first rising clock event, as in
+    {!Engine.run_cycle}.  Raises {!Oscillation} if the design does not
+    settle. *)
+val run_cycle : t -> (string * Logic.t) list array -> unit
+
+(** [run_cycle] with the same inputs driven on every lane. *)
+val run_cycle_broadcast : t -> (string * Logic.t) list -> unit
+
+(** Run one stimulus stream per lane; all streams must have the same
+    length. *)
+val run_streams : t -> (string * Logic.t) list list array -> unit
+
+val run_stream_broadcast : t -> (string * Logic.t) list list -> unit
+
+val design : t -> Netlist.Design.t
+
+val lanes : t -> int
+
+(** Clock periods simulated so far. *)
+val cycles : t -> int
+
+(** [cycles t * lanes t] — the denominator for per-lane activity rates. *)
+val lane_cycles : t -> int
+
+(** Per-net toggle counts summed over all lanes. *)
+val toggles : t -> int array
+
+(** Per-net toggle counts of lane 0 alone (the scalar-oracle view). *)
+val toggles_lane0 : t -> int array
+
+val net_value : t -> lane:int -> Netlist.Design.net -> Logic.t
+
+(** Primary-output values of one lane. *)
+val output_sample : t -> lane:int -> (string * Logic.t) list
+
+(** Exposed for tests: population count of a 63-bit-masked word. *)
+val popcount : int -> int

@@ -6,6 +6,7 @@ let () =
       ("lp", Test_lp.suite);
       ("ilp", Test_ilp.suite);
       ("sim", Test_sim.suite);
+      ("kernel", Test_kernel.suite);
       ("sta", Test_sta.suite);
       ("phase3", Test_phase3.suite);
       ("physical", Test_physical.suite);

@@ -1,0 +1,147 @@
+(* Cross-checks of the bit-parallel Sim.Kernel against the scalar
+   Sim.Engine oracle: lane 0 of the kernel must be bit-identical to the
+   engine — same primary-output trace AND same per-net toggle counts —
+   on random generated netlists and on the benchmark suite under all
+   three design styles. *)
+
+let check = Alcotest.check
+
+let lib = Cell_lib.Default_library.library ()
+
+module B = Netlist.Builder
+
+let logic_to_string vs =
+  String.concat ""
+    (List.map (fun (p, v) -> Printf.sprintf "%s=%c " p (Sim.Logic.to_char v)) vs)
+
+(* run both simulators cycle-for-cycle on the same stimulus; compare
+   outputs each cycle and the full toggle arrays at the end *)
+let cross_check ?(label = "") ?(lanes = Sim.Kernel.max_lanes) d ~clocks stim =
+  let engine = Sim.Engine.create d ~clocks in
+  let kernel = Sim.Kernel.create ~lanes d ~clocks in
+  List.iteri
+    (fun c inputs ->
+      let eng_out = Sim.Engine.run_cycle engine inputs in
+      Sim.Kernel.run_cycle_broadcast kernel inputs;
+      let ker_out = Sim.Kernel.output_sample kernel ~lane:0 in
+      if eng_out <> ker_out then
+        Alcotest.failf "%s cycle %d outputs differ:\n engine %s\n kernel %s"
+          label c (logic_to_string eng_out) (logic_to_string ker_out))
+    stim;
+  let et = Sim.Engine.toggles engine in
+  let kt0 = Sim.Kernel.toggles_lane0 kernel in
+  let kt = Sim.Kernel.toggles kernel in
+  Array.iteri
+    (fun n e ->
+      if e <> kt0.(n) then
+        Alcotest.failf "%s net %s: engine %d toggles, kernel lane0 %d" label
+          (Netlist.Design.net_name d n) e kt0.(n);
+      (* broadcast stimulus: every lane repeats lane 0 *)
+      if kt.(n) <> lanes * kt0.(n) then
+        Alcotest.failf "%s net %s: %d lanes x %d toggles <> total %d" label
+          (Netlist.Design.net_name d n) lanes kt0.(n) kt.(n))
+    et
+
+let gen_spec seed =
+  { Circuits.Generator.name = "xck"; seed; inputs = 5; outputs = 4;
+    layers = [|5; 5|]; fanin = 3; cone_depth = 3; self_loop_fraction = 0.2;
+    cross_feedback = 0.2; reuse = 0.2; gated_fraction = 0.3; bank_size = 3;
+    po_cones = 3; frequency_mhz = 1000.0 }
+
+let prop_kernel_matches_engine =
+  QCheck.Test.make ~name:"kernel lane 0 matches engine on random netlists"
+    ~count:15
+    QCheck.(int_range 0 1000)
+    (fun seed ->
+      let d = Circuits.Generator.synthesize (gen_spec seed) in
+      let clocks = Sim.Clock_spec.single ~period:1.0 ~port:"clk" in
+      let stim =
+        Sim.Stimulus.random ~seed:(seed + 1) ~cycles:24 ~toggle_probability:0.5
+          (Sim.Stimulus.inputs_of d)
+      in
+      cross_check d ~clocks stim;
+      true)
+
+(* different stimulus per lane: each lane must reproduce a dedicated
+   scalar run *)
+let test_heterogeneous_lanes () =
+  let d = Circuits.Generator.synthesize (gen_spec 7) in
+  let clocks = Sim.Clock_spec.single ~period:1.0 ~port:"clk" in
+  let lanes = 4 in
+  let streams =
+    Array.init lanes (fun l ->
+        Sim.Stimulus.random ~seed:(100 + l) ~cycles:20 ~toggle_probability:0.4
+          (Sim.Stimulus.inputs_of d))
+  in
+  let kernel = Sim.Kernel.create ~lanes d ~clocks in
+  Sim.Kernel.run_streams kernel streams;
+  Array.iteri
+    (fun l stream ->
+      let engine = Sim.Engine.create d ~clocks in
+      let expected = List.rev (Sim.Engine.run_stream engine stream) in
+      let final = match expected with o :: _ -> o | [] -> [] in
+      check Alcotest.bool (Printf.sprintf "lane %d final outputs" l) true
+        (final = Sim.Kernel.output_sample kernel ~lane:l))
+    streams
+
+(* the full quick suite, each design style with its own clocking *)
+let test_suite_variants () =
+  List.iter
+    (fun (bench : Circuits.Suite.benchmark) ->
+      let period = bench.Circuits.Suite.period_ns in
+      let original = bench.Circuits.Suite.build () in
+      let ff_clocks = Phase3.Flow.reference_clocks original ~period in
+      let ms = Phase3.Master_slave.convert original in
+      let config =
+        { (Phase3.Flow.default_config ~period) with
+          Phase3.Flow.verify_equivalence = false;
+          activity_cycles = 32 }
+      in
+      let flow = Phase3.Flow.run ~config original in
+      let threep_clocks = Phase3.Flow.clocks_of config in
+      List.iter
+        (fun (style, d, clocks) ->
+          let stim =
+            Sim.Stimulus.random ~seed:11 ~cycles:48 ~toggle_probability:0.35
+              (Sim.Stimulus.inputs_of d)
+          in
+          let label =
+            Printf.sprintf "%s/%s" bench.Circuits.Suite.bench_name style
+          in
+          cross_check ~label d ~clocks stim)
+        [ ("ff", original, ff_clocks);
+          ("ms", ms, ff_clocks);
+          ("3p", flow.Phase3.Flow.final, threep_clocks) ])
+    (Circuits.Suite.quick ())
+
+let test_oscillation_budget () =
+  (* a combinational loop through a transparent latch oscillates *)
+  let b = B.create ~name:"osc" ~library:lib in
+  let en = B.add_input ~clock:true b "en" in
+  let q = B.fresh_net b "q" in
+  let nq = B.fresh_net b "nq" in
+  ignore (B.add_cell b "inv" "INV_X1" [("A", q); ("ZN", nq)]);
+  ignore (B.add_cell b "l" "LATH_X1" [("E", en); ("D", nq); ("Q", q)]);
+  B.add_output b "y" q;
+  let d = B.freeze b in
+  let clocks = Sim.Clock_spec.single ~period:1.0 ~port:"en" in
+  let kernel = Sim.Kernel.create d ~clocks in
+  try
+    Sim.Kernel.run_cycle_broadcast kernel [];
+    Alcotest.fail "expected Kernel.Oscillation"
+  with Sim.Kernel.Oscillation _ -> ()
+
+let test_popcount () =
+  check Alcotest.int "zero" 0 (Sim.Kernel.popcount 0);
+  check Alcotest.int "one" 1 (Sim.Kernel.popcount 1);
+  check Alcotest.int "max_int" 62 (Sim.Kernel.popcount max_int);
+  check Alcotest.int "min_int" 1 (Sim.Kernel.popcount min_int);
+  (* OCaml ints are 63-bit: -1 is 63 ones, the full-width lane mask *)
+  check Alcotest.int "all ones" 63 (Sim.Kernel.popcount (-1))
+
+let suite =
+  [ QCheck_alcotest.to_alcotest prop_kernel_matches_engine;
+    Alcotest.test_case "heterogeneous lanes" `Quick test_heterogeneous_lanes;
+    Alcotest.test_case "suite variants lane-0 identity" `Slow test_suite_variants;
+    Alcotest.test_case "oscillation budget" `Quick test_oscillation_budget;
+    Alcotest.test_case "popcount" `Quick test_popcount ]
