@@ -8,11 +8,12 @@
      bench/main.exe quick            one benchmark per family
      bench/main.exe table1 fig4 ...  selected experiments only
      bench/main.exe micro --json     also write BENCH_sim.json
+     bench/main.exe ilp --json       also write BENCH_ilp.json
    The suite loop and each benchmark's variants run on multiple domains;
    set THREEPHASE_JOBS=1 to force a serial run.
    Experiments: table1 table2 fig1 fig2 fig3 fig4 runtime
                 ablation-solver ablation-cg ablation-retime ablation-ddcg
-                ablation-skew ablation-pvt baselines freq-sweep micro *)
+                ablation-skew ablation-pvt baselines freq-sweep micro ilp *)
 
 let log fmt = Printf.eprintf (fmt ^^ "\n%!")
 
@@ -25,7 +26,7 @@ let run_suite quick =
      suite order.  The shared cell library parses lazily and Lazy.force
      is not domain-safe, so force it before spawning. *)
   ignore (Cell_lib.Default_library.library ());
-  Experiments.Jobs.parallel_map
+  Jobs.parallel_map
     (fun b ->
       log "[suite] running %s ..." b.Circuits.Suite.bench_name;
       let r = Experiments.Runner.run b in
@@ -138,6 +139,146 @@ let micro ~json () =
     | _ -> log "[micro] missing simulator estimates; BENCH_sim.json not written"
   end
 
+(* --- ILP solver benchmark ------------------------------------------- *)
+
+(* Phase-assignment ILPs, monolithic vs decomposed (1 job and N jobs).
+   The headline instance is the largest circuit where the monolithic
+   baseline still proves optimality — beyond that (s1423 up) it cannot
+   close the gap at any practical budget while the decomposed solver
+   proves the optimum outright, so wall-clock ratios there compare
+   different result qualities and are reported but not headlined. *)
+let ilp ~quick ~json () =
+  let ilp_node_budget = 2000 in
+  let mono_cap_vars = 50 in
+  let time_best f =
+    (* one measured warm-up decides how many repetitions we can afford *)
+    let run () =
+      let t0 = Unix.gettimeofday () in
+      let r = f () in
+      (r, Unix.gettimeofday () -. t0)
+    in
+    let r, t0 = run () in
+    let reps = if t0 < 0.01 then 20 else if t0 < 0.5 then 5 else 1 in
+    let best = ref t0 in
+    for _ = 2 to reps do
+      let _, t = run () in
+      if t < !best then best := t
+    done;
+    (r, !best)
+  in
+  let names = if quick then ["s1196"] else ["s1196"; "s1238"; "s1423"] in
+  let t =
+    Report.Table.create ~title:"Phase-assignment ILP: monolithic vs decomposed"
+      [ ("circuit", Report.Table.Left); ("vars", Report.Table.Right);
+        ("comps", Report.Table.Right); ("mono s", Report.Table.Right);
+        ("dec 1-job s", Report.Table.Right); ("dec N-job s", Report.Table.Right);
+        ("speedup", Report.Table.Right); ("mono obj", Report.Table.Right);
+        ("dec obj", Report.Table.Right); ("match", Report.Table.Left) ]
+  in
+  let headline = ref None in
+  let rows =
+    List.filter_map
+      (fun name ->
+        match Circuits.Suite.find name with
+        | None -> None
+        | Some b ->
+          log "[ilp] %s ..." name;
+          let d = b.Circuits.Suite.build () in
+          let m = Phase3.Assignment.model_of d in
+          let n_vars = m.Ilp.Model.num_vars in
+          (* the monolithic baseline re-solves the full dense tableau at
+             every node: above [mono_cap_vars] variables it cannot prove
+             optimality, so cap its budget to keep the run honest about
+             time while it reports an incumbent *)
+          let mono_budget =
+            if n_vars <= mono_cap_vars then ilp_node_budget else 500
+          in
+          let mono, t_mono =
+            time_best (fun () ->
+                Ilp.Branch_bound.solve_monolithic ~node_budget:mono_budget m)
+          in
+          let dec1, t_dec1 =
+            time_best (fun () ->
+                Ilp.Branch_bound.solve ~parallel:false
+                  ~node_budget:ilp_node_budget m)
+          in
+          let decn, t_decn =
+            time_best (fun () ->
+                Ilp.Branch_bound.solve ~parallel:true
+                  ~node_budget:ilp_node_budget m)
+          in
+          (match mono, dec1, decn with
+           | Some (sm, stm), Some (s1, _), Some (sn, stn) ->
+             assert (s1.Ilp.Model.objective = sn.Ilp.Model.objective);
+             assert (s1.Ilp.Model.values = sn.Ilp.Model.values);
+             let matches =
+               Float.abs (sm.Ilp.Model.objective -. sn.Ilp.Model.objective)
+               < 1e-6
+             in
+             let speedup = t_mono /. t_decn in
+             Report.Table.add_row t
+               [ name; string_of_int n_vars;
+                 string_of_int stn.Ilp.Branch_bound.components;
+                 Printf.sprintf "%.4f" t_mono;
+                 Printf.sprintf "%.4f" t_dec1;
+                 Printf.sprintf "%.4f" t_decn;
+                 Printf.sprintf "%.1fx" speedup;
+                 Printf.sprintf "%g%s" sm.Ilp.Model.objective
+                   (if sm.Ilp.Model.optimal then "" else "*");
+                 Printf.sprintf "%g%s" sn.Ilp.Model.objective
+                   (if sn.Ilp.Model.optimal then "" else "*");
+                 (if matches then "yes" else "no") ];
+             if matches && sm.Ilp.Model.optimal && sn.Ilp.Model.optimal then
+               headline := Some (name, n_vars, t_mono, t_decn, speedup,
+                                 sn.Ilp.Model.objective);
+             Some
+               (Printf.sprintf
+                  "    { \"circuit\": \"%s\", \"num_vars\": %d, \
+                   \"components\": %d,\n      \
+                   \"mono\": { \"time_s\": %.5f, \"objective\": %g, \
+                   \"optimal\": %b, \"nodes\": %d },\n      \
+                   \"dec_serial\": { \"time_s\": %.5f },\n      \
+                   \"dec_parallel\": { \"time_s\": %.5f, \"objective\": %g, \
+                   \"optimal\": %b, \"nodes\": %d, \"lp_solves\": %d, \
+                   \"propagations\": %d },\n      \
+                   \"speedup\": %.2f, \"objectives_match\": %b }"
+                  name n_vars stn.Ilp.Branch_bound.components
+                  t_mono sm.Ilp.Model.objective sm.Ilp.Model.optimal
+                  stm.Ilp.Branch_bound.nodes_explored
+                  t_dec1
+                  t_decn sn.Ilp.Model.objective sn.Ilp.Model.optimal
+                  stn.Ilp.Branch_bound.nodes_explored
+                  stn.Ilp.Branch_bound.lp_solves
+                  stn.Ilp.Branch_bound.propagations
+                  speedup matches)
+           | _ ->
+             log "[ilp] %s: infeasible model?!" name;
+             None))
+      names
+  in
+  Report.Table.print t;
+  print_newline ();
+  if json then begin
+    match !headline with
+    | None -> log "[ilp] no comparable instance; BENCH_ilp.json not written"
+    | Some (name, n_vars, t_mono, t_decn, speedup, obj) ->
+      let payload =
+        Printf.sprintf
+          "{\n  \"benchmark\": \"phase-assignment-ilp\",\n  \
+           \"headline\": { \"circuit\": \"%s\", \"num_vars\": %d, \
+           \"mono_s\": %.5f, \"dec_parallel_s\": %.5f, \
+           \"speedup\": %.2f, \"objective\": %g, \
+           \"objectives_match\": true, \"both_optimal\": true },\n  \
+           \"rows\": [\n%s\n  ]\n}\n"
+          name n_vars t_mono t_decn speedup obj
+          (String.concat ",\n" rows)
+      in
+      let oc = open_out "BENCH_ilp.json" in
+      output_string oc payload;
+      close_out oc;
+      log "[ilp] wrote BENCH_ilp.json (headline %s: %.1fx)" name speedup
+  end
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let quick = List.exists (String.equal "quick") args in
@@ -177,4 +318,5 @@ let () =
     print_tables [Experiments.Ablation.pvt ()];
   if wants args "freq-sweep" then
     print_tables [Experiments.Tables.frequency_sweep ()];
-  if wants args "micro" then micro ~json ()
+  if wants args "micro" then micro ~json ();
+  if wants args "ilp" then ilp ~quick ~json ()

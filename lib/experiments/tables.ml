@@ -359,15 +359,22 @@ let runtime (results : Runner.t list) =
   let t =
     T.create ~title:"Run-time: ILP share of the 3-phase flow (Section V)"
       [ ("design", T.Left); ("ILP s", T.Right); ("3P flow s", T.Right);
-        ("ILP %", T.Right); ("whole bench s", T.Right) ]
+        ("ILP %", T.Right); ("comps", T.Right); ("nodes", T.Right);
+        ("LP solves", T.Right); ("props", T.Right);
+        ("whole bench s", T.Right) ]
   in
   List.iter
     (fun (r : Runner.t) ->
+      let s = r.Runner.flow.Phase3.Flow.assignment.Phase3.Assignment.stats in
       T.add_row t
         [ r.Runner.bench.Circuits.Suite.bench_name;
           Printf.sprintf "%.3f" r.Runner.ilp_time_s;
           Printf.sprintf "%.2f" r.Runner.threep.Runner.runtime_s;
           T.f1 (100.0 *. r.Runner.ilp_time_s /. Float.max 1e-9 r.Runner.threep.Runner.runtime_s);
+          string_of_int s.Phase3.Assignment.components;
+          string_of_int s.Phase3.Assignment.nodes_explored;
+          string_of_int s.Phase3.Assignment.lp_solves;
+          string_of_int s.Phase3.Assignment.propagations;
           Printf.sprintf "%.2f" r.Runner.total_time_s ])
     results;
   t

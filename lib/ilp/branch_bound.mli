@@ -1,15 +1,65 @@
-(** LP-relaxation-based branch and bound for binary programs.
+(** Decomposed LP-relaxation branch and bound for binary programs.
 
-    Exact on the sizes the conversion ILP produces for small and medium
-    designs; larger designs use the combinatorial solver in {!Indep_set}
-    via the reduction implemented by [Phase3.Assignment].  A node budget
-    bounds the search; when exhausted, the incumbent is returned with
-    [optimal = false] and the root relaxation as [best_bound]. *)
+    [solve] splits the model into the connected components of its
+    variable–constraint incidence graph ({!Model.decompose}) and solves
+    each component as an independent sub-ILP — the objective is
+    separable, so per-component optima compose into a global optimum.
+    Components run across {!Jobs} domains (bounded by [THREEPHASE_JOBS])
+    and merge in component order, so the returned assignment, objective
+    and [optimal] flag are identical for any job count.
+
+    Decomposition is preceded by a root presolve: unit propagation to
+    fixpoint, then probing — each free variable is tentatively fixed
+    both ways and a propagation wipeout on one side proves the other
+    value.  Proved variables are substituted out ({!Model.reduce}),
+    which drops the constraint rows they satisfied and with them
+    incidence edges, so one big component often shatters into many.
+
+    Each component search is best-first on the LP bound with a node
+    priority queue, *plunging* from every popped node: it dives
+    depth-first on the most fractional variable rounded to its LP value,
+    backtracks locally through a bounded sibling stack, and flushes
+    leftovers back to the queue.  Before every LP solve, unit
+    propagation fixes implied variables (a constraint
+    [x_i + x_j <= 1] with [x_i = 1] forces [x_j = 0]); the fixed
+    variables are then eliminated from the relaxation
+    ({!Lp.Problem.eliminate}), so the simplex tableau shrinks as the
+    search deepens instead of growing fixing rows.  Greedy rounding
+    candidates seed the incumbent at the root.  Components of at most
+    [brute_max] variables skip the LP machinery entirely and are
+    enumerated by {!Brute_force}.
+
+    The [node_budget] applies per component (a fixed split is the only
+    deterministic choice when components are solved concurrently).  On
+    exhaustion the incumbent is returned with [optimal = false] and
+    [best_bound] set to the most optimistic *open* node bound — the
+    honest remaining gap, not the root relaxation. *)
 
 type stats = {
-  nodes_explored : int;
+  nodes_explored : int;      (** across all components *)
   lp_solves : int;
+  propagations : int;        (** implied fixings applied before LP solves *)
+  components : int;
+  component_nodes : int array;  (** per component, in component order *)
+  wall_time_s : float;
 }
 
-(** [solve ?node_budget t] returns [None] when the model is infeasible. *)
-val solve : ?node_budget:int -> Model.t -> (Model.solution * stats) option
+(** The root presolve on its own: propagation + probing.  Returns the
+    fixing vector ([-1] free, else the proved value) and the number of
+    fixings, or [None] when the model is infeasible.  Exposed for tests
+    and benchmarks. *)
+val presolve : Model.t -> (int array * int) option
+
+(** [solve ?node_budget ?brute_max ?parallel t] returns [None] when the
+    model is infeasible.  [parallel] (default [true]) fans components
+    out over {!Jobs} domains; the result is identical either way. *)
+val solve :
+  ?node_budget:int -> ?brute_max:int -> ?parallel:bool -> Model.t ->
+  (Model.solution * stats) option
+
+(** The pre-decomposition algorithm, kept as the benchmark baseline:
+    depth-first search that re-solves the full dense relaxation at every
+    node with appended [x_j = v] fixing rows.  On budget exhaustion its
+    [best_bound] is the root relaxation (the legacy behaviour). *)
+val solve_monolithic :
+  ?node_budget:int -> Model.t -> (Model.solution * stats) option

@@ -12,12 +12,17 @@ let solve (t : Model.t) =
     for j = 0 to n - 1 do
       values.(j) <- (mask lsr j) land 1 = 1
     done;
-    if Model.feasible t values then begin
-      let obj = Model.objective_value t values in
-      match !best with
-      | None -> best := Some (Array.copy values, obj)
-      | Some (_, cur) -> if better obj cur then best := Some (Array.copy values, obj)
-    end
+    (* the objective is much cheaper than the feasibility sweep, so
+       screen candidates on it first once an incumbent exists *)
+    let obj = Model.objective_value t values in
+    (match !best with
+     | Some (_, cur) when not (better obj cur) -> ()
+     | _ ->
+       if Model.feasible t values then
+         match !best with
+         | None -> best := Some (Array.copy values, obj)
+         | Some (_, cur) ->
+           if better obj cur then best := Some (Array.copy values, obj))
   done;
   Option.map
     (fun (values, objective) ->

@@ -9,6 +9,7 @@ type result = {
   optimal : bool;
   upper_bound : int;
   nodes_explored : int;
+  components : int;
 }
 
 let graph_of_edges ~n edges =
@@ -394,22 +395,25 @@ let colour_class_set g members side_value =
 
 let exact_component_threshold = 400
 
-let solve ?(node_budget = 2_000_000) g =
+let solve ?(node_budget = 2_000_000) ?(parallel = true) g =
   let comp, n_comp = components g in
   let members = Array.make n_comp [] in
   for v = g.n - 1 downto 0 do
     members.(comp.(v)) <- v :: members.(comp.(v))
   done;
-  let chosen = Array.make g.n false in
   let warm = greedy g in
-  let total = ref 0 and ub_total = ref 0 and explored = ref 0 in
-  let all_optimal = ref true in
-  let remaining_budget = ref node_budget in
   let ordered =
     List.sort
       (fun a b -> compare (List.length a) (List.length b))
       (Array.to_list members)
+    |> List.filter (fun mem -> mem <> [])
   in
+  (* Solves one component, touching only component-local state — [g],
+     [comp] and [warm] are read shared but never written, so components
+     fan out across domains.  Every component receives the full
+     [node_budget]: a fixed split is the only deterministic one when
+     completion order varies with the job count.
+     Returns (set, optimal, upper bound, nodes explored). *)
   let solve_component mem =
     let size = List.length mem in
     if size <= exact_component_threshold then begin
@@ -418,7 +422,7 @@ let solve ?(node_budget = 2_000_000) g =
         g;
         alive = Array.make g.n false;
         deg = Array.make g.n 0;
-        budget = max 1 !remaining_budget;
+        budget = max 1 node_budget;
         explored = 0;
         best_size = 0;
         best_set = [];
@@ -435,16 +439,14 @@ let solve ?(node_budget = 2_000_000) g =
       let root_ub = matching_bound s mem in
       let trail = ref [] in
       search_component s mem [] 0 trail;
-      explored := !explored + s.explored;
-      remaining_budget := max 0 (!remaining_budget - s.explored);
-      if s.exhausted then (s.best_set, false, root_ub)
-      else (s.best_set, true, s.best_size)
+      if s.exhausted then (s.best_set, false, root_ub, s.explored)
+      else (s.best_set, true, s.best_size, s.explored)
     end
     else
       match two_colour g mem with
       | Some side ->
         let set = bipartite_mis g mem side in
-        (set, true, List.length set)
+        (set, true, List.length set, 0)
       | None ->
         let cid = match mem with v :: _ -> comp.(v) | [] -> -1 in
         let restrict set = List.filter (fun v -> comp.(v) = cid) set in
@@ -467,17 +469,21 @@ let solve ?(node_budget = 2_000_000) g =
         } in
         List.iter (fun v -> s_dummy.alive.(v) <- true) mem;
         let ub = matching_bound s_dummy mem in
-        (improved, List.length improved = ub, ub)
+        (improved, List.length improved = ub, ub, 0)
   in
+  let outcomes =
+    (if parallel then Jobs.parallel_map else List.map) solve_component ordered
+  in
+  let chosen = Array.make g.n false in
+  let total = ref 0 and ub_total = ref 0 and explored = ref 0 in
+  let all_optimal = ref true in
   List.iter
-    (fun mem ->
-      if mem <> [] then begin
-        let set, optimal, ub = solve_component mem in
-        if not optimal then all_optimal := false;
-        ub_total := !ub_total + ub;
-        total := !total + List.length set;
-        List.iter (fun v -> chosen.(v) <- true) set
-      end)
-    ordered;
+    (fun (set, optimal, ub, nodes) ->
+      if not optimal then all_optimal := false;
+      ub_total := !ub_total + ub;
+      total := !total + List.length set;
+      explored := !explored + nodes;
+      List.iter (fun v -> chosen.(v) <- true) set)
+    outcomes;
   { chosen; size = !total; optimal = !all_optimal; upper_bound = !ub_total;
-    nodes_explored = !explored }
+    nodes_explored = !explored; components = n_comp }

@@ -25,6 +25,191 @@ let relaxation t =
 
 let to_floats values = Array.map (fun b -> if b then 1.0 else 0.0) values
 
+(* --- decomposition ------------------------------------------------- *)
+
+type component = {
+  comp_vars : int array;
+  comp_model : t;
+}
+
+(* Union-find over variables; every constraint merges the variables it
+   mentions.  Zero coefficients still merge — over-merging is safe, it
+   only costs decomposition granularity. *)
+let decompose t =
+  let parent = Array.init t.num_vars Fun.id in
+  let rec find i =
+    if parent.(i) = i then i
+    else begin
+      let r = find parent.(i) in
+      parent.(i) <- r;
+      r
+    end
+  in
+  let union a b =
+    let ra = find a and rb = find b in
+    if ra <> rb then
+      if ra < rb then parent.(rb) <- ra else parent.(ra) <- rb
+  in
+  let infeasible = ref false in
+  List.iter
+    (fun (c : Lp.Problem.constr) ->
+      match c.Lp.Problem.coeffs with
+      | [] ->
+        (* a coefficient-free constraint decides itself *)
+        let ok =
+          match c.Lp.Problem.relation with
+          | Lp.Problem.Le -> 0.0 <= c.Lp.Problem.rhs +. 1e-9
+          | Lp.Problem.Ge -> 0.0 >= c.Lp.Problem.rhs -. 1e-9
+          | Lp.Problem.Eq -> Float.abs c.Lp.Problem.rhs <= 1e-9
+        in
+        if not ok then infeasible := true
+      | (j0, _) :: rest -> List.iter (fun (j, _) -> union j0 j) rest)
+    t.constraints;
+  if !infeasible then None
+  else begin
+    (* components ordered by smallest member variable; variables stay
+       ascending within each component — both deterministic *)
+    let comp_of_root = Hashtbl.create 16 in
+    let n_comp = ref 0 in
+    let comp_of_var = Array.make t.num_vars (-1) in
+    for j = 0 to t.num_vars - 1 do
+      let r = find j in
+      let c =
+        match Hashtbl.find_opt comp_of_root r with
+        | Some c -> c
+        | None ->
+          let c = !n_comp in
+          incr n_comp;
+          Hashtbl.replace comp_of_root r c;
+          c
+      in
+      comp_of_var.(j) <- c
+    done;
+    let sizes = Array.make !n_comp 0 in
+    Array.iter (fun c -> sizes.(c) <- sizes.(c) + 1) comp_of_var;
+    let members = Array.map (fun size -> Array.make size 0) sizes in
+    let filled = Array.make !n_comp 0 in
+    let local_of_var = Array.make t.num_vars (-1) in
+    Array.iteri
+      (fun j c ->
+        members.(c).(filled.(c)) <- j;
+        local_of_var.(j) <- filled.(c);
+        filled.(c) <- filled.(c) + 1)
+      comp_of_var;
+    let constraints = Array.make !n_comp [] in
+    List.iter
+      (fun (c : Lp.Problem.constr) ->
+        match c.Lp.Problem.coeffs with
+        | [] -> ()
+        | (j0, _) :: _ ->
+          let comp = comp_of_var.(j0) in
+          let coeffs =
+            List.map (fun (j, a) -> (local_of_var.(j), a)) c.Lp.Problem.coeffs
+          in
+          constraints.(comp) <-
+            { c with Lp.Problem.coeffs } :: constraints.(comp))
+      t.constraints;
+    let objective = Array.make !n_comp [] in
+    List.iter
+      (fun (j, a) ->
+        let comp = comp_of_var.(j) in
+        objective.(comp) <- (local_of_var.(j), a) :: objective.(comp))
+      t.objective;
+    Some
+      (List.init !n_comp (fun c ->
+           let comp_vars = members.(c) in
+           let comp_model =
+             { num_vars = Array.length comp_vars;
+               var_names = Array.map (fun j -> t.var_names.(j)) comp_vars;
+               sense = t.sense;
+               objective = List.rev objective.(c);
+               constraints = List.rev constraints.(c) }
+           in
+           { comp_vars; comp_model }))
+  end
+
+(* --- reduction ------------------------------------------------------ *)
+
+let reduce (t : t) ~fixed =
+  let eps = 1e-9 in
+  let n_free = ref 0 in
+  let new_of_old = Array.make t.num_vars (-1) in
+  for j = 0 to t.num_vars - 1 do
+    if fixed.(j) < 0 then begin
+      new_of_old.(j) <- !n_free;
+      incr n_free
+    end
+  done;
+  let old_of_new = Array.make !n_free 0 in
+  Array.iteri (fun j nj -> if nj >= 0 then old_of_new.(nj) <- j) new_of_old;
+  let offset =
+    List.fold_left
+      (fun acc (j, a) -> if fixed.(j) = 1 then acc +. a else acc)
+      0.0 t.objective
+  in
+  let infeasible = ref false in
+  let constraints =
+    List.filter_map
+      (fun (c : Lp.Problem.constr) ->
+        if !infeasible then None
+        else begin
+          let rhs = ref c.Lp.Problem.rhs in
+          let coeffs =
+            List.filter_map
+              (fun (j, a) ->
+                if fixed.(j) >= 0 then begin
+                  rhs := !rhs -. (a *. float_of_int fixed.(j));
+                  None
+                end
+                else Some (new_of_old.(j), a))
+              c.Lp.Problem.coeffs
+          in
+          let rhs = !rhs in
+          match coeffs with
+          | [] ->
+            (* fully substituted: the row decides itself *)
+            let ok =
+              match c.Lp.Problem.relation with
+              | Lp.Problem.Le -> 0.0 <= rhs +. eps
+              | Lp.Problem.Ge -> 0.0 >= rhs -. eps
+              | Lp.Problem.Eq -> Float.abs rhs <= eps
+            in
+            if not ok then infeasible := true;
+            None
+          | _ ->
+            (* drop rows no 0/1 point can violate: the same bound holds
+               over the LP box, so the relaxation loses nothing and the
+               incidence graph loses an edge *)
+            let min_lhs =
+              List.fold_left (fun acc (_, a) -> acc +. Float.min a 0.0) 0.0 coeffs
+            and max_lhs =
+              List.fold_left (fun acc (_, a) -> acc +. Float.max a 0.0) 0.0 coeffs
+            in
+            let vacuous =
+              match c.Lp.Problem.relation with
+              | Lp.Problem.Le -> max_lhs <= rhs +. eps
+              | Lp.Problem.Ge -> min_lhs >= rhs -. eps
+              | Lp.Problem.Eq -> false
+            in
+            if vacuous then None
+            else Some { c with Lp.Problem.coeffs; rhs }
+        end)
+      t.constraints
+  in
+  if !infeasible then None
+  else begin
+    let objective =
+      List.filter_map
+        (fun (j, a) -> if fixed.(j) < 0 then Some (new_of_old.(j), a) else None)
+        t.objective
+    in
+    let var_names = Array.map (fun j -> t.var_names.(j)) old_of_new in
+    Some
+      ( { num_vars = !n_free; var_names; sense = t.sense; objective; constraints },
+        old_of_new,
+        offset )
+  end
+
 let objective_value (t : t) values =
   List.fold_left
     (fun acc (j, a) -> if values.(j) then acc +. a else acc)

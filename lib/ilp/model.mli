@@ -27,6 +27,36 @@ val make :
 (** The LP relaxation: same constraints plus [x_j <= 1] bounds. *)
 val relaxation : t -> Lp.Problem.t
 
+(** A connected component of the variable–constraint incidence graph:
+    the sub-model re-indexes its variables densely, [comp_vars] maps
+    local index [k] back to the original variable [comp_vars.(k)]. *)
+type component = {
+  comp_vars : int array;
+  comp_model : t;
+}
+
+(** Split a model into independent sub-models: two variables share a
+    component iff some chain of constraints links them, so constraints
+    never cross components and the (separable) objective makes
+    per-component optima compose into a global optimum.  Components are
+    ordered by smallest member variable and variables stay ascending
+    within each — the split is deterministic.  Returns [None] when a
+    coefficient-free constraint is violated (the model is trivially
+    infeasible). *)
+val decompose : t -> component list option
+
+(** [reduce t ~fixed] substitutes every variable with [fixed.(j) >= 0]
+    by its value (a genuine elimination, not an appended fixing row):
+    fixed contributions fold into each rhs, fully-substituted rows are
+    checked and dropped, and rows no 0/1 point can violate are removed —
+    the same bound holds over the LP box, so the relaxation keeps its
+    strength while the incidence graph sheds edges (often splitting one
+    big component into many).  Returns the reduced model, the
+    new-index -> old-index map, and the objective offset contributed by
+    the fixed variables; [None] when a fully-substituted row is
+    violated. *)
+val reduce : t -> fixed:int array -> (t * int array * float) option
+
 val objective_value : t -> bool array -> float
 
 (** [feasible t values] checks every constraint. *)

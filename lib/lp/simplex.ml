@@ -80,6 +80,25 @@ let iterate ?(allowed = fun _ -> true) t =
 
 let solve_raw (p : Problem.t) =
   let n = p.Problem.num_vars in
+  (* Coefficient-free rows (e.g. left over after variable elimination)
+     would otherwise enter the tableau as dead weight — or, for Ge/Eq
+     rows, as artificials that can never leave the basis.  Decide them
+     here and drop them. *)
+  let rows =
+    List.filter
+      (fun (c : Problem.constr) ->
+        if List.exists (fun (_, a) -> Float.abs a > eps) c.Problem.coeffs then
+          true
+        else begin
+          (match c.Problem.relation with
+           | Problem.Le -> if 0.0 > c.Problem.rhs +. eps then raise Exit_infeasible
+           | Problem.Ge -> if 0.0 < c.Problem.rhs -. eps then raise Exit_infeasible
+           | Problem.Eq ->
+             if Float.abs c.Problem.rhs > eps then raise Exit_infeasible);
+          false
+        end)
+      p.Problem.constraints
+  in
   (* Normalise rows so rhs >= 0. *)
   let rows =
     List.map
@@ -93,7 +112,7 @@ let solve_raw (p : Problem.t) =
           in
           { Problem.coeffs; relation; rhs = -.c.Problem.rhs }
         else c)
-      p.Problem.constraints
+      rows
   in
   let m = List.length rows in
   let n_slack =

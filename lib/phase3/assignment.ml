@@ -8,6 +8,16 @@ type plan =
 
 type solver = [ `Auto | `Ilp | `Mis | `Greedy ]
 
+type solver_stats = {
+  components : int;
+  nodes_explored : int;
+  lp_solves : int;
+  propagations : int;
+}
+
+let no_stats =
+  { components = 0; nodes_explored = 0; lp_solves = 0; propagations = 0 }
+
 type t = {
   graph : Ff_graph.t;
   plans : plan array;
@@ -16,6 +26,7 @@ type t = {
   optimal : bool;
   solver_used : solver;
   solve_time_s : float;
+  stats : solver_stats;
 }
 
 let total_latches t =
@@ -159,6 +170,8 @@ let decode_ilp (g : Ff_graph.t) (sol : Ilp.Model.solution) =
   let pi_latches = derive_pi_latches g plans in
   (plans, pi_latches)
 
+let model_of d = build_model (Ff_graph.build d)
+
 let now () = Unix.gettimeofday ()
 
 let solve ?(solver = `Auto) ?(node_budget = 2_000_000) d =
@@ -170,14 +183,18 @@ let solve ?(solver = `Auto) ?(node_budget = 2_000_000) d =
     | (`Ilp | `Mis | `Greedy) as s -> s
   in
   let t0 = now () in
-  let plans, pi_latches, optimal =
+  let plans, pi_latches, optimal, stats =
     match strategy with
     | `Ilp ->
       let model = build_model g in
       (match Ilp.Branch_bound.solve ~node_budget:(min node_budget 20_000) model with
-       | Some (sol, _) ->
+       | Some (sol, s) ->
          let plans, pi = decode_ilp g sol in
-         (plans, pi, sol.Ilp.Model.optimal)
+         (plans, pi, sol.Ilp.Model.optimal,
+          { components = s.Ilp.Branch_bound.components;
+            nodes_explored = s.Ilp.Branch_bound.nodes_explored;
+            lp_solves = s.Ilp.Branch_bound.lp_solves;
+            propagations = s.Ilp.Branch_bound.propagations })
        | None ->
          (* The formulation is always feasible (all pairs); cannot happen. *)
          assert false)
@@ -185,12 +202,15 @@ let solve ?(solver = `Auto) ?(node_budget = 2_000_000) d =
       let graph, eligible = build_augmented g in
       let r = Ilp.Indep_set.solve ~node_budget graph in
       let plans, pi = decode_mis g r.Ilp.Indep_set.chosen eligible in
-      (plans, pi, r.Ilp.Indep_set.optimal)
+      (plans, pi, r.Ilp.Indep_set.optimal,
+       { no_stats with
+         components = r.Ilp.Indep_set.components;
+         nodes_explored = r.Ilp.Indep_set.nodes_explored })
     | `Greedy ->
       let graph, eligible = build_augmented g in
       let chosen = Ilp.Indep_set.greedy graph in
       let plans, pi = decode_mis g chosen eligible in
-      (plans, pi, false)
+      (plans, pi, false, no_stats)
   in
   let solve_time_s = now () -. t0 in
   { graph = g;
@@ -199,7 +219,8 @@ let solve ?(solver = `Auto) ?(node_budget = 2_000_000) d =
     inserted_latches = count_inserted plans pi_latches;
     optimal;
     solver_used = strategy;
-    solve_time_s }
+    solve_time_s;
+    stats }
 
 let validate d t =
   ignore d;

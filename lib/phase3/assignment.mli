@@ -30,6 +30,17 @@ type plan =
 
 type solver = [ `Auto | `Ilp | `Mis | `Greedy ]
 
+(** Unified solver instrumentation.  The [`Ilp] path fills every field
+    from {!Ilp.Branch_bound.stats}; the combinatorial [`Mis] path reports
+    its components and search nodes with zero LP activity; [`Greedy]
+    reports all zeros. *)
+type solver_stats = {
+  components : int;      (** independent sub-problems solved *)
+  nodes_explored : int;
+  lp_solves : int;
+  propagations : int;    (** implied fixings applied before LP solves *)
+}
+
 type t = {
   graph : Netlist.Ff_graph.t;
   plans : plan array;            (** per graph position *)
@@ -38,6 +49,7 @@ type t = {
   optimal : bool;
   solver_used : solver;
   solve_time_s : float;
+  stats : solver_stats;
 }
 
 (** Number of latches the 3-phase design will contain
@@ -45,6 +57,11 @@ type t = {
 val total_latches : t -> int
 
 val solve : ?solver:solver -> ?node_budget:int -> Netlist.Design.t -> t
+
+(** The literal ILP model for a design's flip-flop graph — the exact
+    instance the [`Ilp] strategy hands to {!Ilp.Branch_bound.solve}.
+    Exposed for benchmarking and cross-checking solvers. *)
+val model_of : Netlist.Design.t -> Ilp.Model.t
 
 (** Check the paper's constraints on a finished assignment: no two
     adjacent [Single_p1]/first-latch-[p1] registers, every self-loop

@@ -43,6 +43,110 @@ let prop_bb_matches_brute_force =
         && Ilp.Model.feasible m s2.Ilp.Model.values
       | Some _, None | None, Some _ -> false)
 
+(* A model built from disjoint variable blocks: constraints never cross
+   blocks, so the incidence graph has one component per block (or more)
+   and the decomposed solver must still agree with the monolithic one. *)
+let random_blocks_model rand =
+  let open QCheck.Gen in
+  let n_blocks = 2 + int_bound 2 rand in
+  let sense = if bool rand then P.Maximize else P.Minimize in
+  let blocks =
+    List.init n_blocks (fun _ ->
+        let n = 2 + int_bound 2 rand in
+        let m = 1 + int_bound 2 rand in
+        let constraints =
+          List.init m (fun _ ->
+              let coeffs =
+                List.filter_map
+                  (fun j ->
+                    if bool rand then
+                      Some (j, float_of_int (int_range (-3) 3 rand))
+                    else None)
+                  (List.init n Fun.id)
+              in
+              let rel = match int_bound 2 rand with
+                | 0 -> P.Le
+                | 1 -> P.Ge
+                | _ -> P.Eq
+              in
+              P.constr coeffs rel (float_of_int (int_range (-2) 4 rand)))
+        in
+        let objective =
+          List.init n (fun j -> (j, float_of_int (1 + int_bound 4 rand)))
+        in
+        (n, constraints, objective))
+  in
+  let total = List.fold_left (fun acc (n, _, _) -> acc + n) 0 blocks in
+  let names = Array.init total (Printf.sprintf "x%d") in
+  let shift off = List.map (fun (j, a) -> (j + off, a)) in
+  let _, constraints, objective =
+    List.fold_left
+      (fun (off, cs, os) (n, bc, bo) ->
+        ( off + n,
+          cs @ List.map (fun c -> { c with P.coeffs = shift off c.P.coeffs }) bc,
+          os @ shift off bo ))
+      (0, [], []) blocks
+  in
+  Ilp.Model.make ~var_names:names ~sense ~objective constraints
+
+let prop_decomposed_matches_monolithic =
+  QCheck.Test.make ~name:"decomposed = monolithic on multi-component models"
+    ~count:120
+    (QCheck.make random_blocks_model)
+    (fun m ->
+      let dec = Ilp.Branch_bound.solve m in
+      let mono = Ilp.Branch_bound.solve_monolithic m in
+      match dec, mono with
+      | None, None -> true
+      | Some (s1, _), Some (s2, _) ->
+        Float.abs (s1.Ilp.Model.objective -. s2.Ilp.Model.objective) < 1e-6
+        && Ilp.Model.feasible m s1.Ilp.Model.values
+        && s1.Ilp.Model.optimal && s2.Ilp.Model.optimal
+      | Some _, None | None, Some _ -> false)
+
+let prop_parallel_deterministic =
+  QCheck.Test.make ~name:"parallel fan-out is bit-identical to serial"
+    ~count:60
+    (QCheck.make random_blocks_model)
+    (fun m ->
+      let a = Ilp.Branch_bound.solve ~parallel:true m in
+      let b = Ilp.Branch_bound.solve ~parallel:false m in
+      match a, b with
+      | None, None -> true
+      | Some (s1, st1), Some (s2, st2) ->
+        s1.Ilp.Model.values = s2.Ilp.Model.values
+        && s1.Ilp.Model.objective = s2.Ilp.Model.objective
+        && s1.Ilp.Model.best_bound = s2.Ilp.Model.best_bound
+        && s1.Ilp.Model.optimal = s2.Ilp.Model.optimal
+        && st1.Ilp.Branch_bound.nodes_explored = st2.Ilp.Branch_bound.nodes_explored
+        && st1.Ilp.Branch_bound.lp_solves = st2.Ilp.Branch_bound.lp_solves
+        && st1.Ilp.Branch_bound.propagations = st2.Ilp.Branch_bound.propagations
+        && st1.Ilp.Branch_bound.components = st2.Ilp.Branch_bound.components
+        && st1.Ilp.Branch_bound.component_nodes = st2.Ilp.Branch_bound.component_nodes
+      | Some _, None | None, Some _ -> false)
+
+let prop_presolve_sound =
+  (* probing only fixes a variable when the opposite value propagates to
+     a wipeout, so every feasible assignment must agree with the fixing *)
+  QCheck.Test.make ~name:"presolve fixings hold in every feasible point"
+    ~count:120
+    (QCheck.make random_model)
+    (fun m ->
+      let n = m.Ilp.Model.num_vars in
+      match Ilp.Branch_bound.presolve m with
+      | None -> Ilp.Brute_force.solve m = None
+      | Some (fixed, _) ->
+        let ok = ref true in
+        for mask = 0 to (1 lsl n) - 1 do
+          let values = Array.init n (fun j -> (mask lsr j) land 1 = 1) in
+          if Ilp.Model.feasible m values then
+            Array.iteri
+              (fun j f ->
+                if f >= 0 && values.(j) <> (f = 1) then ok := false)
+              fixed
+        done;
+        !ok)
+
 let random_graph ?(max_n = 12) ?(edge_pct = 30) rand =
   let open QCheck.Gen in
   let n = 2 + int_bound (max_n - 2) rand in
@@ -181,8 +285,51 @@ let test_mis_budget_anytime () =
   check Alcotest.bool "bound sane" true
     (r.Ilp.Indep_set.upper_bound >= r.Ilp.Indep_set.size)
 
+let test_exhaustion_honest_bound () =
+  (* C5 vertex cover with objective weight 1.5 per vertex: the LP
+     relaxation is half-integral (all 0.5, objective 3.75) and the true
+     optimum covers three vertices (4.5).  [brute_max:0] forces the
+     branch-and-bound path even on this small component. *)
+  let n = 5 in
+  let names = Array.init n (Printf.sprintf "x%d") in
+  let constraints =
+    List.init n (fun k -> P.constr [(k, 1.0); ((k + 1) mod n, 1.0)] P.Ge 1.0)
+  in
+  let objective = List.init n (fun j -> (j, 1.5)) in
+  let m = Ilp.Model.make ~var_names:names ~sense:P.Minimize ~objective constraints in
+  let solve budget =
+    match Ilp.Branch_bound.solve ~brute_max:0 ~node_budget:budget m with
+    | None -> Alcotest.fail "C5 cover is feasible"
+    | Some (s, _) -> s
+  in
+  (* budget 1: only the root LP ran; the greedy all-ones cover is the
+     incumbent and the dual bound is the open frontier *)
+  let s1 = solve 1 in
+  check (Alcotest.float 1e-9) "budget 1 incumbent" 7.5 s1.Ilp.Model.objective;
+  check Alcotest.bool "budget 1 not optimal" false s1.Ilp.Model.optimal;
+  check (Alcotest.float 1e-9) "budget 1 open bound" 3.75 s1.Ilp.Model.best_bound;
+  (* budget 2: the dive already found the optimum but cannot prove it —
+     the root sibling is still open at the root bound *)
+  let s2 = solve 2 in
+  check (Alcotest.float 1e-9) "budget 2 incumbent" 4.5 s2.Ilp.Model.objective;
+  check Alcotest.bool "budget 2 not optimal" false s2.Ilp.Model.optimal;
+  check (Alcotest.float 1e-9) "budget 2 open bound" 3.75 s2.Ilp.Model.best_bound;
+  (* the dual sandwich every exhausted solve must respect *)
+  check Alcotest.bool "bound below optimum" true
+    (s2.Ilp.Model.best_bound <= 4.5 +. 1e-9);
+  (* budget 3: proven — the gap closes and the bound meets the objective *)
+  let s3 = solve 3 in
+  check (Alcotest.float 1e-9) "budget 3 optimum" 4.5 s3.Ilp.Model.objective;
+  check Alcotest.bool "budget 3 optimal" true s3.Ilp.Model.optimal;
+  check (Alcotest.float 1e-9) "budget 3 closed bound" 4.5 s3.Ilp.Model.best_bound
+
 let suite =
   [ QCheck_alcotest.to_alcotest prop_bb_matches_brute_force;
+    QCheck_alcotest.to_alcotest prop_decomposed_matches_monolithic;
+    QCheck_alcotest.to_alcotest prop_parallel_deterministic;
+    QCheck_alcotest.to_alcotest prop_presolve_sound;
+    Alcotest.test_case "honest bound on exhaustion" `Quick
+      test_exhaustion_honest_bound;
     QCheck_alcotest.to_alcotest prop_mis_exact_small;
     QCheck_alcotest.to_alcotest prop_greedy_independent;
     QCheck_alcotest.to_alcotest prop_local_search_improves;

@@ -459,16 +459,13 @@ let suite =
 (* --- backward retiming --- *)
 
 let test_backward_retime () =
-  (* one pair whose p2 latch sits after a long buffer chain that feeds the
-     latch's D through a gate with sole-reader output: the only improving
-     direction is backward (din >> dout) *)
+  (* one pair whose p2 latch sits at the head of a long buffer chain:
+     walking it into the chain balances the halves, so retiming must act *)
   let b = B.create ~name:"bwd" ~library:lib in
   let clk = B.add_input ~clock:true b "clk" in
   let qa = B.fresh_net b "qa" in
   let qb = B.fresh_net b "qb" in
-  (* rA pair forced by adjacency to rB *)
   let da = B.fresh_net b "da" in
-  ignore (B.add_cell b "gin" "BUF_X2" [("A", qb); ("Z", da)]);
   ignore (B.add_cell b "rA" "DFF_X1" [("CK", clk); ("D", da); ("Q", qa)]);
   let rec chain src k =
     if k = 0 then src
@@ -479,6 +476,10 @@ let test_backward_retime () =
     end
   in
   let tail = chain qa 8 in
+  (* rA's pair is forced — not tie-broken — by its combinational
+     self-loop through the chain; [qa] keeps its single reader so the
+     inserted p2 latch stays movable *)
+  ignore (B.add_cell b "gin" "AND2_X1" [("A1", qb); ("A2", tail); ("Z", da)]);
   ignore (B.add_cell b "rB" "DFF_X1" [("CK", clk); ("D", tail); ("Q", qb)]);
   B.add_output b "y" qb;
   let d = B.freeze b in
