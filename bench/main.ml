@@ -9,6 +9,9 @@
      bench/main.exe table1 fig4 ...  selected experiments only
      bench/main.exe micro --json     also write BENCH_sim.json
      bench/main.exe ilp --json       also write BENCH_ilp.json
+     bench/main.exe --trace t.json   also write a Chrome trace of the run
+                                     (open in chrome://tracing or Perfetto)
+                                     and print the Obs summary table
    The suite loop and each benchmark's variants run on multiple domains;
    set THREEPHASE_JOBS=1 to force a serial run.
    Experiments: table1 table2 fig1 fig2 fig3 fig4 runtime
@@ -279,8 +282,14 @@ let ilp ~quick ~json () =
       log "[ilp] wrote BENCH_ilp.json (headline %s: %.1fx)" name speedup
   end
 
+let rec extract_trace acc = function
+  | "--trace" :: path :: rest -> (Some path, List.rev_append acc rest)
+  | a :: rest -> extract_trace (a :: acc) rest
+  | [] -> (None, List.rev acc)
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  let trace, args = extract_trace [] args in
   let quick = List.exists (String.equal "quick") args in
   let json = List.exists (String.equal "--json") args in
   let args =
@@ -301,7 +310,10 @@ let () =
     log "[fig4] CPU workload sweep ...";
     print_tables [Experiments.Tables.fig4 ()]
   end;
-  if wants args "runtime" then print_tables [Experiments.Tables.runtime results];
+  if wants args "runtime" then
+    print_tables
+      [ Experiments.Tables.runtime results;
+        Experiments.Tables.runtime_stages results ];
   if wants args "ablation-solver" then
     print_tables [Experiments.Ablation.solver ()];
   if wants args "ablation-cg" then
@@ -319,4 +331,10 @@ let () =
   if wants args "freq-sweep" then
     print_tables [Experiments.Tables.frequency_sweep ()];
   if wants args "micro" then micro ~json ();
-  if wants args "ilp" then ilp ~quick ~json ()
+  if wants args "ilp" then ilp ~quick ~json ();
+  match trace with
+  | None -> ()
+  | Some path ->
+    Obs.write_chrome_trace path;
+    print_tables [Obs.summary_table ()];
+    log "[obs] wrote %s" path

@@ -74,8 +74,22 @@ let vcd_arg =
        & info ["vcd"] ~docv:"FILE"
            ~doc:"Also dump a VCD waveform of 64 random cycles.")
 
+let trace_arg =
+  Arg.(value & opt (some string) None
+       & info ["trace"] ~docv:"FILE"
+           ~doc:"Write a Chrome trace_event JSON of the whole run (one span \
+                 per flow stage, counters for the solvers and simulators); \
+                 open it in chrome://tracing or https://ui.perfetto.dev.")
+
+let timings_arg =
+  Arg.(value & flag
+       & info ["timings"]
+           ~doc:"Print the observability summary table (per-stage wall-clock, \
+                 solver and simulator counters) after the flow.")
+
 let convert_cmd =
-  let run input output period solver no_retime no_cg no_verify optimize sdc vcd =
+  let run input output period solver no_retime no_cg no_verify optimize sdc vcd
+      trace timings =
     let d = read_design input in
     let cg =
       if no_cg then
@@ -136,13 +150,26 @@ let convert_cmd =
          close_out oc;
          Printf.printf "wrote %s\n" path
        | None -> ());
+      (match result.Phase3.Flow.stage_times with
+       | [] -> ()
+       | times when timings ->
+         Printf.printf "stage times:";
+         List.iter (fun (s, t) -> Printf.printf " %s %.3fs" s t) times;
+         print_newline ()
+       | _ -> ());
+      if timings then Report.Table.print (Obs.summary_table ());
+      (match trace with
+       | Some path ->
+         Obs.write_chrome_trace path;
+         Printf.printf "wrote %s\n" path
+       | None -> ());
       `Ok ()
     | exception Phase3.Flow.Flow_error msg -> `Error (false, msg)
   in
   Cmd.v (Cmd.info "convert" ~doc:"Convert a FF netlist to 3-phase latches.")
     Term.(ret (const run $ input_arg $ output_arg $ period_arg $ solver_arg
                $ no_retime_arg $ no_cg_arg $ no_verify_arg $ optimize_arg
-               $ sdc_arg $ vcd_arg))
+               $ sdc_arg $ vcd_arg $ trace_arg $ timings_arg))
 
 let master_slave_cmd =
   let run input output =

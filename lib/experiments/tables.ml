@@ -379,6 +379,30 @@ let runtime (results : Runner.t list) =
     results;
   t
 
+let runtime_stages (results : Runner.t list) =
+  let stages = Phase3.Flow.stage_names in
+  let t =
+    T.create ~title:"Run-time: per-stage breakdown of the 3-phase flow (s)"
+      (("design", T.Left)
+       :: List.map (fun s -> (s, T.Right)) stages
+       @ [("flow total", T.Right)])
+  in
+  List.iter
+    (fun (r : Runner.t) ->
+      let times = r.Runner.flow.Phase3.Flow.stage_times in
+      let cell s =
+        match List.assoc_opt s times with
+        | Some v -> Printf.sprintf "%.3f" v
+        | None -> "-"
+      in
+      let total = List.fold_left (fun acc (_, v) -> acc +. v) 0.0 times in
+      T.add_row t
+        (r.Runner.bench.Circuits.Suite.bench_name
+         :: List.map cell stages
+         @ [Printf.sprintf "%.3f" total]))
+    results;
+  t
+
 (* --- register-style baseline comparison ---------------------------- *)
 
 let baselines ?(bench = "plasma") ?(skew = 0.05) () =

@@ -27,6 +27,12 @@ val fig4 : ?cycles:int -> unit -> Report.Table.t
 (** Run-time discussion of Section V: ILP time vs. flow time. *)
 val runtime : Runner.t list -> Report.Table.t
 
+(** Companion to {!runtime}: one column per {!Phase3.Flow.stage_names}
+    entry with that stage's wall-clock seconds (from
+    {!Phase3.Flow.result.stage_times}), plus the flow total.  Disabled
+    stages print ["-"]. *)
+val runtime_stages : Runner.t list -> Report.Table.t
+
 (** Register-style comparison including the pulsed-latch alternative of
     Section I: registers, area, power and hold-buffer demand under skew
     for FF / pulsed-latch / master-slave / 3-phase. *)

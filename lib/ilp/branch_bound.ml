@@ -540,6 +540,7 @@ let solve_component ~node_budget ~brute_max (t : Model.t) =
 
 let solve ?(node_budget = 200_000) ?(brute_max = 10) ?(parallel = true)
     (t : Model.t) =
+  Obs.span "ilp.solve" @@ fun () ->
   let t0 = now () in
   match presolve t with
   | None -> None
@@ -550,7 +551,8 @@ let solve ?(node_budget = 200_000) ?(brute_max = 10) ?(parallel = true)
        (* presolve fixings are implied, so they are part of every
           feasible solution and contribute exactly [offset] *)
        let values = Array.init t.Model.num_vars (fun j -> root_fixed.(j) = 1) in
-       if rt.Model.num_vars = 0 then
+       if rt.Model.num_vars = 0 then begin
+         Obs.count "ilp.propagations" root_props;
          Some
            ( { Model.values;
                objective = offset;
@@ -562,18 +564,29 @@ let solve ?(node_budget = 200_000) ?(brute_max = 10) ?(parallel = true)
                components = 0;
                component_nodes = [||];
                wall_time_s = now () -. t0 } )
+       end
        else
          match Model.decompose rt with
          | None -> None
          | Some comps ->
            let map = if parallel then Jobs.parallel_map else List.map in
+           Obs.count "ilp.components" (List.length comps);
+           Obs.count "ilp.propagations" root_props;
            (* each component gets the full budget: a fixed split is the
               only deterministic choice when components finish in any
               order *)
            let outcomes =
              map
                (fun (c : Model.component) ->
-                 solve_component ~node_budget ~brute_max c.Model.comp_model)
+                 (* counters land on the worker domain's buffer; the
+                    merged sums are identical for any THREEPHASE_JOBS *)
+                 let o =
+                   solve_component ~node_budget ~brute_max c.Model.comp_model
+                 in
+                 Obs.count "ilp.nodes" o.co_nodes;
+                 Obs.count "ilp.lp_solves" o.co_lps;
+                 Obs.count "ilp.propagations" o.co_props;
+                 o)
                comps
            in
            let infeasible =

@@ -17,7 +17,10 @@
 
     Each component search is best-first on the LP bound with a node
     priority queue, *plunging* from every popped node: it dives
-    depth-first on the most fractional variable rounded to its LP value,
+    depth-first on the most fractional variable — ties break to the
+    {e lowest variable index}, so the branching order, and with it the
+    whole search tree, is stable across refactors and job counts —
+    rounded to its LP value,
     backtracks locally through a bounded sibling stack, and flushes
     leftovers back to the queue.  Before every LP solve, unit
     propagation fixes implied variables (a constraint
@@ -33,8 +36,14 @@
     deterministic choice when components are solved concurrently).  On
     exhaustion the incumbent is returned with [optimal = false] and
     [best_bound] set to the most optimistic *open* node bound — the
-    honest remaining gap, not the root relaxation. *)
+    honest remaining gap, not the root relaxation.
 
+    [solve] also records {!Obs} metrics: an [ilp.solve] span plus the
+    [ilp.components], [ilp.nodes], [ilp.lp_solves] and
+    [ilp.propagations] counters (emitted per component on whichever
+    domain solved it, so the merged sums are job-count independent). *)
+
+(** Search statistics, also mirrored as [ilp.*] {!Obs} counters. *)
 type stats = {
   nodes_explored : int;      (** across all components *)
   lp_solves : int;

@@ -9,7 +9,12 @@
 
     Results preserve input order and the first exception (by input
     index) is re-raised with its backtrace — a parallel run is
-    observationally identical to a serial one. *)
+    observationally identical to a serial one.  That extends to
+    observability: [Obs] events recorded inside [f] land on per-domain
+    buffers whose merged aggregates (summed counters, max-merged
+    gauges) are identical for any worker count, and [parallel_map]
+    joins its workers before returning, so reading [Obs] afterwards is
+    race-free. *)
 
 (** Effective worker count ([THREEPHASE_JOBS] or the domain count). *)
 val default_jobs : unit -> int

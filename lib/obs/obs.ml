@@ -1,0 +1,290 @@
+(* Flow-wide observability: hierarchical timed spans, counters and
+   gauges, recorded into per-domain append-only buffers and merged on
+   read.
+
+   Recording is always on and cheap — one allocation plus an array
+   append per event — so the flow, the solvers and the simulators
+   instrument themselves unconditionally.  Every domain (the main one
+   and every worker spawned by [Jobs.parallel_map]) lazily owns one
+   buffer, registered in a mutex-protected global list, so recording
+   never takes a lock and never contends.  Readers ([span_stats],
+   [counters], [chrome_trace], ...) merge the buffers; they must run
+   outside parallel sections — [Jobs.parallel_map] joins its workers
+   before returning, so calling them from ordinary top-level code is
+   safe. *)
+
+type event =
+  | Begin of { name : string; ts : float }
+  | End of { name : string; ts : float }
+  | Count of { name : string; ts : float; incr : int }
+  | Gauge of { name : string; ts : float; value : float }
+
+type buffer = {
+  dom : int;
+  mutable events : event array;
+  mutable len : int;
+}
+
+let registry : buffer list ref = ref []
+
+let registry_lock = Mutex.create ()
+
+let now () = Unix.gettimeofday ()
+
+(* trace time zero; reset () re-bases it *)
+let epoch = Atomic.make (now ())
+
+let dummy = End { name = ""; ts = 0.0 }
+
+let key =
+  Domain.DLS.new_key (fun () ->
+      let b =
+        { dom = (Domain.self () :> int); events = Array.make 64 dummy; len = 0 }
+      in
+      Mutex.lock registry_lock;
+      registry := b :: !registry;
+      Mutex.unlock registry_lock;
+      b)
+
+let buffer () = Domain.DLS.get key
+
+let push b e =
+  if b.len = Array.length b.events then begin
+    let bigger = Array.make (2 * b.len) e in
+    Array.blit b.events 0 bigger 0 b.len;
+    b.events <- bigger
+  end;
+  b.events.(b.len) <- e;
+  b.len <- b.len + 1
+
+let span name f =
+  let b = buffer () in
+  push b (Begin { name; ts = now () });
+  Fun.protect ~finally:(fun () -> push b (End { name; ts = now () })) f
+
+let count name incr =
+  if incr <> 0 then push (buffer ()) (Count { name; ts = now (); incr })
+
+let gauge name value = push (buffer ()) (Gauge { name; ts = now (); value })
+
+let reset () =
+  Mutex.lock registry_lock;
+  List.iter (fun b -> b.len <- 0) !registry;
+  Mutex.unlock registry_lock;
+  Atomic.set epoch (now ())
+
+(* Snapshot of all buffers, ordered by domain id (the main domain is
+   always the smallest id alive). *)
+let events () =
+  Mutex.lock registry_lock;
+  let bufs = !registry in
+  Mutex.unlock registry_lock;
+  bufs
+  |> List.filter (fun b -> b.len > 0)
+  |> List.sort (fun a b -> compare a.dom b.dom)
+  |> List.map (fun b -> (b.dom, Array.to_list (Array.sub b.events 0 b.len)))
+
+(* --- aggregation ---------------------------------------------------- *)
+
+type span_stat = {
+  span_name : string;
+  calls : int;
+  total_s : float;
+}
+
+let span_stats () =
+  let acc : (string, int ref * float ref) Hashtbl.t = Hashtbl.create 32 in
+  let bump name dur =
+    let calls, total =
+      match Hashtbl.find_opt acc name with
+      | Some cell -> cell
+      | None ->
+        let cell = (ref 0, ref 0.0) in
+        Hashtbl.add acc name cell;
+        cell
+    in
+    incr calls;
+    total := !total +. dur
+  in
+  List.iter
+    (fun (_, evs) ->
+      (* spans are structured ([span] brackets a call), so Begin/End
+         pairs nest properly within one domain's buffer *)
+      let stack = ref [] in
+      List.iter
+        (function
+          | Begin { name; ts } -> stack := (name, ts) :: !stack
+          | End { name; ts } ->
+            (match !stack with
+             | (n, t0) :: rest when String.equal n name ->
+               stack := rest;
+               bump name (ts -. t0)
+             | _ -> () (* unmatched End: drop rather than guess *))
+          | Count _ | Gauge _ -> ())
+        evs)
+    (events ());
+  Hashtbl.fold
+    (fun span_name (calls, total) l ->
+      { span_name; calls = !calls; total_s = !total } :: l)
+    acc []
+  |> List.sort (fun a b -> String.compare a.span_name b.span_name)
+
+let counters () =
+  let acc : (string, int ref) Hashtbl.t = Hashtbl.create 32 in
+  List.iter
+    (fun (_, evs) ->
+      List.iter
+        (function
+          | Count { name; incr; _ } ->
+            (match Hashtbl.find_opt acc name with
+             | Some r -> r := !r + incr
+             | None -> Hashtbl.add acc name (ref incr))
+          | Begin _ | End _ | Gauge _ -> ())
+        evs)
+    (events ());
+  Hashtbl.fold (fun name r l -> (name, !r) :: l) acc []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let gauges () =
+  let acc : (string, float ref) Hashtbl.t = Hashtbl.create 32 in
+  List.iter
+    (fun (_, evs) ->
+      List.iter
+        (function
+          | Gauge { name; value; _ } ->
+            (match Hashtbl.find_opt acc name with
+             | Some r -> if value > !r then r := value
+             | None -> Hashtbl.add acc name (ref value))
+          | Begin _ | End _ | Count _ -> ())
+        evs)
+    (events ());
+  Hashtbl.fold (fun name r l -> (name, !r) :: l) acc []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let time_of name =
+  match List.find_opt (fun s -> String.equal s.span_name name) (span_stats ()) with
+  | Some s -> s.total_s
+  | None -> 0.0
+
+let calls_of name =
+  match List.find_opt (fun s -> String.equal s.span_name name) (span_stats ()) with
+  | Some s -> s.calls
+  | None -> 0
+
+let counter_of name =
+  match List.assoc_opt name (counters ()) with Some v -> v | None -> 0
+
+(* --- Chrome trace_event exporter ------------------------------------ *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let chrome_trace () =
+  let t0 = Atomic.get epoch in
+  let us ts = (ts -. t0) *. 1e6 in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  let first = ref true in
+  let emit s =
+    if !first then first := false else Buffer.add_char buf ',';
+    Buffer.add_string buf "\n  ";
+    Buffer.add_string buf s
+  in
+  (* counter tracks show running totals; totals are kept per name across
+     domains, in buffer order, which is what a merged track displays *)
+  let totals : (string, int ref) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (tid, evs) ->
+      emit
+        (Printf.sprintf
+           "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%d,\
+            \"args\":{\"name\":\"domain %d\"}}"
+           tid tid);
+      List.iter
+        (fun ev ->
+          match ev with
+          | Begin { name; ts } ->
+            emit
+              (Printf.sprintf
+                 "{\"name\":\"%s\",\"ph\":\"B\",\"pid\":1,\"tid\":%d,\"ts\":%.1f}"
+                 (json_escape name) tid (us ts))
+          | End { name; ts } ->
+            emit
+              (Printf.sprintf
+                 "{\"name\":\"%s\",\"ph\":\"E\",\"pid\":1,\"tid\":%d,\"ts\":%.1f}"
+                 (json_escape name) tid (us ts))
+          | Count { name; ts; incr } ->
+            let r =
+              match Hashtbl.find_opt totals name with
+              | Some r -> r
+              | None ->
+                let r = ref 0 in
+                Hashtbl.add totals name r;
+                r
+            in
+            r := !r + incr;
+            emit
+              (Printf.sprintf
+                 "{\"name\":\"%s\",\"ph\":\"C\",\"pid\":1,\"tid\":%d,\"ts\":%.1f,\
+                  \"args\":{\"value\":%d}}"
+                 (json_escape name) tid (us ts) !r)
+          | Gauge { name; ts; value } ->
+            emit
+              (Printf.sprintf
+                 "{\"name\":\"%s\",\"ph\":\"C\",\"pid\":1,\"tid\":%d,\"ts\":%.1f,\
+                  \"args\":{\"value\":%g}}"
+                 (json_escape name) tid (us ts) value))
+        evs)
+    (events ());
+  Buffer.add_string buf "\n]}\n";
+  Buffer.contents buf
+
+let write_chrome_trace path =
+  let oc = open_out path in
+  output_string oc (chrome_trace ());
+  close_out oc
+
+(* --- plain-text summary --------------------------------------------- *)
+
+let summary_table () =
+  let t =
+    Report.Table.create ~title:"Observability summary"
+      [ ("metric", Report.Table.Left); ("kind", Report.Table.Left);
+        ("calls", Report.Table.Right); ("total s", Report.Table.Right);
+        ("mean ms", Report.Table.Right); ("value", Report.Table.Right) ]
+  in
+  let spans = span_stats () in
+  List.iter
+    (fun s ->
+      Report.Table.add_row t
+        [ s.span_name; "span"; string_of_int s.calls;
+          Printf.sprintf "%.4f" s.total_s;
+          Printf.sprintf "%.3f" (1e3 *. s.total_s /. float_of_int (max 1 s.calls));
+          "" ])
+    spans;
+  let cs = counters () in
+  if spans <> [] && cs <> [] then Report.Table.add_rule t;
+  List.iter
+    (fun (name, v) ->
+      Report.Table.add_row t [name; "counter"; ""; ""; ""; string_of_int v])
+    cs;
+  let gs = gauges () in
+  if (spans <> [] || cs <> []) && gs <> [] then Report.Table.add_rule t;
+  List.iter
+    (fun (name, v) ->
+      Report.Table.add_row t [name; "gauge"; ""; ""; ""; Printf.sprintf "%g" v])
+    gs;
+  t

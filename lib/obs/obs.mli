@@ -1,0 +1,104 @@
+(** Flow-wide observability: timed spans, counters and gauges with a
+    Chrome [trace_event] exporter and a plain-text summary table.
+
+    Every subsystem of the conversion flow instruments itself through
+    this module: {!Phase3.Flow} brackets each pipeline stage in a
+    {!span}, {!Ilp.Branch_bound} counts search nodes, LP solves and
+    propagations, {!Sim.Kernel} counts lane-cycles and toggles, and so
+    on.  Recording is unconditional and cheap — one event record
+    appended to a growable per-domain array — so there is no "enabled"
+    switch to thread through the code.
+
+    {2 Threading model}
+
+    Each domain (the main one and every worker spawned by
+    {!Jobs.parallel_map}) lazily owns a private buffer registered in a
+    global list, so the write path never takes a lock.  Read-side
+    functions ({!span_stats}, {!counters}, {!chrome_trace}, ...) merge
+    all buffers; call them only while no worker domain is recording.
+    {!Jobs.parallel_map} joins its workers before returning, so
+    ordinary sequential code — the CLI after a flow run, the benchmark
+    harness after a suite — reads safely.
+
+    Merging is deterministic by construction where it matters:
+    counters are summed and gauges take the maximum, both
+    order-independent reductions, so the aggregate values are identical
+    for any [THREEPHASE_JOBS] setting.  Span statistics sum durations
+    per name, also order-independent; only the raw event interleaving
+    across domains varies run to run. *)
+
+(** One recorded event.  [Begin]/[End] bracket a {!span} (they nest
+    properly within one domain because [span] is structured); [Count]
+    carries a counter increment; [Gauge] a sampled value.  Timestamps
+    are [Unix.gettimeofday] seconds. *)
+type event =
+  | Begin of { name : string; ts : float }
+  | End of { name : string; ts : float }
+  | Count of { name : string; ts : float; incr : int }
+  | Gauge of { name : string; ts : float; value : float }
+
+(** [span name f] runs [f ()] bracketed by [Begin]/[End] events on the
+    calling domain's buffer.  The [End] event is recorded even when [f]
+    raises, so pairs always balance.  Spans nest: a [span] inside [f]
+    appears as a child in the Chrome trace. *)
+val span : string -> (unit -> 'a) -> 'a
+
+(** [count name n] adds [n] to the counter [name].  Increments of zero
+    are dropped.  Counters merge across domains by summation, which is
+    deterministic for any domain count. *)
+val count : string -> int -> unit
+
+(** [gauge name v] records a sample of the gauge [name].  Gauges merge
+    across domains and samples by taking the {e maximum} — the only
+    order-independent choice for a sampled value. *)
+val gauge : string -> float -> unit
+
+(** Clear every buffer and re-base the trace clock.  Call only while no
+    worker domain is recording. *)
+val reset : unit -> unit
+
+(** Raw event log, one [(domain_id, events)] pair per domain that
+    recorded anything, ordered by domain id; events within a domain are
+    in recording order.  Exposed for tests and custom exporters. *)
+val events : unit -> (int * event list) list
+
+(** Aggregated view of all spans with one name. *)
+type span_stat = {
+  span_name : string;
+  calls : int;    (** completed [Begin]/[End] pairs *)
+  total_s : float;  (** summed wall-clock duration, seconds *)
+}
+
+(** Per-name span statistics, merged across domains, sorted by name. *)
+val span_stats : unit -> span_stat list
+
+(** Summed counters, sorted by name.  Deterministic across
+    [THREEPHASE_JOBS] settings. *)
+val counters : unit -> (string * int) list
+
+(** Max-merged gauges, sorted by name. *)
+val gauges : unit -> (string * float) list
+
+(** Total seconds spent in spans named [name]; [0.0] if none. *)
+val time_of : string -> float
+
+(** Completed spans named [name]; [0] if none. *)
+val calls_of : string -> int
+
+(** Value of counter [name]; [0] if never incremented. *)
+val counter_of : string -> int
+
+(** The whole event log as Chrome [trace_event] JSON — load it in
+    [chrome://tracing] or {{:https://ui.perfetto.dev}Perfetto}.  Spans
+    become [ph:"B"]/[ph:"E"] duration events (one track per domain),
+    counters and gauges become [ph:"C"] counter tracks; timestamps are
+    microseconds since the last {!reset} (or process start). *)
+val chrome_trace : unit -> string
+
+(** [write_chrome_trace path] writes {!chrome_trace} to [path]. *)
+val write_chrome_trace : string -> unit
+
+(** Everything recorded so far — spans with call counts, totals and
+    means, then counters, then gauges — as a {!Report.Table} ready to
+    print. *)
+val summary_table : unit -> Report.Table.t

@@ -200,7 +200,9 @@ let solve ?(solver = `Auto) ?(node_budget = 2_000_000) d =
          assert false)
     | `Mis ->
       let graph, eligible = build_augmented g in
-      let r = Ilp.Indep_set.solve ~node_budget graph in
+      let r = Obs.span "mis.solve" (fun () -> Ilp.Indep_set.solve ~node_budget graph) in
+      Obs.count "mis.components" r.Ilp.Indep_set.components;
+      Obs.count "mis.nodes" r.Ilp.Indep_set.nodes_explored;
       let plans, pi = decode_mis g r.Ilp.Indep_set.chosen eligible in
       (plans, pi, r.Ilp.Indep_set.optimal,
        { no_stats with
@@ -213,6 +215,8 @@ let solve ?(solver = `Auto) ?(node_budget = 2_000_000) d =
       (plans, pi, false, no_stats)
   in
   let solve_time_s = now () -. t0 in
+  Obs.count "assign.registers" n;
+  Obs.count "assign.inserted_latches" (count_inserted plans pi_latches);
   { graph = g;
     plans;
     pi_latches;

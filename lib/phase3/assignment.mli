@@ -33,7 +33,15 @@ type solver = [ `Auto | `Ilp | `Mis | `Greedy ]
 (** Unified solver instrumentation.  The [`Ilp] path fills every field
     from {!Ilp.Branch_bound.stats}; the combinatorial [`Mis] path reports
     its components and search nodes with zero LP activity; [`Greedy]
-    reports all zeros. *)
+    reports all zeros.
+
+    @deprecated Superseded by the {!Obs} counters the solvers now emit
+    ([ilp.components], [ilp.nodes], [ilp.lp_solves], [ilp.propagations]
+    on the [`Ilp] path; [mis.components], [mis.nodes] on [`Mis]) — read
+    them with {!Obs.counter_of}.  The record and the {!t.stats} field
+    are kept, still fully populated, as a compatibility alias so
+    existing callers ({!Experiments.Tables.runtime}, tests) keep
+    compiling; new code should prefer the counters. *)
 type solver_stats = {
   components : int;      (** independent sub-problems solved *)
   nodes_explored : int;

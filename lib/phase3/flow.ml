@@ -37,7 +37,12 @@ type result = {
   cg_stats : Clock_gating.stats option;
   timing : Sta.Smo.report;
   equivalence : Sim.Equivalence.verdict option;
+  stage_times : (string * float) list;
 }
+
+let stage_names =
+  [ "validate"; "assign"; "convert"; "retime"; "clock_gating"; "smo";
+    "equivalence" ]
 
 exception Flow_error of string
 
@@ -57,24 +62,44 @@ let reference_clocks d ~period =
     fail "design %s has several clock ports" d.Netlist.Design.design_name
 
 let run ~config d =
-  (match Netlist.Check.validate d with
-   | Ok () -> ()
-   | Error errors ->
-     fail "input design %s is invalid: %s" d.Netlist.Design.design_name
-       (String.concat "; " errors));
-  let assignment = Assignment.solve ~solver:config.solver
-      ~node_budget:config.node_budget d in
-  (match Assignment.validate d assignment with
-   | [] -> ()
-   | issues -> fail "assignment invalid: %s" (String.concat "; " issues));
-  let converted = Convert.to_three_phase ~ports:config.ports d assignment in
-  (match Netlist.Check.validate converted with
-   | Ok () -> ()
-   | Error errors -> fail "converted design invalid: %s" (String.concat "; " errors));
+  let times = ref [] in
+  (* every enabled stage records exactly one "flow.<stage>" Obs span and
+     one entry of [stage_times], in execution order *)
+  let stage name f =
+    let t0 = Unix.gettimeofday () in
+    let r = Obs.span ("flow." ^ name) f in
+    times := (name, Unix.gettimeofday () -. t0) :: !times;
+    r
+  in
+  stage "validate" (fun () ->
+      match Netlist.Check.validate d with
+      | Ok () -> ()
+      | Error errors ->
+        fail "input design %s is invalid: %s" d.Netlist.Design.design_name
+          (String.concat "; " errors));
+  let assignment =
+    stage "assign" (fun () ->
+        let assignment = Assignment.solve ~solver:config.solver
+            ~node_budget:config.node_budget d in
+        (match Assignment.validate d assignment with
+         | [] -> ()
+         | issues -> fail "assignment invalid: %s" (String.concat "; " issues));
+        assignment)
+  in
+  let converted =
+    stage "convert" (fun () ->
+        let converted = Convert.to_three_phase ~ports:config.ports d assignment in
+        (match Netlist.Check.validate converted with
+         | Ok () -> ()
+         | Error errors ->
+           fail "converted design invalid: %s" (String.concat "; " errors));
+        converted)
+  in
   let retimed, retime_stats =
     if config.retime then
-      let d', s = Retime.run converted in
-      (d', Some s)
+      stage "retime" (fun () ->
+          let d', s = Retime.run converted in
+          (d', Some s))
     else (converted, None)
   in
   let clocks = clocks_of config in
@@ -84,55 +109,62 @@ let run ~config d =
     || config.clock_gating.Clock_gating.m2_latch_removal
   in
   let final, cg_stats =
-    if cg_on then begin
-      (* profile activity on the pre-gating design: the bit-parallel
-         kernel runs one independently seeded stimulus stream per lane,
-         so the DDCG decisions see Monte-Carlo toggle statistics rather
-         than a single random trace *)
-      let kernel = Sim.Kernel.create retimed ~clocks in
-      let inputs = Sim.Stimulus.inputs_of retimed in
-      let streams =
-        Array.init (Sim.Kernel.lanes kernel) (fun l ->
-            Sim.Stimulus.random ~seed:(config.activity_seed + l)
-              ~cycles:config.activity_cycles ~toggle_probability:0.25 inputs)
-      in
-      Sim.Kernel.run_streams kernel streams;
-      let activity = (Sim.Kernel.toggles kernel, Sim.Kernel.lane_cycles kernel) in
-      let d', s =
-        Clock_gating.run ~options:config.clock_gating ~ports:config.ports
-          ~activity retimed
-      in
-      (d', Some s)
-    end
+    if cg_on then
+      stage "clock_gating" (fun () ->
+          (* profile activity on the pre-gating design: the bit-parallel
+             kernel runs one independently seeded stimulus stream per lane,
+             so the DDCG decisions see Monte-Carlo toggle statistics rather
+             than a single random trace *)
+          let activity =
+            Obs.span "flow.clock_gating.activity" (fun () ->
+                let kernel = Sim.Kernel.create retimed ~clocks in
+                let inputs = Sim.Stimulus.inputs_of retimed in
+                let streams =
+                  Array.init (Sim.Kernel.lanes kernel) (fun l ->
+                      Sim.Stimulus.random ~seed:(config.activity_seed + l)
+                        ~cycles:config.activity_cycles ~toggle_probability:0.25
+                        inputs)
+                in
+                Sim.Kernel.run_streams kernel streams;
+                (Sim.Kernel.toggles kernel, Sim.Kernel.lane_cycles kernel))
+          in
+          let d', s =
+            Clock_gating.run ~options:config.clock_gating ~ports:config.ports
+              ~activity retimed
+          in
+          (d', Some s))
     else (retimed, None)
   in
   let final =
-    if config.optimize then fst (Netlist.Optimize.run final) else final
+    if config.optimize then
+      stage "optimize" (fun () -> fst (Netlist.Optimize.run final))
+    else final
   in
   (match Netlist.Check.validate final with
    | Ok () -> ()
    | Error errors -> fail "final design invalid: %s" (String.concat "; " errors));
-  let timing = Sta.Smo.check final ~clocks in
+  let timing = stage "smo" (fun () -> Sta.Smo.check final ~clocks) in
   let equivalence =
-    if config.verify_equivalence then begin
-      let stim =
-        Sim.Stimulus.random ~seed:(config.activity_seed + 17)
-          ~cycles:config.verify_cycles ~toggle_probability:0.35
-          (Sim.Stimulus.inputs_of d)
-      in
-      let verdict =
-        Sim.Equivalence.check ~reference:d ~dut:final
-          ~reference_clocks:(reference_clocks d ~period:config.period)
-          ~dut_clocks:clocks ~stimulus:stim ()
-      in
-      (match verdict with
-       | Sim.Equivalence.Equivalent _ -> ()
-       | Sim.Equivalence.Mismatch m ->
-         fail "3-phase design is not stream-equivalent: %a"
-           Sim.Equivalence.pp_mismatch m);
-      Some verdict
-    end
+    if config.verify_equivalence then
+      stage "equivalence" (fun () ->
+          let stim =
+            Sim.Stimulus.random ~seed:(config.activity_seed + 17)
+              ~cycles:config.verify_cycles ~toggle_probability:0.35
+              (Sim.Stimulus.inputs_of d)
+          in
+          let verdict =
+            Sim.Equivalence.check ~reference:d ~dut:final
+              ~reference_clocks:(reference_clocks d ~period:config.period)
+              ~dut_clocks:clocks ~stimulus:stim ()
+          in
+          (match verdict with
+           | Sim.Equivalence.Equivalent _ -> ()
+           | Sim.Equivalence.Mismatch m ->
+             fail "3-phase design is not stream-equivalent: %a"
+               Sim.Equivalence.pp_mismatch m);
+          Some verdict)
     else None
   in
   { config; original = d; assignment; converted; retimed; final;
-    retime_stats; cg_stats; timing; equivalence }
+    retime_stats; cg_stats; timing; equivalence;
+    stage_times = List.rev !times }

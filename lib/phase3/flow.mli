@@ -5,7 +5,12 @@
     stream-equivalence validation.
 
     Each step can be disabled for ablation studies.  The flow never
-    modifies its input; every step yields a new design. *)
+    modifies its input; every step yields a new design.
+
+    Every enabled stage records exactly one [flow.<stage>] {!Obs.span}
+    (with nested spans for inner work such as activity profiling) and
+    one entry in {!result.stage_times}, so traces and per-stage tables
+    come for free — see docs/FLOW.md for the stage catalogue. *)
 
 type config = {
   solver : Assignment.solver;
@@ -34,7 +39,15 @@ type result = {
   cg_stats : Clock_gating.stats option;
   timing : Sta.Smo.report;
   equivalence : Sim.Equivalence.verdict option;
+  stage_times : (string * float) list;
+  (** wall-clock seconds per executed stage, in execution order; keys
+      are {!stage_names} entries (plus ["optimize"] when enabled) *)
 }
+
+(** The seven pipeline stages, in order: [validate], [assign],
+    [convert], [retime], [clock_gating], [smo], [equivalence].  Span
+    names prefix these with ["flow."]. *)
+val stage_names : string list
 
 (** Three-phase clock spec matching the flow's config. *)
 val clocks_of : config -> Sim.Clock_spec.t

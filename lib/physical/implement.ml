@@ -9,8 +9,11 @@ type t = {
 }
 
 let run ?(utilization = 0.7) d =
-  let placement = Placement.place ~utilization d in
-  let clock_tree = Clock_tree.synthesize d placement in
+  Obs.span "physical.implement" @@ fun () ->
+  let placement = Obs.span "physical.place" (fun () -> Placement.place ~utilization d) in
+  let clock_tree =
+    Obs.span "physical.cts" (fun () -> Clock_tree.synthesize d placement)
+  in
   let tech = Cell_lib.Library.tech d.Netlist.Design.library in
   let wire net =
     Placement.net_hpwl d placement net *. tech.Cell_lib.Tech.wire_cap_per_um
@@ -20,6 +23,7 @@ let run ?(utilization = 0.7) d =
       (fun i acc -> acc +. (Netlist.Design.cell d i).Cell_lib.Cell.area)
       d 0.0
   in
+  Obs.count "physical.clock_buffers" clock_tree.Clock_tree.total_buffers;
   { design = d;
     placement;
     clock_tree;

@@ -40,6 +40,7 @@ let glitch_rate_latch = 0.08
 let glitch_multiplier_cap = 2.5
 
 let run (impl : Physical.Implement.t) ~activity:(toggles, cycles) ~period =
+  Obs.span "power.estimate" @@ fun () ->
   let d = impl.Physical.Implement.design in
   let tech = Cell_lib.Library.tech d.Design.library in
   let v2 = tech.Cell_lib.Tech.voltage *. tech.Cell_lib.Tech.voltage in

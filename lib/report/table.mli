@@ -1,20 +1,31 @@
-(** Plain-text tables in the style of the paper's Tables I and II. *)
+(** Plain-text tables in the style of the paper's Tables I and II.
 
+    A table is a mutable row accumulator over a fixed column layout;
+    {!render} right-pads every cell to the widest entry of its column.
+    Used by {!Experiments.Tables} for the paper reproductions and by
+    [Obs.summary_table] for the observability report. *)
+
+(** Per-column alignment. [Left] suits names, [Right] suits numbers. *)
 type align = Left | Right
 
 type t
 
+(** [create ~title columns] makes an empty table with the given
+    [(header, alignment)] columns.  The title prints above the header,
+    underlined across the table width. *)
 val create : title:string -> (string * align) list -> t
 
 (** Add a data row; cells beyond the column count are dropped, missing
     cells are blank. *)
 val add_row : t -> string list -> unit
 
-(** Add a separator line. *)
+(** Add a separator line (a dashed rule across all columns). *)
 val add_rule : t -> unit
 
+(** The whole table as a string, trailing newline included. *)
 val render : t -> string
 
+(** [print t] writes {!render} to standard output. *)
 val print : t -> unit
 
 (** Percentage string in the paper's style: [pct ~ref_ ~v] is the saving

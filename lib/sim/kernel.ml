@@ -688,6 +688,15 @@ let run_cycle t (inputs : (string * Logic.t) list array) =
 
 let run_cycle_broadcast t inputs = run_cycle t (Array.make t.lanes inputs)
 
+let sum_toggles t = Array.fold_left ( + ) 0 t.toggles
+
+(* one batch of Obs metrics per stream run — cheap enough to stay on
+   unconditionally, coarse enough not to show up in profiles *)
+let observe_run t ~cycles_run ~toggles_before =
+  Obs.count "sim.kernel.cycles" cycles_run;
+  Obs.count "sim.kernel.lane_cycles" (cycles_run * t.lanes);
+  Obs.count "sim.kernel.toggles" (sum_toggles t - toggles_before)
+
 let run_streams t streams =
   if Array.length streams <> t.lanes then
     invalid_arg "Kernel.run_streams: one stream per lane expected";
@@ -698,16 +707,22 @@ let run_streams t streams =
       if Array.length a <> n_cycles then
         invalid_arg "Kernel.run_streams: lane streams of different lengths")
     arrs;
-  let cycle_inputs = Array.make t.lanes [] in
-  for c = 0 to n_cycles - 1 do
-    for l = 0 to t.lanes - 1 do
-      cycle_inputs.(l) <- arrs.(l).(c)
-    done;
-    run_cycle t cycle_inputs
-  done
+  let toggles_before = sum_toggles t in
+  Obs.span "sim.kernel.run" (fun () ->
+      let cycle_inputs = Array.make t.lanes [] in
+      for c = 0 to n_cycles - 1 do
+        for l = 0 to t.lanes - 1 do
+          cycle_inputs.(l) <- arrs.(l).(c)
+        done;
+        run_cycle t cycle_inputs
+      done);
+  observe_run t ~cycles_run:n_cycles ~toggles_before
 
 let run_stream_broadcast t stream =
-  List.iter (run_cycle_broadcast t) stream
+  let toggles_before = sum_toggles t in
+  Obs.span "sim.kernel.run" (fun () ->
+      List.iter (run_cycle_broadcast t) stream);
+  observe_run t ~cycles_run:(List.length stream) ~toggles_before
 
 (* --- Creation --------------------------------------------------------- *)
 
@@ -858,4 +873,6 @@ let create ?(init = `Zero) ?(lanes = max_lanes) design ~clocks =
   propagate_clock_network t;
   Array.iteri (fun i _ -> wake t i) t.opcode;
   settle t;
+  Obs.gauge "sim.kernel.lanes" (float_of_int lanes);
+  Obs.gauge "sim.kernel.instances" (float_of_int n_insts);
   t

@@ -51,6 +51,7 @@ let pad_inputs d targets =
   (Netlist.Rewrite.finish rw, !counter)
 
 let run ?(skew = 0.05) ?(hold_margin = 0.02) ?(max_iterations = 4) d ~clocks =
+  Obs.span "sta.hold_fix" @@ fun () ->
   let buf = Cell_lib.Library.buffer d.Design.library in
   let buf_min_delay = Float.max 0.012 buf.Cell_lib.Cell.delay_min in
   let rec loop d iteration added =
@@ -71,10 +72,14 @@ let run ?(skew = 0.05) ?(hold_margin = 0.02) ?(max_iterations = 4) d ~clocks =
           Hashtbl.replace targets v.Smo.dst (Stdlib.max current needed)
         | `Setup -> ())
       report.Smo.violations;
-    if Hashtbl.length targets = 0 then
+    if Hashtbl.length targets = 0 then begin
+      Obs.count "sta.hold_fix.buffers" added;
       (d, { buffers_added = added; iterations = iteration; fixed = true })
-    else if iteration >= max_iterations then
+    end
+    else if iteration >= max_iterations then begin
+      Obs.count "sta.hold_fix.buffers" added;
       (d, { buffers_added = added; iterations = iteration; fixed = false })
+    end
     else begin
       let d', count = pad_inputs d targets in
       loop d' (iteration + 1) (added + count)

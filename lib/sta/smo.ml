@@ -79,6 +79,7 @@ let forward_shift period e_from e_to =
 let check ?(wire = Delay.no_wire) ?(exact = false) ?(setup_margin = 0.03)
     ?(hold_margin = 0.02) ?(input_delay = (0.05, 0.10)) ?(clock_skew = 0.0)
     ?(derate = (1.0, 1.0)) d ~clocks =
+  Obs.span "sta.smo.check" @@ fun () ->
   let derate_early, derate_late = derate in
   let input_delay_min, input_delay_max = input_delay in
   let base_hold_margin = hold_margin in
@@ -256,6 +257,8 @@ let check ?(wire = Delay.no_wire) ?(exact = false) ?(setup_margin = 0.03)
     else !worst_setup
   in
   let worst_hold = if !worst_hold = Float.infinity then period else !worst_hold in
+  Obs.count "sta.smo.iterations" !iterations;
+  Obs.count "sta.smo.registers_checked" (List.length views);
   { worst_setup_slack = worst_setup;
     worst_hold_slack = worst_hold;
     violations = List.rev !violations;

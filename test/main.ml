@@ -13,5 +13,6 @@ let () =
       ("power", Test_power.suite);
       ("circuits", Test_circuits.suite);
       ("experiments", Test_experiments.suite);
+      ("obs", Test_obs.suite);
       ("artifacts", Test_artifacts.suite);
       ("fuzz", Test_fuzz.suite) ]

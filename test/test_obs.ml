@@ -1,0 +1,350 @@
+(* lib/obs: span structure, cross-domain counter merging, the Chrome
+   trace_event exporter, and the flow-level guarantee that every enabled
+   stage emits exactly one span. *)
+
+(* --- a minimal JSON parser, just enough to validate our exporter ---- *)
+
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Num of float
+    | Str of string
+    | Arr of t list
+    | Obj of (string * t) list
+
+  exception Bad of string
+
+  let parse (s : string) : t =
+    let n = String.length s in
+    let pos = ref 0 in
+    let peek () = if !pos < n then Some s.[!pos] else None in
+    let advance () = incr pos in
+    let fail msg = raise (Bad (Printf.sprintf "%s at offset %d" msg !pos)) in
+    let rec skip_ws () =
+      match peek () with
+      | Some (' ' | '\t' | '\n' | '\r') -> advance (); skip_ws ()
+      | _ -> ()
+    in
+    let expect c =
+      match peek () with
+      | Some c' when c' = c -> advance ()
+      | _ -> fail (Printf.sprintf "expected %c" c)
+    in
+    let parse_string () =
+      expect '"';
+      let buf = Buffer.create 16 in
+      let rec go () =
+        match peek () with
+        | None -> fail "unterminated string"
+        | Some '"' -> advance ()
+        | Some '\\' ->
+          advance ();
+          (match peek () with
+           | Some 'n' -> Buffer.add_char buf '\n'; advance ()
+           | Some 't' -> Buffer.add_char buf '\t'; advance ()
+           | Some 'r' -> Buffer.add_char buf '\r'; advance ()
+           | Some 'u' ->
+             advance ();
+             for _ = 1 to 4 do
+               (match peek () with
+                | Some ('0' .. '9' | 'a' .. 'f' | 'A' .. 'F') -> advance ()
+                | _ -> fail "bad \\u escape")
+             done;
+             Buffer.add_char buf '?'
+           | Some c -> Buffer.add_char buf c; advance ()
+           | None -> fail "unterminated escape");
+          go ()
+        | Some c -> Buffer.add_char buf c; advance (); go ()
+      in
+      go ();
+      Buffer.contents buf
+    in
+    let parse_number () =
+      let start = !pos in
+      let is_num_char = function
+        | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+        | _ -> false
+      in
+      while (match peek () with Some c when is_num_char c -> true | _ -> false) do
+        advance ()
+      done;
+      match float_of_string_opt (String.sub s start (!pos - start)) with
+      | Some f -> Num f
+      | None -> fail "bad number"
+    in
+    let rec parse_value () =
+      skip_ws ();
+      match peek () with
+      | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then (advance (); Obj [])
+        else begin
+          let rec members acc =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); members ((k, v) :: acc)
+            | Some '}' -> advance (); Obj (List.rev ((k, v) :: acc))
+            | _ -> fail "expected , or }"
+          in
+          members []
+        end
+      | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then (advance (); Arr [])
+        else begin
+          let rec elements acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); elements (v :: acc)
+            | Some ']' -> advance (); Arr (List.rev (v :: acc))
+            | _ -> fail "expected , or ]"
+          in
+          elements []
+        end
+      | Some '"' -> Str (parse_string ())
+      | Some 't' -> pos := !pos + 4; Bool true
+      | Some 'f' -> pos := !pos + 5; Bool false
+      | Some 'n' -> pos := !pos + 4; Null
+      | Some _ -> parse_number ()
+      | None -> fail "unexpected end of input"
+    in
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage";
+    v
+
+  let member k = function
+    | Obj kvs -> List.assoc_opt k kvs
+    | _ -> None
+end
+
+(* Validate a Chrome trace_event JSON document: top-level object with a
+   traceEvents array; every event carries name/ph/pid (and tid/ts for
+   B/E/C); B/E events balance like brackets per tid with matching
+   names and non-decreasing timestamps. *)
+let validate_chrome_trace (text : string) =
+  let doc = Json.parse text in
+  let events =
+    match Json.member "traceEvents" doc with
+    | Some (Json.Arr evs) -> evs
+    | _ -> Alcotest.fail "no traceEvents array"
+  in
+  let stacks : (int, (string * float) list ref) Hashtbl.t = Hashtbl.create 8 in
+  let stack_of tid =
+    match Hashtbl.find_opt stacks tid with
+    | Some r -> r
+    | None ->
+      let r = ref [] in
+      Hashtbl.add stacks tid r;
+      r
+  in
+  let str k e =
+    match Json.member k e with
+    | Some (Json.Str s) -> s
+    | _ -> Alcotest.fail (Printf.sprintf "event missing string %S" k)
+  in
+  let num k e =
+    match Json.member k e with
+    | Some (Json.Num f) -> f
+    | _ -> Alcotest.fail (Printf.sprintf "event missing number %S" k)
+  in
+  List.iter
+    (fun e ->
+      let ph = str "ph" e in
+      let name = str "name" e in
+      ignore (num "pid" e);
+      match ph with
+      | "M" -> ()
+      | "B" | "E" | "C" ->
+        let tid = int_of_float (num "tid" e) in
+        let ts = num "ts" e in
+        let stack = stack_of tid in
+        (match !stack with
+         | (_, prev_ts) :: _ when ts < prev_ts -.1e-9 ->
+           Alcotest.fail
+             (Printf.sprintf "timestamp moved backwards on tid %d" tid)
+         | _ -> ());
+        (match ph with
+         | "B" -> stack := (name, ts) :: !stack
+         | "E" ->
+           (match !stack with
+            | (top, _) :: rest when String.equal top name -> stack := rest
+            | (top, _) :: _ ->
+              Alcotest.fail
+                (Printf.sprintf "E %S does not match open span %S" name top)
+            | [] -> Alcotest.fail (Printf.sprintf "E %S with no open span" name))
+         | _ ->
+           (match Json.member "args" e with
+            | Some (Json.Obj _) -> ()
+            | _ -> Alcotest.fail "C event without args"))
+      | other -> Alcotest.fail (Printf.sprintf "unknown phase %S" other))
+    events;
+  Hashtbl.iter
+    (fun tid stack ->
+      if !stack <> [] then
+        Alcotest.fail (Printf.sprintf "tid %d left %d spans open" tid
+                         (List.length !stack)))
+    stacks;
+  List.length events
+
+(* --- span structure -------------------------------------------------- *)
+
+let test_span_nesting () =
+  Obs.reset ();
+  let r =
+    Obs.span "outer" (fun () ->
+        Obs.span "inner_a" (fun () -> ());
+        Obs.span "inner_b" (fun () -> 7))
+  in
+  Alcotest.(check int) "span returns" 7 r;
+  let evs = List.concat_map snd (Obs.events ()) in
+  let names =
+    List.filter_map
+      (function
+        | Obs.Begin { name; _ } -> Some ("B:" ^ name)
+        | Obs.End { name; _ } -> Some ("E:" ^ name)
+        | Obs.Count _ | Obs.Gauge _ -> None)
+      evs
+  in
+  Alcotest.(check (list string)) "B/E order"
+    [ "B:outer"; "B:inner_a"; "E:inner_a"; "B:inner_b"; "E:inner_b"; "E:outer" ]
+    names;
+  let stats = Obs.span_stats () in
+  Alcotest.(check int) "three names" 3 (List.length stats);
+  Alcotest.(check int) "outer calls" 1 (Obs.calls_of "outer");
+  let outer = Obs.time_of "outer" in
+  let inner = Obs.time_of "inner_a" +. Obs.time_of "inner_b" in
+  Alcotest.(check bool) "outer covers inners" true (outer >= inner)
+
+let test_span_exception () =
+  Obs.reset ();
+  (try Obs.span "boom" (fun () -> failwith "expected") with Failure _ -> ());
+  Alcotest.(check int) "End recorded despite raise" 1 (Obs.calls_of "boom");
+  ignore (validate_chrome_trace (Obs.chrome_trace ()))
+
+(* --- counters and gauges --------------------------------------------- *)
+
+let test_counter_merge_deterministic () =
+  Obs.reset ();
+  let items = List.init 40 (fun i -> i + 1) in
+  let serial = List.map (fun i -> Obs.count "merge.serial" i; i) items in
+  let parallel = Jobs.parallel_map (fun i -> Obs.count "merge.parallel" i; i) items in
+  Alcotest.(check (list int)) "parallel_map order preserved" serial parallel;
+  let expected = List.fold_left ( + ) 0 items in
+  (* the parallel sum lands across several domain buffers, the serial
+     one in a single buffer: the merged totals must be identical *)
+  Alcotest.(check int) "serial total" expected (Obs.counter_of "merge.serial");
+  Alcotest.(check int) "parallel total" expected (Obs.counter_of "merge.parallel");
+  Alcotest.(check int) "absent counter is 0" 0 (Obs.counter_of "no.such")
+
+let test_gauge_max_merge () =
+  Obs.reset ();
+  ignore
+    (Jobs.parallel_map
+       (fun v -> Obs.gauge "g.depth" (float_of_int v))
+       [3; 41; 7; 2]);
+  Obs.gauge "g.depth" 5.0;
+  match List.assoc_opt "g.depth" (Obs.gauges ()) with
+  | Some v -> Alcotest.(check (float 1e-9)) "max wins" 41.0 v
+  | None -> Alcotest.fail "gauge missing"
+
+(* --- Chrome exporter ------------------------------------------------- *)
+
+let test_chrome_roundtrip () =
+  Obs.reset ();
+  Obs.span "stage \"one\"" (fun () ->
+      Obs.count "events" 3;
+      Obs.span "nested\n" (fun () -> Obs.gauge "depth" 2.0));
+  ignore
+    (Jobs.parallel_map
+       (fun i -> Obs.span "worker" (fun () -> Obs.count "events" i))
+       [1; 2; 3]);
+  let n = validate_chrome_trace (Obs.chrome_trace ()) in
+  Alcotest.(check bool) "several events survive" true (n >= 8)
+
+let test_summary_table () =
+  Obs.reset ();
+  Obs.span "sum.span" (fun () -> Obs.count "sum.counter" 11);
+  Obs.gauge "sum.gauge" 1.5;
+  let text = Report.Table.render (Obs.summary_table ()) in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (needle ^ " in summary") true
+        (Astring.String.is_infix ~affix:needle text))
+    ["sum.span"; "sum.counter"; "sum.gauge"; "11"]
+
+(* --- flow-level guarantee -------------------------------------------- *)
+
+let quickstart_design () =
+  let ic = open_in "../examples/quickstart.bench" in
+  let src = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let library = Cell_lib.Default_library.library () in
+  Netlist_io.Bench_format.parse ~name:"quickstart" ~library src
+
+let test_flow_stage_spans () =
+  Obs.reset ();
+  let d = quickstart_design () in
+  let config = Phase3.Flow.default_config ~period:1.0 in
+  let result = Phase3.Flow.run ~config d in
+  (* with the default config every pipeline stage is enabled: each must
+     emit exactly one flow.<stage> span and one stage_times entry *)
+  List.iter
+    (fun stage ->
+      Alcotest.(check int) ("one span for " ^ stage) 1
+        (Obs.calls_of ("flow." ^ stage)))
+    Phase3.Flow.stage_names;
+  Alcotest.(check (list string)) "stage_times order"
+    Phase3.Flow.stage_names
+    (List.map fst result.Phase3.Flow.stage_times);
+  List.iter
+    (fun (stage, t) ->
+      Alcotest.(check bool) (stage ^ " time sane") true (t >= 0.0 && t < 60.0))
+    result.Phase3.Flow.stage_times;
+  Alcotest.(check bool) "solver counters flowed" true
+    (Obs.counter_of "assign.registers" > 0);
+  Alcotest.(check bool) "kernel counters flowed" true
+    (Obs.counter_of "sim.kernel.lane_cycles" > 0);
+  ignore (validate_chrome_trace (Obs.chrome_trace ()))
+
+let test_flow_disabled_stages () =
+  Obs.reset ();
+  let d = quickstart_design () in
+  let config =
+    { (Phase3.Flow.default_config ~period:1.0) with
+      Phase3.Flow.retime = false;
+      verify_equivalence = false }
+  in
+  let result = Phase3.Flow.run ~config d in
+  Alcotest.(check int) "no retime span" 0 (Obs.calls_of "flow.retime");
+  Alcotest.(check int) "no equivalence span" 0 (Obs.calls_of "flow.equivalence");
+  Alcotest.(check int) "smo span still present" 1 (Obs.calls_of "flow.smo");
+  Alcotest.(check bool) "stage_times skips disabled stages" true
+    (not (List.mem_assoc "retime" result.Phase3.Flow.stage_times))
+
+let suite =
+  [ Alcotest.test_case "span nesting produces ordered B/E pairs" `Quick
+      test_span_nesting;
+    Alcotest.test_case "span records End on exception" `Quick
+      test_span_exception;
+    Alcotest.test_case "counter merge is deterministic across domains" `Quick
+      test_counter_merge_deterministic;
+    Alcotest.test_case "gauge merge takes the maximum" `Quick
+      test_gauge_max_merge;
+    Alcotest.test_case "chrome trace round-trips a validator" `Quick
+      test_chrome_roundtrip;
+    Alcotest.test_case "summary table renders every metric kind" `Quick
+      test_summary_table;
+    Alcotest.test_case "every enabled flow stage emits exactly one span" `Quick
+      test_flow_stage_spans;
+    Alcotest.test_case "disabled flow stages emit no span" `Quick
+      test_flow_disabled_stages ]
