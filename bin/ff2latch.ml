@@ -29,17 +29,46 @@ let write_design path d =
   output_string oc text;
   close_out oc
 
+(* [suite:NAME] builds a benchmark from lib/circuits instead of reading
+   a file — the CI QoR gate runs ISCAS circuits without shipping their
+   netlists.  Returns the design and, for suite circuits, the
+   benchmark's published clock period. *)
+let resolve_input spec =
+  match String.length spec >= 6 && String.sub spec 0 6 = "suite:" with
+  | true ->
+    let name = String.sub spec 6 (String.length spec - 6) in
+    (match Circuits.Suite.find name with
+     | Some b -> (b.Circuits.Suite.build (), Some b.Circuits.Suite.period_ns)
+     | None ->
+       failwith
+         (Printf.sprintf "unknown suite circuit %S (try s1196, s5378, ...)"
+            name))
+  | false ->
+    if not (Sys.file_exists spec) then
+      failwith (Printf.sprintf "no such file: %s" spec);
+    (read_design spec, None)
+
 let input_arg =
-  Arg.(required & pos 0 (some file) None
-       & info [] ~docv:"INPUT" ~doc:"Input netlist (.bench or .v).")
+  Arg.(required & pos 0 (some string) None
+       & info [] ~docv:"INPUT"
+           ~doc:"Input netlist (.bench or .v), or suite:NAME for a built-in \
+                 benchmark circuit (e.g. suite:s1196).")
 
 let output_arg =
   Arg.(value & opt (some string) None
        & info ["o"; "output"] ~docv:"OUTPUT" ~doc:"Output netlist path (.v or .bench).")
 
 let period_arg =
-  Arg.(value & opt float 1.0
-       & info ["period"] ~docv:"NS" ~doc:"Clock period in nanoseconds.")
+  Arg.(value & opt (some float) None
+       & info ["period"] ~docv:"NS"
+           ~doc:"Clock period in nanoseconds (default: the suite circuit's \
+                 published period, or 1.0).")
+
+let period_of period suite_period =
+  match period, suite_period with
+  | Some p, _ -> p
+  | None, Some p -> p
+  | None, None -> 1.0
 
 let solver_conv =
   Arg.enum [("auto", `Auto); ("ilp", `Ilp); ("mis", `Mis); ("greedy", `Greedy)]
@@ -87,10 +116,33 @@ let timings_arg =
            ~doc:"Print the observability summary table (per-stage wall-clock, \
                  solver and simulator counters) after the flow.")
 
+let json_arg =
+  Arg.(value & flag
+       & info ["json"]
+           ~doc:"Print the QoR run record as JSON on standard output and \
+                 route every other message (including --trace/--timings \
+                 output) to standard error, so the output pipes cleanly \
+                 into jq or a file.  The converted netlist is only written \
+                 when -o is given.")
+
+let qor_dir_arg =
+  Arg.(value & opt (some string) None
+       & info ["qor-dir"] ~docv:"DIR"
+           ~doc:"Append the run record to the QoR store at $(docv) \
+                 (DIR/runs/<id>.json plus a DIR/history.jsonl line); see \
+                 docs/QOR.md.")
+
 let convert_cmd =
   let run input output period solver no_retime no_cg no_verify optimize sdc vcd
-      trace timings =
-    let d = read_design input in
+      trace timings json qor_dir =
+    match resolve_input input with
+    | exception Failure msg -> `Error (false, msg)
+    | d, suite_period ->
+    let period = period_of period suite_period in
+    (* under --json, stdout carries exactly one JSON document: the run
+       record.  Everything human-facing goes to stderr. *)
+    let out = if json then stderr else stdout in
+    let say fmt = Printf.fprintf out (fmt ^^ "\n%!") in
     let cg =
       if no_cg then
         { Phase3.Clock_gating.default_options with
@@ -107,24 +159,28 @@ let convert_cmd =
         clock_gating = cg;
         verify_equivalence = not no_verify }
     in
+    let t0 = Unix.gettimeofday () in
     match Phase3.Flow.run ~config d with
     | result ->
       let final = result.Phase3.Flow.final in
-      Printf.printf "%s: %d FFs -> %d latches (%d inserted p2, %s)\n"
+      say "%s: %d FFs -> %d latches (%d inserted p2, %s)"
         d.Netlist.Design.design_name
         (Netlist.Stats.compute d).Netlist.Stats.flip_flops
         (Netlist.Stats.compute final).Netlist.Stats.latches
         result.Phase3.Flow.assignment.Phase3.Assignment.inserted_latches
         (if result.Phase3.Flow.assignment.Phase3.Assignment.optimal
          then "optimal" else "best effort");
-      Format.printf "timing: %a@." Sta.Smo.pp_report result.Phase3.Flow.timing;
+      say "timing: %s"
+        (Format.asprintf "%a" Sta.Smo.pp_report result.Phase3.Flow.timing);
       (match result.Phase3.Flow.equivalence with
        | Some (Sim.Equivalence.Equivalent { shift }) ->
-         Printf.printf "equivalence: ok (latency shift %d)\n" shift
+         say "equivalence: ok (latency shift %d)" shift
        | Some (Sim.Equivalence.Mismatch _) | None -> ());
       (match output with
-       | Some path -> write_design path final; Printf.printf "wrote %s\n" path
-       | None -> print_string (Netlist_io.Verilog.write final));
+       | Some path -> write_design path final; say "wrote %s" path
+       | None ->
+         if json then say "no -o given: netlist not written"
+         else print_string (Netlist_io.Verilog.write final));
       (match sdc with
        | Some path ->
          let text =
@@ -133,7 +189,7 @@ let convert_cmd =
          let oc = open_out path in
          output_string oc text;
          close_out oc;
-         Printf.printf "wrote %s\n" path
+         say "wrote %s" path
        | None -> ());
       (match vcd with
        | Some path ->
@@ -148,32 +204,55 @@ let convert_cmd =
          let oc = open_out path in
          output_string oc text;
          close_out oc;
-         Printf.printf "wrote %s\n" path
+         say "wrote %s" path
        | None -> ());
       (match result.Phase3.Flow.stage_times with
        | [] -> ()
        | times when timings ->
-         Printf.printf "stage times:";
-         List.iter (fun (s, t) -> Printf.printf " %s %.3fs" s t) times;
-         print_newline ()
+         Printf.fprintf out "stage times:";
+         List.iter (fun (s, t) -> Printf.fprintf out " %s %.3fs" s t) times;
+         Printf.fprintf out "\n%!"
        | _ -> ());
-      if timings then Report.Table.print (Obs.summary_table ());
+      if timings then
+        output_string out (Report.Table.render (Obs.summary_table ()));
+      (* the record also runs placement + power estimation, inside a
+         qor.power Obs span, so capture the rollup afterwards *)
+      let record =
+        if json || qor_dir <> None then
+          Some
+            (Qor.Collect.of_flow
+               ~circuit:d.Netlist.Design.design_name
+               ~extra_wall:[("convert.total_s", Unix.gettimeofday () -. t0)]
+               result)
+        else None
+      in
       (match trace with
        | Some path ->
          Obs.write_chrome_trace path;
-         Printf.printf "wrote %s\n" path
+         say "wrote %s" path
        | None -> ());
+      (match record, qor_dir with
+       | Some r, Some dir ->
+         let path = Qor.Store.append ~dir r in
+         say "wrote %s" path
+       | _ -> ());
+      (match record with
+       | Some r when json -> print_string (Qor.Record.render r)
+       | _ -> ());
       `Ok ()
     | exception Phase3.Flow.Flow_error msg -> `Error (false, msg)
   in
   Cmd.v (Cmd.info "convert" ~doc:"Convert a FF netlist to 3-phase latches.")
     Term.(ret (const run $ input_arg $ output_arg $ period_arg $ solver_arg
                $ no_retime_arg $ no_cg_arg $ no_verify_arg $ optimize_arg
-               $ sdc_arg $ vcd_arg $ trace_arg $ timings_arg))
+               $ sdc_arg $ vcd_arg $ trace_arg $ timings_arg $ json_arg
+               $ qor_dir_arg))
 
 let master_slave_cmd =
   let run input output =
-    let d = read_design input in
+    match resolve_input input with
+    | exception Failure msg -> `Error (false, msg)
+    | d, _ ->
     let ms = Phase3.Master_slave.convert d in
     (match output with
      | Some path -> write_design path ms; Printf.printf "wrote %s\n" path
@@ -185,7 +264,9 @@ let master_slave_cmd =
 
 let stats_cmd =
   let run input =
-    let d = read_design input in
+    match resolve_input input with
+    | exception Failure msg -> `Error (false, msg)
+    | d, _ ->
     Format.printf "%a@." Netlist.Stats.pp (Netlist.Stats.compute d);
     let g = Netlist.Ff_graph.build d in
     Printf.printf "FF graph: %d nodes, %d with combinational self-loops\n"
@@ -202,7 +283,10 @@ let saif_arg =
 
 let power_cmd =
   let run input period saif =
-    let d = read_design input in
+    match resolve_input input with
+    | exception Failure msg -> `Error (false, msg)
+    | d, suite_period ->
+    let period = period_of period suite_period in
     let clocks =
       match d.Netlist.Design.clock_ports with
       | [p1; p2; p3] -> Sim.Clock_spec.three_phase ~period ~p1 ~p2 ~p3 ()
@@ -236,7 +320,10 @@ let power_cmd =
 
 let report_cmd =
   let run input period =
-    let d = read_design input in
+    match resolve_input input with
+    | exception Failure msg -> `Error (false, msg)
+    | d, suite_period ->
+    let period = period_of period suite_period in
     let paths = Sta.Timing_report.worst_paths ~count:5 d in
     Format.printf "%a" (Sta.Timing_report.pp d) paths;
     let clocks =
@@ -256,7 +343,166 @@ let report_cmd =
   Cmd.v (Cmd.info "report" ~doc:"Report critical paths and corner timing.")
     Term.(ret (const run $ input_arg $ period_arg))
 
+(* --- qor: run-record diffing and the regression gate ----------------- *)
+
+let load_record what path =
+  match Qor.Store.load path with
+  | Ok r -> Ok r
+  | Error msg -> Error (Printf.sprintf "%s %s: %s" what path msg)
+
+let noise_band_arg =
+  Arg.(value & opt float 0.30
+       & info ["noise-band"] ~docv:"FRAC"
+           ~doc:"Relative tolerance for wall-clock/gauge metrics \
+                 (default 0.30 = 30%).")
+
+let fail_on_wall_arg =
+  Arg.(value & flag
+       & info ["fail-on-wall"]
+           ~doc:"Also fail when a wall-clock or gauge metric regresses \
+                 beyond the noise band (off by default: timings gate \
+                 nothing, they only warn).")
+
+let markdown_arg =
+  Arg.(value & flag
+       & info ["markdown"]
+           ~doc:"Render the diff as a markdown report (changed metrics \
+                 only) instead of the plain-text table.")
+
+let store_dir_arg =
+  Arg.(value & opt string "qor"
+       & info ["qor-dir"] ~docv:"DIR"
+           ~doc:"QoR store directory (default qor).")
+
+(* print + verdict, shared by diff and check; exits non-zero on gate
+   failure so CI can gate directly on the command *)
+let finish ~fail_on_wall ~markdown diff =
+  if markdown then print_string (Qor.Diff.markdown diff)
+  else Report.Table.print (Qor.Diff.table diff);
+  if Qor.Diff.ok ~fail_on_wall diff then begin
+    (if diff.Qor.Diff.wall_regressions <> [] then
+       Printf.printf "note: wall-clock outside the noise band (not gated): %s\n"
+         (String.concat ", " diff.Qor.Diff.wall_regressions));
+    Printf.printf "QoR gate: PASS (%s)\n" diff.Qor.Diff.circuit;
+    `Ok ()
+  end
+  else begin
+    Printf.printf "QoR gate: FAIL (%s): %s\n" diff.Qor.Diff.circuit
+      (String.concat ", "
+         (diff.Qor.Diff.gate_failures
+          @ if fail_on_wall then diff.Qor.Diff.wall_regressions else []));
+    exit 1
+  end
+
+let qor_diff_cmd =
+  let baseline_pos =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"BASELINE" ~doc:"Baseline run record (JSON).")
+  in
+  let current_pos =
+    Arg.(required & pos 1 (some file) None
+         & info [] ~docv:"CURRENT" ~doc:"Run record to compare (JSON).")
+  in
+  let run baseline current noise_band fail_on_wall markdown =
+    match load_record "baseline" baseline with
+    | Error msg -> `Error (false, msg)
+    | Ok b ->
+      (match load_record "record" current with
+       | Error msg -> `Error (false, msg)
+       | Ok c ->
+         finish ~fail_on_wall ~markdown
+           (Qor.Diff.run ~noise_band ~baseline:b c))
+  in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:"Compare two QoR run records; exit 1 when the deterministic \
+             metrics differ.")
+    Term.(ret (const run $ baseline_pos $ current_pos $ noise_band_arg
+               $ fail_on_wall_arg $ markdown_arg))
+
+let qor_check_cmd =
+  let baseline_arg =
+    Arg.(required & opt (some file) None
+         & info ["baseline"] ~docv:"FILE"
+             ~doc:"Baseline record to gate against (conventionally \
+                   qor/baselines/<circuit>.json).")
+  in
+  let record_pos =
+    Arg.(value & pos 0 (some file) None
+         & info [] ~docv:"RECORD"
+             ~doc:"Run record to check; defaults to the newest store entry \
+                   whose circuit matches the baseline's.")
+  in
+  let run baseline record dir noise_band fail_on_wall markdown =
+    match load_record "baseline" baseline with
+    | Error msg -> `Error (false, msg)
+    | Ok b ->
+      let current =
+        match record with
+        | Some path -> load_record "record" path
+        | None ->
+          (match
+             Qor.Store.latest ~dir ~kind:b.Qor.Record.prov.Qor.Record.kind
+               ~circuit:b.Qor.Record.prov.Qor.Record.circuit ()
+           with
+           | Some r -> Ok r
+           | None ->
+             Error
+               (Printf.sprintf
+                  "no run for circuit %S (kind %S) in store %s — run \
+                   `ff2latch convert ... --qor-dir %s` first"
+                  b.Qor.Record.prov.Qor.Record.circuit
+                  b.Qor.Record.prov.Qor.Record.kind dir dir))
+      in
+      (match current with
+       | Error msg -> `Error (false, msg)
+       | Ok c ->
+         finish ~fail_on_wall ~markdown
+           (Qor.Diff.run ~noise_band ~baseline:b c))
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Gate the newest stored run (or RECORD) against a committed \
+             baseline; exit 1 on QoR regression.")
+    Term.(ret (const run $ baseline_arg $ record_pos $ store_dir_arg
+               $ noise_band_arg $ fail_on_wall_arg $ markdown_arg))
+
+let qor_list_cmd =
+  let run dir =
+    match Qor.Store.history ~dir with
+    | [] -> Printf.printf "no runs recorded in %s\n" dir; `Ok ()
+    | records ->
+      let t =
+        Report.Table.create ~title:(Printf.sprintf "QoR store %s" dir)
+          [ ("timestamp", Report.Table.Left); ("kind", Report.Table.Left);
+            ("circuit", Report.Table.Left); ("metrics", Report.Table.Right);
+            ("power mW", Report.Table.Right) ]
+      in
+      List.iter
+        (fun (r : Qor.Record.t) ->
+          Report.Table.add_row t
+            [ r.Qor.Record.prov.Qor.Record.timestamp;
+              r.Qor.Record.prov.Qor.Record.kind;
+              r.Qor.Record.prov.Qor.Record.circuit;
+              string_of_int (List.length r.Qor.Record.metrics);
+              (match Qor.Record.metric r "power.total_mw" with
+               | Some p -> Printf.sprintf "%.4f" p
+               | None -> "-") ])
+        records;
+      Report.Table.print t;
+      `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "list" ~doc:"List every run recorded in the QoR store.")
+    Term.(ret (const run $ store_dir_arg))
+
+let qor_cmd =
+  Cmd.group
+    (Cmd.info "qor"
+       ~doc:"Persistent QoR run records: diff, regression gate, history.")
+    [qor_diff_cmd; qor_check_cmd; qor_list_cmd]
+
 let () =
   let doc = "flip-flop to 3-phase latch conversion flow" in
   let info = Cmd.info "ff2latch" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [convert_cmd; master_slave_cmd; stats_cmd; power_cmd; report_cmd]))
+  exit (Cmd.eval (Cmd.group info [convert_cmd; master_slave_cmd; stats_cmd; power_cmd; report_cmd; qor_cmd]))

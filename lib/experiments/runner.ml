@@ -5,6 +5,7 @@ type variant = {
   power : Power.Estimate.breakdown;
   wirelength : float;
   clock_buffers : int;
+  hold_buffers : int;
   runtime_s : float;
 }
 
@@ -26,7 +27,7 @@ let now () = Unix.gettimeofday ()
    normalised per lane-cycle, keeping the power model's rates comparable
    to a scalar run. *)
 let evaluate design ~clocks ~workload ~cycles ~seed =
-  let design, _hold = Sta.Hold_fix.run design ~clocks in
+  let design, hold = Sta.Hold_fix.run design ~clocks in
   let impl = Physical.Implement.run design in
   let kernel = Sim.Kernel.create design ~clocks in
   let streams =
@@ -38,13 +39,14 @@ let evaluate design ~clocks ~workload ~cycles ~seed =
   let detail =
     Power.Estimate.run impl ~activity ~period:clocks.Sim.Clock_spec.period
   in
-  (impl, detail.Power.Estimate.overall)
+  (impl, hold, detail.Power.Estimate.overall)
 
 let power_of design ~clocks ~workload ~cycles ~seed =
-  snd (evaluate design ~clocks ~workload ~cycles ~seed)
+  let _, _, power = evaluate design ~clocks ~workload ~cycles ~seed in
+  power
 
 let variant_of design ~clocks ~workload ~cycles ~seed ~t0 =
-  let impl, power = evaluate design ~clocks ~workload ~cycles ~seed in
+  let impl, hold, power = evaluate design ~clocks ~workload ~cycles ~seed in
   let stats = Netlist.Stats.compute design in
   { design;
     regs = stats.Netlist.Stats.registers;
@@ -53,6 +55,7 @@ let variant_of design ~clocks ~workload ~cycles ~seed ~t0 =
     wirelength = impl.Physical.Implement.total_wirelength;
     clock_buffers =
       impl.Physical.Implement.clock_tree.Physical.Clock_tree.total_buffers;
+    hold_buffers = hold.Sta.Hold_fix.buffers_added;
     runtime_s = now () -. t0 }
 
 type variant_result =
@@ -116,3 +119,67 @@ let run ?(cycles = 384) ?(verify = true) (bench : Circuits.Suite.benchmark) =
       ilp_time_s = flow.Phase3.Flow.assignment.Phase3.Assignment.solve_time_s;
       total_time_s = now () -. total0 }
   | _ -> assert false
+
+(* --- QoR run records ------------------------------------------------- *)
+
+let variant_record (t : t) ~tag v =
+  let f = float_of_int in
+  let metrics =
+    [ ("register.count", f v.regs);
+      ("area.impl_um2", v.cell_area);
+      ("wirelength.um", v.wirelength);
+      ("clock_tree.buffers", f v.clock_buffers);
+      ("hold.buffers", f v.hold_buffers);
+      ("power.clock_mw", v.power.Power.Estimate.clock);
+      ("power.seq_mw", v.power.Power.Estimate.seq);
+      ("power.comb_mw", v.power.Power.Estimate.comb);
+      ("power.total_mw", Power.Estimate.total v.power) ]
+  in
+  (* flow-derived QoR only exists for the 3-phase variant *)
+  let flow_metrics =
+    if not (String.equal tag "3p") then []
+    else begin
+      let flow = t.flow in
+      let assignment = flow.Phase3.Flow.assignment in
+      let timing = flow.Phase3.Flow.timing in
+      [ ("assign.objective",
+         f assignment.Phase3.Assignment.inserted_latches);
+        ("assign.optimal",
+         if assignment.Phase3.Assignment.optimal then 1.0 else 0.0);
+        ("timing.worst_setup_slack_ns", timing.Sta.Smo.worst_setup_slack);
+        ("timing.worst_hold_slack_ns", timing.Sta.Smo.worst_hold_slack);
+        ("timing.violations", f (List.length timing.Sta.Smo.violations)) ]
+      @ (match flow.Phase3.Flow.cg_stats with
+         | Some s ->
+           let gated =
+             s.Phase3.Clock_gating.gated_common_enable
+             + s.Phase3.Clock_gating.ddcg_gated
+           in
+           [ ("cg.gated", f gated);
+             ("cg.coverage",
+              f gated /. f (max 1 s.Phase3.Clock_gating.p2_latches)) ]
+         | None -> [])
+      @ (match flow.Phase3.Flow.equivalence with
+         | Some (Sim.Equivalence.Equivalent _) -> [("equivalence.ok", 1.0)]
+         | Some (Sim.Equivalence.Mismatch _) -> [("equivalence.ok", 0.0)]
+         | None -> [])
+    end
+  in
+  let wall =
+    [("runtime_s", v.runtime_s); ("suite.total_s", t.total_time_s)]
+    @ (if String.equal tag "3p" then [("ilp.solve_s", t.ilp_time_s)] else [])
+  in
+  Qor.Record.make
+    ~config:
+      [ ("variant", Qor.Json.Str tag);
+        ("period_ns", Qor.Json.Num t.bench.Circuits.Suite.period_ns);
+        ("family",
+         Qor.Json.Str (Circuits.Suite.family_name t.bench.Circuits.Suite.family)) ]
+    ~metrics:(metrics @ flow_metrics) ~wall
+    (Qor.Collect.provenance ~kind:"experiment"
+       ~circuit:(t.bench.Circuits.Suite.bench_name ^ "-" ^ tag))
+
+let records t =
+  [ variant_record t ~tag:"ff" t.ff;
+    variant_record t ~tag:"ms" t.ms;
+    variant_record t ~tag:"3p" t.threep ]

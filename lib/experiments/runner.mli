@@ -11,6 +11,7 @@ type variant = {
   power : Power.Estimate.breakdown;
   wirelength : float;
   clock_buffers : int;
+  hold_buffers : int;       (** min-delay buffers {!Sta.Hold_fix} inserted *)
   runtime_s : float;        (** build/convert + implement + sim + power *)
 }
 
@@ -34,3 +35,11 @@ val run : ?cycles:int -> ?verify:bool -> Circuits.Suite.benchmark -> t
 val power_of :
   Netlist.Design.t -> clocks:Sim.Clock_spec.t -> workload:Circuits.Workload.t ->
   cycles:int -> seed:int -> Power.Estimate.breakdown
+
+(** One QoR run record per design style — kind ["experiment"], tagged
+    with [variant = "ff" | "ms" | "3p"] in the record config — ready
+    for {!Qor.Store.append}.  The 3-phase record additionally carries
+    the flow-derived metrics (inserted p2, clock-gating coverage, SMO
+    slack, equivalence).  Obs rollups are omitted: the three variants
+    run concurrently, so the global aggregates are commingled. *)
+val records : t -> Qor.Record.t list

@@ -67,6 +67,27 @@ let count name incr =
 
 let gauge name value = push (buffer ()) (Gauge { name; ts = now (); value })
 
+let gc_sample ?(prefix = "gc") () =
+  let s = Gc.quick_stat () in
+  gauge (prefix ^ ".minor_words") s.Gc.minor_words;
+  gauge (prefix ^ ".major_words") s.Gc.major_words;
+  gauge (prefix ^ ".promoted_words") s.Gc.promoted_words;
+  gauge (prefix ^ ".heap_words") (float_of_int s.Gc.heap_words);
+  gauge (prefix ^ ".compactions") (float_of_int s.Gc.compactions)
+
+let gc_span name f =
+  let before = Gc.quick_stat () in
+  let record_delta () =
+    let after = Gc.quick_stat () in
+    gauge (name ^ ".gc.minor_words")
+      (after.Gc.minor_words -. before.Gc.minor_words);
+    gauge (name ^ ".gc.major_words")
+      (after.Gc.major_words -. before.Gc.major_words);
+    gauge (name ^ ".gc.promoted_words")
+      (after.Gc.promoted_words -. before.Gc.promoted_words)
+  in
+  span name (fun () -> Fun.protect ~finally:record_delta f)
+
 let reset () =
   Mutex.lock registry_lock;
   List.iter (fun b -> b.len <- 0) !registry;

@@ -53,6 +53,22 @@ val count : string -> int -> unit
     order-independent choice for a sampled value. *)
 val gauge : string -> float -> unit
 
+(** Sample {!Gc.quick_stat} as gauges: [<prefix>.minor_words],
+    [<prefix>.major_words], [<prefix>.promoted_words],
+    [<prefix>.heap_words], [<prefix>.compactions] (default prefix
+    ["gc"]).  The words counters are cumulative for the calling
+    domain, so the max-merge reports the high-water mark. *)
+val gc_sample : ?prefix:string -> unit -> unit
+
+(** [gc_span name f] is {!span}[ name f] plus allocation-pressure
+    gauges for [f] itself: the {!Gc.quick_stat} deltas across the call
+    are recorded as [<name>.gc.minor_words], [<name>.gc.major_words]
+    and [<name>.gc.promoted_words] (recorded even when [f] raises,
+    like the span's [End]).  Deltas are per-call; the max-merge keeps
+    the worst call per name.  The flow brackets every pipeline stage
+    with this, so run records capture per-stage allocation pressure. *)
+val gc_span : string -> (unit -> 'a) -> 'a
+
 (** Clear every buffer and re-base the trace clock.  Call only while no
     worker domain is recording. *)
 val reset : unit -> unit

@@ -63,11 +63,13 @@ let reference_clocks d ~period =
 
 let run ~config d =
   let times = ref [] in
-  (* every enabled stage records exactly one "flow.<stage>" Obs span and
-     one entry of [stage_times], in execution order *)
+  (* every enabled stage records exactly one "flow.<stage>" Obs span,
+     allocation-pressure gauges at its boundary (gc_span samples
+     Gc.quick_stat around the call), and one entry of [stage_times],
+     in execution order *)
   let stage name f =
     let t0 = Unix.gettimeofday () in
-    let r = Obs.span ("flow." ^ name) f in
+    let r = Obs.gc_span ("flow." ^ name) f in
     times := (name, Unix.gettimeofday () -. t0) :: !times;
     r
   in

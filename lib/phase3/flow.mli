@@ -8,9 +8,12 @@
     modifies its input; every step yields a new design.
 
     Every enabled stage records exactly one [flow.<stage>] {!Obs.span}
-    (with nested spans for inner work such as activity profiling) and
-    one entry in {!result.stage_times}, so traces and per-stage tables
-    come for free — see docs/FLOW.md for the stage catalogue. *)
+    (with nested spans for inner work such as activity profiling),
+    allocation-pressure gauges at its boundary
+    ([flow.<stage>.gc.minor_words] etc. via {!Obs.gc_span}) and one
+    entry in {!result.stage_times}, so traces, per-stage tables and
+    QoR run records come for free — see docs/FLOW.md for the stage
+    catalogue and docs/QOR.md for the record schema. *)
 
 type config = {
   solver : Assignment.solver;

@@ -1,0 +1,191 @@
+let git_rev () =
+  match
+    let ic = Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" in
+    let line = try input_line ic with End_of_file -> "" in
+    let status = Unix.close_process_in ic in
+    (line, status)
+  with
+  | line, Unix.WEXITED 0 when line <> "" -> Some (String.trim line)
+  | _ -> None
+  | exception _ -> None
+
+let timestamp () =
+  let t = Unix.gmtime (Unix.gettimeofday ()) in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (t.Unix.tm_year + 1900)
+    (t.Unix.tm_mon + 1) t.Unix.tm_mday t.Unix.tm_hour t.Unix.tm_min
+    t.Unix.tm_sec
+
+let provenance ~kind ~circuit =
+  { Record.circuit;
+    kind;
+    git_rev = git_rev ();
+    jobs = Jobs.default_jobs ();
+    hostname = (try Unix.gethostname () with _ -> "");
+    timestamp = timestamp () }
+
+let solver_name = function
+  | `Auto -> "auto"
+  | `Ilp -> "ilp"
+  | `Mis -> "mis"
+  | `Greedy -> "greedy"
+
+let config_json (c : Phase3.Flow.config) =
+  let cg = c.Phase3.Flow.clock_gating in
+  [ ("solver", Json.Str (solver_name c.Phase3.Flow.solver));
+    ("node_budget", Json.Num (float_of_int c.Phase3.Flow.node_budget));
+    ("retime", Json.Bool c.Phase3.Flow.retime);
+    ("optimize", Json.Bool c.Phase3.Flow.optimize);
+    ("cg_common_enable", Json.Bool cg.Phase3.Clock_gating.common_enable);
+    ("cg_m2_latch_removal", Json.Bool cg.Phase3.Clock_gating.m2_latch_removal);
+    ("cg_ddcg", Json.Bool cg.Phase3.Clock_gating.ddcg);
+    ("cg_ddcg_threshold", Json.Num cg.Phase3.Clock_gating.ddcg_threshold);
+    ("cg_max_fanout", Json.Num (float_of_int cg.Phase3.Clock_gating.max_fanout));
+    ("period_ns", Json.Num c.Phase3.Flow.period);
+    ("activity_cycles", Json.Num (float_of_int c.Phase3.Flow.activity_cycles));
+    ("activity_seed", Json.Num (float_of_int c.Phase3.Flow.activity_seed));
+    ("verify_equivalence", Json.Bool c.Phase3.Flow.verify_equivalence);
+    ("verify_cycles", Json.Num (float_of_int c.Phase3.Flow.verify_cycles)) ]
+
+let obs_rollup () =
+  let spans =
+    List.map
+      (fun (s : Obs.span_stat) ->
+        { Record.span_name = s.Obs.span_name;
+          calls = s.Obs.calls;
+          total_s = s.Obs.total_s })
+      (Obs.span_stats ())
+  in
+  (Obs.counters (), Obs.gauges (), spans)
+
+let implement_and_power design ~clocks ~cycles ~seed =
+  let design, hold = Sta.Hold_fix.run design ~clocks in
+  let impl = Physical.Implement.run design in
+  let kernel = Sim.Kernel.create design ~clocks in
+  let inputs = Sim.Stimulus.inputs_of design in
+  let streams =
+    Array.init (Sim.Kernel.lanes kernel) (fun l ->
+        Sim.Stimulus.random ~seed:(seed + l) ~cycles ~toggle_probability:0.3
+          inputs)
+  in
+  Sim.Kernel.run_streams kernel streams;
+  let detail =
+    Power.Estimate.run impl
+      ~activity:(Sim.Kernel.toggles kernel, Sim.Kernel.lane_cycles kernel)
+      ~period:clocks.Sim.Clock_spec.period
+  in
+  (impl, hold, detail)
+
+(* inserted p2 latches carry Convert.p2_suffix in their instance name;
+   retiming preserves the marker, so counting them in the retimed
+   design gives the post-retime inserted count (moves can merge a
+   latch group into one latch, so it may be below the ILP objective) *)
+let inserted_p2_count d =
+  let suffix = Phase3.Convert.p2_suffix in
+  let contains s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  List.length
+    (List.filter
+       (fun i ->
+         Cell_lib.Cell.is_latch (Netlist.Design.cell d i)
+         && contains (Netlist.Design.inst_name d i) suffix)
+       (Netlist.Design.insts d))
+
+let of_flow ?(with_obs = true) ?(measure_power = true) ?(power_cycles = 256)
+    ?(extra_wall = []) ~circuit (result : Phase3.Flow.result) =
+  let config = result.Phase3.Flow.config in
+  let original = Netlist.Stats.compute result.Phase3.Flow.original in
+  let final = Netlist.Stats.compute result.Phase3.Flow.final in
+  let assignment = result.Phase3.Flow.assignment in
+  let inserted = assignment.Phase3.Assignment.inserted_latches in
+  let timing = result.Phase3.Flow.timing in
+  let f = float_of_int in
+  let base_metrics =
+    [ ("ff.count", f original.Netlist.Stats.flip_flops);
+      ("latch.count", f final.Netlist.Stats.latches);
+      ("register.count", f final.Netlist.Stats.registers);
+      ("clock_gate.count", f final.Netlist.Stats.clock_gates);
+      ("area.cells_um2", final.Netlist.Stats.total_area);
+      ("leakage.total_nw", final.Netlist.Stats.total_leakage);
+      ("assign.objective", f inserted);
+      ("assign.optimal", if assignment.Phase3.Assignment.optimal then 1.0 else 0.0);
+      ("inserted_p2.before_retime", f inserted);
+      ("inserted_p2.after_retime",
+       f (inserted_p2_count result.Phase3.Flow.retimed));
+      ("timing.worst_setup_slack_ns", timing.Sta.Smo.worst_setup_slack);
+      ("timing.worst_hold_slack_ns", timing.Sta.Smo.worst_hold_slack);
+      ("timing.violations", f (List.length timing.Sta.Smo.violations));
+      ("timing.max_borrow_ns", timing.Sta.Smo.max_borrow) ]
+  in
+  let retime_metrics =
+    match result.Phase3.Flow.retime_stats with
+    | Some s -> [("retime.moves", f s.Phase3.Retime.moves)]
+    | None -> []
+  in
+  let cg_metrics =
+    match result.Phase3.Flow.cg_stats with
+    | Some s ->
+      let gated =
+        s.Phase3.Clock_gating.gated_common_enable
+        + s.Phase3.Clock_gating.ddcg_gated
+      in
+      [ ("cg.p2_latches", f s.Phase3.Clock_gating.p2_latches);
+        ("cg.gated", f gated);
+        ("cg.coverage",
+         f gated /. f (max 1 s.Phase3.Clock_gating.p2_latches));
+        ("cg.cells_added", f s.Phase3.Clock_gating.cg_cells_added) ]
+    | None -> []
+  in
+  let equivalence_metrics =
+    match result.Phase3.Flow.equivalence with
+    | Some (Sim.Equivalence.Equivalent { shift }) ->
+      [("equivalence.ok", 1.0); ("equivalence.shift", f shift)]
+    | Some (Sim.Equivalence.Mismatch _) -> [("equivalence.ok", 0.0)]
+    | None -> []
+  in
+  let power_metrics =
+    if not measure_power then []
+    else begin
+      let clocks = Phase3.Flow.clocks_of config in
+      let impl, hold, detail =
+        Obs.span "qor.power" (fun () ->
+            implement_and_power result.Phase3.Flow.final ~clocks
+              ~cycles:power_cycles ~seed:config.Phase3.Flow.activity_seed)
+      in
+      let overall = detail.Power.Estimate.overall in
+      let leak = detail.Power.Estimate.leakage in
+      [ ("area.impl_um2", impl.Physical.Implement.total_area);
+        ("wirelength.um", impl.Physical.Implement.total_wirelength);
+        ("clock_tree.buffers",
+         f impl.Physical.Implement.clock_tree.Physical.Clock_tree.total_buffers);
+        ("hold.buffers", f hold.Sta.Hold_fix.buffers_added);
+        ("hold.fixed", if hold.Sta.Hold_fix.fixed then 1.0 else 0.0);
+        ("power.clock_mw", overall.Power.Estimate.clock);
+        ("power.seq_mw", overall.Power.Estimate.seq);
+        ("power.comb_mw", overall.Power.Estimate.comb);
+        ("power.total_mw", Power.Estimate.total overall);
+        ("power.leakage_mw", Power.Estimate.total leak) ]
+    end
+  in
+  let wall =
+    List.map
+      (fun (stage, t) -> ("stage." ^ stage, t))
+      result.Phase3.Flow.stage_times
+    @ [ ("flow.total_s",
+         List.fold_left (fun acc (_, t) -> acc +. t) 0.0
+           result.Phase3.Flow.stage_times);
+        ("assign.solve_s", assignment.Phase3.Assignment.solve_time_s) ]
+    @ extra_wall
+  in
+  let counters, gauges, spans =
+    if with_obs then obs_rollup () else ([], [], [])
+  in
+  Record.make
+    ~config:(config_json config)
+    ~metrics:
+      (base_metrics @ retime_metrics @ cg_metrics @ equivalence_metrics
+       @ power_metrics)
+    ~counters ~wall ~gauges ~spans
+    (provenance ~kind:"flow" ~circuit)

@@ -1,0 +1,216 @@
+type cls =
+  | Improved
+  | Regressed
+  | Unchanged
+  | Missing_current
+  | Missing_baseline
+
+type section = Metric | Counter | Wall | Gauge
+
+type entry = {
+  name : string;
+  section : section;
+  baseline : float option;
+  current : float option;
+  cls : cls;
+}
+
+type t = {
+  circuit : string;
+  baseline_kind : string;
+  entries : entry list;
+  gate_failures : string list;
+  wall_regressions : string list;
+}
+
+let cls_name = function
+  | Improved -> "improved"
+  | Regressed -> "REGRESSED"
+  | Unchanged -> "unchanged"
+  | Missing_current -> "MISSING (current)"
+  | Missing_baseline -> "new"
+
+let section_name = function
+  | Metric -> "metric"
+  | Counter -> "counter"
+  | Wall -> "wall"
+  | Gauge -> "gauge"
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+(* Direction: which way is better.  Names are schema-wide conventions
+   (docs/QOR.md); anything unrecognised counts lower-as-better, the
+   right default for counts, power, area and seconds. *)
+let higher_is_better name =
+  contains name "slack" || contains name "coverage"
+  || contains name "speedup" || contains name ".ok"
+  || contains name "optimal" || contains name "lanes"
+
+let classify_direction name delta =
+  if delta = 0.0 then Unchanged
+  else if (delta > 0.0) = higher_is_better name then Improved
+  else Regressed
+
+let classify_exact name b c =
+  (* Float.equal is structural: NaN = NaN, so a reproducibly-NaN metric
+     is unchanged; NaN on one side only is always a regression *)
+  if Float.equal b c then Unchanged
+  else if Float.is_nan b || Float.is_nan c then Regressed
+  else classify_direction name (c -. b)
+
+let classify_noisy ~noise_band ~abs_floor name b c =
+  if Float.equal b c then Unchanged
+  else if Float.is_nan b || Float.is_nan c then Regressed
+  else
+    let delta = c -. b in
+    let tol = Float.max (noise_band *. Float.abs b) abs_floor in
+    if Float.abs delta <= tol then Unchanged
+    else classify_direction name delta
+
+(* Walk two sorted assoc lists, pairing by name. *)
+let merge_sorted base cur f =
+  let rec go acc base cur =
+    match base, cur with
+    | [], [] -> List.rev acc
+    | (bn, bv) :: brest, [] -> go (f bn (Some bv) None :: acc) brest []
+    | [], (cn, cv) :: crest -> go (f cn None (Some cv) :: acc) [] crest
+    | (bn, bv) :: brest, (cn, cv) :: crest ->
+      let o = String.compare bn cn in
+      if o = 0 then go (f bn (Some bv) (Some cv) :: acc) brest crest
+      else if o < 0 then go (f bn (Some bv) None :: acc) brest cur
+      else go (f cn None (Some cv) :: acc) base crest
+  in
+  go [] base cur
+
+let run ?(noise_band = 0.30) ?(abs_floor = 0.01) ~baseline current =
+  let exact section name b c =
+    let cls =
+      match b, c with
+      | Some b, Some c -> classify_exact name b c
+      | Some _, None -> Missing_current
+      | None, Some _ -> Missing_baseline
+      | None, None -> assert false
+    in
+    { name; section; baseline = b; current = c; cls }
+  in
+  let noisy section name b c =
+    let cls =
+      match b, c with
+      | Some b, Some c -> classify_noisy ~noise_band ~abs_floor name b c
+      | Some _, None -> Missing_current
+      | None, Some _ -> Missing_baseline
+      | None, None -> assert false
+    in
+    { name; section; baseline = b; current = c; cls }
+  in
+  let ints kvs = List.map (fun (k, v) -> (k, float_of_int v)) kvs in
+  let entries =
+    merge_sorted baseline.Record.metrics current.Record.metrics
+      (exact Metric)
+    @ merge_sorted (ints baseline.Record.counters)
+        (ints current.Record.counters) (exact Counter)
+    @ merge_sorted baseline.Record.wall current.Record.wall (noisy Wall)
+    @ merge_sorted baseline.Record.gauges current.Record.gauges (noisy Gauge)
+  in
+  let gate_failures =
+    List.filter_map
+      (fun e ->
+        match e.section, e.cls with
+        | (Metric | Counter), (Improved | Regressed | Missing_current) ->
+          Some e.name
+        | _ -> None)
+      entries
+  in
+  let wall_regressions =
+    List.filter_map
+      (fun e ->
+        match e.section, e.cls with
+        | (Wall | Gauge), Regressed -> Some e.name
+        | _ -> None)
+      entries
+  in
+  { circuit = current.Record.prov.circuit;
+    baseline_kind = baseline.Record.prov.kind;
+    entries;
+    gate_failures;
+    wall_regressions }
+
+let ok ?(fail_on_wall = false) t =
+  t.gate_failures = [] && ((not fail_on_wall) || t.wall_regressions = [])
+
+let value_str = function
+  | None -> "-"
+  | Some v ->
+    if Float.is_nan v then "nan"
+    else if Float.is_integer v && Float.abs v < 1e15 then
+      Printf.sprintf "%.0f" v
+    else Printf.sprintf "%.6g" v
+
+let delta_str e =
+  match e.baseline, e.current with
+  | Some b, Some c when Float.is_nan b || Float.is_nan c -> "-"
+  | Some b, Some c ->
+    let d = c -. b in
+    if d = 0.0 then ""
+    else if Float.abs b > 0.0 && Float.is_finite (d /. b) then
+      Printf.sprintf "%+.6g (%+.1f%%)" d (100.0 *. d /. Float.abs b)
+    else Printf.sprintf "%+.6g" d
+  | _ -> "-"
+
+let table t =
+  let tab =
+    Report.Table.create
+      ~title:(Printf.sprintf "QoR diff: %s (baseline %s)" t.circuit
+                t.baseline_kind)
+      [ ("metric", Report.Table.Left); ("kind", Report.Table.Left);
+        ("baseline", Report.Table.Right); ("current", Report.Table.Right);
+        ("delta", Report.Table.Right); ("class", Report.Table.Left) ]
+  in
+  let emit e =
+    Report.Table.add_row tab
+      [ e.name; section_name e.section; value_str e.baseline;
+        value_str e.current; delta_str e; cls_name e.cls ]
+  in
+  let deterministic, rest =
+    List.partition
+      (fun e -> match e.section with Metric | Counter -> true | _ -> false)
+      t.entries
+  in
+  List.iter emit deterministic;
+  if deterministic <> [] && rest <> [] then Report.Table.add_rule tab;
+  List.iter emit rest;
+  tab
+
+let markdown t =
+  let buf = Buffer.create 1024 in
+  Printf.bprintf buf "## QoR diff: `%s`\n\n" t.circuit;
+  (if t.gate_failures = [] then
+     Buffer.add_string buf "**Gate: PASS** — deterministic QoR unchanged.\n"
+   else
+     Printf.bprintf buf
+       "**Gate: FAIL** — %d deterministic metric(s) changed: %s.\n"
+       (List.length t.gate_failures)
+       (String.concat ", " (List.map (Printf.sprintf "`%s`") t.gate_failures)));
+  if t.wall_regressions <> [] then
+    Printf.bprintf buf
+      "Wall-clock outside the noise band (not gated): %s.\n"
+      (String.concat ", "
+         (List.map (Printf.sprintf "`%s`") t.wall_regressions));
+  let changed =
+    List.filter (fun e -> e.cls <> Unchanged) t.entries
+  in
+  if changed <> [] then begin
+    Buffer.add_string buf
+      "\n| metric | kind | baseline | current | delta | class |\n\
+       |---|---|---:|---:|---:|---|\n";
+    List.iter
+      (fun e ->
+        Printf.bprintf buf "| `%s` | %s | %s | %s | %s | %s |\n" e.name
+          (section_name e.section) (value_str e.baseline)
+          (value_str e.current) (delta_str e) (cls_name e.cls))
+      changed
+  end;
+  Buffer.contents buf

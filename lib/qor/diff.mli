@@ -1,0 +1,78 @@
+(** Record-against-baseline comparison with per-metric tolerance
+    bands — the regression gate behind [ff2latch qor check].
+
+    {2 Tolerance semantics}
+
+    Metrics fall in two classes, decided by the record section they
+    live in:
+
+    - {b Exact} ([metrics] and [counters] sections): counts,
+      objectives, area, power, slack are deterministic, so {e any}
+      numeric difference is a change.  [NaN = NaN] counts as
+      unchanged (a power model that produced NaN yesterday and NaN
+      today has not regressed); NaN against a finite value is always
+      a regression, whichever side it is on.
+    - {b Noisy} ([wall] and [gauges] sections): wall-clock and
+      sampled values.  A difference within
+      [max (noise_band * |baseline|, abs_floor)] — boundary
+      {e inclusive} — is classified unchanged.  The default band is
+      30% with a 10 ms floor, wide enough for CI machine jitter.
+
+    Whether a change is an improvement or a regression depends on the
+    metric's direction: slack, coverage, speedup-like and ok-flags
+    are better higher; everything else (counts, power, area, nodes,
+    seconds) is better lower.
+
+    {2 Gate}
+
+    {!gate_failures} is what CI fails on: every exact metric that
+    changed {e in either direction} or disappeared.  An improvement
+    fails the gate too — that is the point of a ratchet; refresh the
+    baseline to bank it.  Noisy regressions are reported separately
+    ({!wall_regressions}) and do not fail the gate unless the caller
+    opts in. *)
+
+type cls =
+  | Improved
+  | Regressed
+  | Unchanged
+  | Missing_current   (** in the baseline, absent from the new record *)
+  | Missing_baseline  (** new metric, absent from the baseline *)
+
+type section = Metric | Counter | Wall | Gauge
+
+type entry = {
+  name : string;
+  section : section;
+  baseline : float option;
+  current : float option;
+  cls : cls;
+}
+
+type t = {
+  circuit : string;
+  baseline_kind : string;
+  entries : entry list;        (** deterministic sections first, then noisy *)
+  gate_failures : string list; (** exact metrics changed or missing *)
+  wall_regressions : string list; (** noisy metrics beyond the band *)
+}
+
+(** [run ~baseline current] — [noise_band] is the relative tolerance
+    for noisy metrics (default [0.30]), [abs_floor] the absolute floor
+    in the metric's own unit (default [0.01]). *)
+val run :
+  ?noise_band:float -> ?abs_floor:float -> baseline:Record.t -> Record.t -> t
+
+(** True iff the gate passes; [fail_on_wall] (default false) also
+    requires {!wall_regressions} to be empty. *)
+val ok : ?fail_on_wall:bool -> t -> bool
+
+val cls_name : cls -> string
+
+(** Plain-text diff table (all entries; unchanged rows included so the
+    table documents coverage). *)
+val table : t -> Report.Table.t
+
+(** The same diff as a markdown report (changed entries only, plus a
+    verdict line) — for CI summaries and PR comments. *)
+val markdown : t -> string

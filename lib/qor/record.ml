@@ -1,0 +1,198 @@
+(* The run-record schema.  The writer fixes the key order and sorts
+   every metric map, so rendering is canonical; the reader demands the
+   fields it knows (wrong type or missing required field = error,
+   newer schema_version = error) and skips fields it does not, so a
+   version-1 reader accepts extended version-1 records. *)
+
+let schema_version = 1
+
+type provenance = {
+  circuit : string;
+  kind : string;
+  git_rev : string option;
+  jobs : int;
+  hostname : string;
+  timestamp : string;
+}
+
+type span = { span_name : string; calls : int; total_s : float }
+
+type t = {
+  version : int;
+  prov : provenance;
+  config : (string * Json.t) list;
+  metrics : (string * float) list;
+  counters : (string * int) list;
+  headline : (string * Json.t) list;
+  wall : (string * float) list;
+  gauges : (string * float) list;
+  spans : span list;
+}
+
+let by_name (a, _) (b, _) = String.compare a b
+
+let make ?(config = []) ?(metrics = []) ?(counters = []) ?(headline = [])
+    ?(wall = []) ?(gauges = []) ?(spans = []) prov =
+  { version = schema_version;
+    prov;
+    config;
+    metrics = List.sort by_name metrics;
+    counters = List.sort by_name counters;
+    headline;
+    wall = List.sort by_name wall;
+    gauges = List.sort by_name gauges;
+    spans =
+      List.sort (fun a b -> String.compare a.span_name b.span_name) spans }
+
+(* --- writer ---------------------------------------------------------- *)
+
+let to_json r =
+  let num_map kvs = Json.Obj (List.map (fun (k, v) -> (k, Json.Num v)) kvs) in
+  let int_map kvs =
+    Json.Obj (List.map (fun (k, v) -> (k, Json.Num (float_of_int v))) kvs)
+  in
+  let opt_field name = function [] -> [] | kvs -> [(name, Json.Obj kvs)] in
+  Json.Obj
+    ([ ("schema_version", Json.Num (float_of_int r.version));
+       ("kind", Json.Str r.prov.kind);
+       ("circuit", Json.Str r.prov.circuit);
+       ("config", Json.Obj r.config);
+       ("metrics", num_map r.metrics);
+       ("counters", int_map r.counters) ]
+     @ opt_field "headline" r.headline
+     @ [ ("provenance",
+          Json.Obj
+            [ ("git_rev",
+               (match r.prov.git_rev with
+                | Some rev -> Json.Str rev
+                | None -> Json.Null));
+              ("jobs", Json.Num (float_of_int r.prov.jobs));
+              ("hostname", Json.Str r.prov.hostname);
+              ("timestamp", Json.Str r.prov.timestamp) ]);
+         ("wall", num_map r.wall);
+         ("gauges", num_map r.gauges);
+         ("spans",
+          Json.Arr
+            (List.map
+               (fun s ->
+                 Json.Obj
+                   [ ("name", Json.Str s.span_name);
+                     ("calls", Json.Num (float_of_int s.calls));
+                     ("total_s", Json.Num s.total_s) ])
+               r.spans)) ])
+
+let render r = Json.render (to_json r)
+
+let render_compact r = Json.render_compact (to_json r)
+
+(* --- reader ---------------------------------------------------------- *)
+
+let ( let* ) = Result.bind
+
+let require what = function
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "record: missing or ill-typed %s" what)
+
+let str_field doc k = require (k ^ ": string") (Option.bind (Json.member k doc) Json.to_string)
+
+let num_map_field doc k =
+  match Json.member k doc with
+  | None -> Ok []
+  | Some (Json.Obj kvs) ->
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | (name, v) :: rest ->
+        (match Json.to_float v with
+         | Some f -> go ((name, f) :: acc) rest
+         | None ->
+           Error (Printf.sprintf "record: %s.%s is not a number" k name))
+    in
+    go [] kvs
+  | Some _ -> Error (Printf.sprintf "record: %s is not an object" k)
+
+let of_json doc =
+  let* version =
+    require "schema_version"
+      (Option.bind (Json.member "schema_version" doc) Json.to_int)
+  in
+  let* () =
+    if version > schema_version then
+      Error
+        (Printf.sprintf
+           "record: schema_version %d is newer than supported %d" version
+           schema_version)
+    else Ok ()
+  in
+  let* kind = str_field doc "kind" in
+  let* circuit = str_field doc "circuit" in
+  let config =
+    match Json.member "config" doc with Some (Json.Obj kvs) -> kvs | _ -> []
+  in
+  let* metrics = num_map_field doc "metrics" in
+  let* counters =
+    let* m = num_map_field doc "counters" in
+    Ok (List.map (fun (k, v) -> (k, int_of_float v)) m)
+  in
+  let headline =
+    match Json.member "headline" doc with Some (Json.Obj kvs) -> kvs | _ -> []
+  in
+  let prov_doc =
+    match Json.member "provenance" doc with
+    | Some (Json.Obj _ as p) -> p
+    | _ -> Json.Obj []
+  in
+  let prov =
+    { circuit;
+      kind;
+      git_rev = Option.bind (Json.member "git_rev" prov_doc) Json.to_string;
+      jobs =
+        (match Option.bind (Json.member "jobs" prov_doc) Json.to_int with
+         | Some j -> j
+         | None -> 1);
+      hostname =
+        (match Option.bind (Json.member "hostname" prov_doc) Json.to_string with
+         | Some h -> h
+         | None -> "");
+      timestamp =
+        (match
+           Option.bind (Json.member "timestamp" prov_doc) Json.to_string
+         with
+         | Some t -> t
+         | None -> "") }
+  in
+  let* wall = num_map_field doc "wall" in
+  let* gauges = num_map_field doc "gauges" in
+  let* spans =
+    match Json.member "spans" doc with
+    | None -> Ok []
+    | Some (Json.Arr items) ->
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | item :: rest ->
+          (match
+             ( Option.bind (Json.member "name" item) Json.to_string,
+               Option.bind (Json.member "calls" item) Json.to_int,
+               Option.bind (Json.member "total_s" item) Json.to_float )
+           with
+           | Some span_name, Some calls, Some total_s ->
+             go ({ span_name; calls; total_s } :: acc) rest
+           | _ -> Error "record: ill-formed span entry")
+      in
+      go [] items
+    | Some _ -> Error "record: spans is not an array"
+  in
+  Ok
+    { version; prov; config; metrics; counters; headline; wall; gauges;
+      spans }
+
+let parse text =
+  let* doc = Json.parse text in
+  of_json doc
+
+let metric r name =
+  match List.assoc_opt name r.metrics with
+  | Some v -> Some v
+  | None ->
+    (match List.assoc_opt name r.counters with
+     | Some v -> Some (float_of_int v)
+     | None -> None)

@@ -1,0 +1,95 @@
+(** Versioned, machine-comparable QoR run records.
+
+    One record captures everything a later session needs to judge a
+    flow/bench/experiment invocation: provenance (what ran, where,
+    from which commit), the deterministic quality-of-results metrics
+    (register counts, objectives, area, power groups, timing slack,
+    equivalence), the deterministic {!Obs} counters, and the
+    wall-clock/sampled observability that is {e not} expected to
+    reproduce (stage times, span durations, gauges such as the GC
+    pressure samples).
+
+    {2 Determinism contract}
+
+    The fields are split so diffing tools can hold the two classes to
+    different standards:
+
+    - [kind], [circuit], [config], [metrics], [counters] are the
+      {b deterministic sections}: for a fixed tree and inputs their
+      rendered bytes are identical for any [THREEPHASE_JOBS] setting
+      and any machine.  {!Diff} compares them exactly.
+    - [provenance], [wall], [gauges], [spans] (and the free-form
+      [headline]) are the {b wall sections}: timestamps, hostnames,
+      durations and sampled values.  {!Diff} compares [wall] and
+      [gauges] under a relative noise band and never gates on
+      [provenance].
+
+    {!render} is canonical — fixed key order, metric maps sorted by
+    name, one float format (see {!Json.float_token}) — so two records
+    agree on the deterministic sections iff their rendered bytes do.
+
+    {2 Versioning}
+
+    [schema_version] is written into every record.  The reader is
+    strict about what it understands — a missing required field, a
+    wrong type, or a version {e newer} than {!schema_version} is an
+    error — but tolerant of unknown fields, so older readers accept
+    records written by forward-compatible extensions of the same
+    version. *)
+
+val schema_version : int
+
+type provenance = {
+  circuit : string;        (** benchmark/design name *)
+  kind : string;           (** ["flow"], ["bench.sim"], ["bench.ilp"], ["experiment"], ... *)
+  git_rev : string option; (** [git rev-parse --short HEAD] when available *)
+  jobs : int;              (** effective [THREEPHASE_JOBS] *)
+  hostname : string;
+  timestamp : string;      (** UTC ISO-8601 *)
+}
+
+(** One aggregated {!Obs} span: name, completed calls, summed seconds. *)
+type span = { span_name : string; calls : int; total_s : float }
+
+type t = {
+  version : int;
+  prov : provenance;
+  config : (string * Json.t) list;  (** flow/experiment knobs, as written *)
+  metrics : (string * float) list;  (** deterministic QoR, sorted by name *)
+  counters : (string * int) list;   (** deterministic Obs counters, sorted *)
+  headline : (string * Json.t) list;
+  (** free-form summary for humans and dashboards (the [BENCH_*.json]
+      headline); informational, never gated *)
+  wall : (string * float) list;     (** wall-clock seconds, sorted *)
+  gauges : (string * float) list;   (** max-merged Obs gauges, sorted *)
+  spans : span list;                (** Obs span rollup, sorted by name *)
+}
+
+(** Build a record; every metric map is sorted by name (canonical
+    order), so callers need not pre-sort. *)
+val make :
+  ?config:(string * Json.t) list ->
+  ?metrics:(string * float) list ->
+  ?counters:(string * int) list ->
+  ?headline:(string * Json.t) list ->
+  ?wall:(string * float) list ->
+  ?gauges:(string * float) list ->
+  ?spans:span list ->
+  provenance -> t
+
+val to_json : t -> Json.t
+
+(** Canonical pretty rendering (the per-run file format), trailing
+    newline included. *)
+val render : t -> string
+
+(** Canonical one-line rendering (the [history.jsonl] format). *)
+val render_compact : t -> string
+
+val of_json : Json.t -> (t, string) result
+
+(** [parse text] — [render]/[parse] round-trip exactly. *)
+val parse : string -> (t, string) result
+
+(** Deterministic metric lookup across [metrics] and [counters]. *)
+val metric : t -> string -> float option

@@ -1,0 +1,94 @@
+let runs_dir dir = Filename.concat dir "runs"
+let history_path dir = Filename.concat dir "history.jsonl"
+let baselines_dir dir = Filename.concat dir "baselines"
+
+let rec ensure_dir path =
+  if not (Sys.file_exists path) then begin
+    ensure_dir (Filename.dirname path);
+    (try Unix.mkdir path 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ())
+  end
+
+(* run ids must be safe as file names on any filesystem *)
+let sanitize s =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '.' | '_' | '-' -> c
+      | _ -> '_')
+    s
+
+let run_id (r : Record.t) =
+  let ts =
+    (* timestamps are ISO-8601; strip the separators so ids sort and
+       stay readable: 2026-08-06T10:15:30Z -> 20260806T101530Z *)
+    String.concat ""
+      (String.split_on_char ':'
+         (String.concat "" (String.split_on_char '-' r.Record.prov.timestamp)))
+  in
+  sanitize
+    (Printf.sprintf "%s-%s-%s"
+       (if ts = "" then "unstamped" else ts)
+       r.Record.prov.kind r.Record.prov.circuit)
+
+let fresh_path dir id =
+  let candidate n =
+    Filename.concat (runs_dir dir)
+      (if n = 1 then id ^ ".json" else Printf.sprintf "%s-%d.json" id n)
+  in
+  let rec go n =
+    let p = candidate n in
+    if Sys.file_exists p then go (n + 1) else p
+  in
+  go 1
+
+let append ~dir record =
+  ensure_dir (runs_dir dir);
+  let path = fresh_path dir (run_id record) in
+  let oc = open_out path in
+  output_string oc (Record.render record);
+  close_out oc;
+  let oc =
+    open_out_gen [Open_append; Open_creat] 0o644 (history_path dir)
+  in
+  output_string oc (Record.render_compact record);
+  output_char oc '\n';
+  close_out oc;
+  path
+
+let load path =
+  match
+    let ic = open_in path in
+    let text = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    text
+  with
+  | text -> Record.parse text
+  | exception Sys_error msg -> Error msg
+
+let history ~dir =
+  let path = history_path dir in
+  if not (Sys.file_exists path) then []
+  else begin
+    let ic = open_in path in
+    let rec go acc =
+      match input_line ic with
+      | "" -> go acc
+      | line ->
+        go (match Record.parse line with Ok r -> r :: acc | Error _ -> acc)
+      | exception End_of_file -> List.rev acc
+    in
+    let records = go [] in
+    close_in ic;
+    records
+  end
+
+let latest ~dir ?kind ~circuit () =
+  let matches (r : Record.t) =
+    String.equal r.Record.prov.circuit circuit
+    && match kind with
+       | None -> true
+       | Some k -> String.equal r.Record.prov.kind k
+  in
+  List.fold_left
+    (fun acc r -> if matches r then Some r else acc)
+    None (history ~dir)

@@ -1,0 +1,32 @@
+(** Append-only run-record history.
+
+    A store directory (conventionally [qor/] at the repo root) holds:
+
+    - [runs/<id>.json] — one canonical {!Record.render} file per run;
+      [<id>] is [<timestamp>-<kind>-<circuit>] with a numeric suffix on
+      collision, so ids sort chronologically.
+    - [history.jsonl] — one {!Record.render_compact} line appended per
+      run, the cheap way to scan every run ever recorded.
+    - [baselines/<name>.json] — hand-promoted records that
+      [ff2latch qor check] gates against (committed to git; the store
+      never writes them).
+
+    Directories are created on first append. *)
+
+val runs_dir : string -> string
+val history_path : string -> string
+val baselines_dir : string -> string
+
+(** [append ~dir record] writes the per-run file and appends the
+    history line; returns the per-run file path. *)
+val append : dir:string -> Record.t -> string
+
+(** Load one record file. *)
+val load : string -> (Record.t, string) result
+
+(** Every record in [history.jsonl], oldest first; unparsable lines
+    are skipped. Empty list when the store does not exist yet. *)
+val history : dir:string -> Record.t list
+
+(** Most recent history entry for [circuit] (and [kind] when given). *)
+val latest : dir:string -> ?kind:string -> circuit:string -> unit -> Record.t option

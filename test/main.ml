@@ -14,5 +14,6 @@ let () =
       ("circuits", Test_circuits.suite);
       ("experiments", Test_experiments.suite);
       ("obs", Test_obs.suite);
+      ("qor", Test_qor.suite);
       ("artifacts", Test_artifacts.suite);
       ("fuzz", Test_fuzz.suite) ]

@@ -1,0 +1,276 @@
+(* QoR run records, diffing and the regression gate (lib/qor). *)
+
+let prov ?(kind = "test") ?(circuit = "unit") () =
+  { Qor.Record.circuit;
+    kind;
+    git_rev = None;
+    jobs = 1;
+    hostname = "testhost";
+    timestamp = "2026-01-01T00:00:00Z" }
+
+let mk ?(metrics = []) ?(counters = []) ?(wall = []) ?(gauges = []) () =
+  Qor.Record.make ~metrics ~counters ~wall ~gauges (prov ())
+
+let cls_of diff name =
+  match List.find_opt (fun e -> e.Qor.Diff.name = name) diff.Qor.Diff.entries with
+  | Some e -> Qor.Diff.cls_name e.Qor.Diff.cls
+  | None -> Alcotest.failf "no diff entry for %s" name
+
+let check_cls diff name expected =
+  Alcotest.(check string) name expected (cls_of diff name)
+
+(* --- diff: exact sections -------------------------------------------- *)
+
+let test_exact_gate () =
+  let baseline = mk ~metrics:[("latch.count", 8.0); ("power.total_mw", 2.0)] () in
+  (* a lower count is an improvement, but the gate is a ratchet: any
+     deterministic change fails until the baseline is refreshed *)
+  let current = mk ~metrics:[("latch.count", 7.0); ("power.total_mw", 2.0)] () in
+  let d = Qor.Diff.run ~baseline current in
+  check_cls d "latch.count" "improved";
+  check_cls d "power.total_mw" "unchanged";
+  Alcotest.(check (list string)) "gate failures" ["latch.count"]
+    d.Qor.Diff.gate_failures;
+  Alcotest.(check bool) "gate fails on improvement" false (Qor.Diff.ok d)
+
+let test_exact_direction () =
+  let baseline =
+    mk ~metrics:[("timing.worst_setup_slack_ns", 0.1); ("area.cells_um2", 25.0)]
+      ()
+  in
+  let current =
+    mk ~metrics:[("timing.worst_setup_slack_ns", 0.2); ("area.cells_um2", 26.0)]
+      ()
+  in
+  let d = Qor.Diff.run ~baseline current in
+  check_cls d "timing.worst_setup_slack_ns" "improved";
+  check_cls d "area.cells_um2" "REGRESSED"
+
+let test_missing_metric () =
+  let baseline = mk ~metrics:[("ff.count", 5.0); ("latch.count", 8.0)] () in
+  let current = mk ~metrics:[("cg.coverage", 1.0); ("ff.count", 5.0)] () in
+  let d = Qor.Diff.run ~baseline current in
+  check_cls d "latch.count" "MISSING (current)";
+  check_cls d "cg.coverage" "new";
+  (* a vanished metric fails the gate; a new one does not *)
+  Alcotest.(check (list string)) "gate failures" ["latch.count"]
+    d.Qor.Diff.gate_failures
+
+let test_nan_inf () =
+  let baseline =
+    mk
+      ~metrics:
+        [ ("a.nan", Float.nan); ("b.nan_vs_finite", Float.nan);
+          ("c.inf", Float.infinity); ("d.finite_vs_nan", 1.0) ]
+      ()
+  in
+  let current =
+    mk
+      ~metrics:
+        [ ("a.nan", Float.nan); ("b.nan_vs_finite", 0.5);
+          ("c.inf", Float.infinity); ("d.finite_vs_nan", Float.nan) ]
+      ()
+  in
+  let d = Qor.Diff.run ~baseline current in
+  check_cls d "a.nan" "unchanged";
+  check_cls d "b.nan_vs_finite" "REGRESSED";
+  check_cls d "c.inf" "unchanged";
+  check_cls d "d.finite_vs_nan" "REGRESSED"
+
+(* --- diff: noisy sections -------------------------------------------- *)
+
+let test_zero_baseline_abs_floor () =
+  (* relative band of a 0.0 baseline is 0; only the absolute floor
+     keeps tiny absolute jitter from flagging *)
+  let baseline = mk ~wall:[("stage.fast", 0.0); ("stage.slow", 0.0)] () in
+  let current = mk ~wall:[("stage.fast", 0.005); ("stage.slow", 0.02)] () in
+  let d = Qor.Diff.run ~baseline current in
+  check_cls d "stage.fast" "unchanged";
+  check_cls d "stage.slow" "REGRESSED";
+  Alcotest.(check (list string)) "wall regressions" ["stage.slow"]
+    d.Qor.Diff.wall_regressions;
+  Alcotest.(check (list string)) "gate untouched" [] d.Qor.Diff.gate_failures;
+  Alcotest.(check bool) "ok by default" true (Qor.Diff.ok d);
+  Alcotest.(check bool) "fails with fail_on_wall" false
+    (Qor.Diff.ok ~fail_on_wall:true d)
+
+let test_band_boundary_inclusive () =
+  (* |delta| = noise_band * |baseline| exactly: inside the band *)
+  let baseline = mk ~wall:[("flow.total_s", 2.0)] ~gauges:[("gc.heap", 2.0)] () in
+  let at = mk ~wall:[("flow.total_s", 3.0)] ~gauges:[("gc.heap", 1.0)] () in
+  let beyond = mk ~wall:[("flow.total_s", 3.01)] ~gauges:[("gc.heap", 0.98)] () in
+  let d_at = Qor.Diff.run ~noise_band:0.5 ~baseline at in
+  check_cls d_at "flow.total_s" "unchanged";
+  check_cls d_at "gc.heap" "unchanged";
+  let d_beyond = Qor.Diff.run ~noise_band:0.5 ~abs_floor:0.0 ~baseline beyond in
+  check_cls d_beyond "flow.total_s" "REGRESSED";
+  check_cls d_beyond "gc.heap" "improved"
+
+(* --- record render / parse ------------------------------------------- *)
+
+let test_render_roundtrip () =
+  let r =
+    Qor.Record.make
+      ~config:[("solver", Qor.Json.Str "auto"); ("retime", Qor.Json.Bool true)]
+      ~metrics:
+        [ ("z.last", 1.0); ("a.first", 0.1); ("n.nan", Float.nan);
+          ("i.inf", Float.infinity); ("m.neg_inf", Float.neg_infinity);
+          ("t.tiny", 1e-300); ("x.pi", 4.0 *. atan 1.0) ]
+      ~counters:[("b.count", 2); ("a.count", 40)]
+      ~wall:[("stage.x", 0.25)]
+      ~gauges:[("gc.heap_words", 12345.0)]
+      ~spans:[{ Qor.Record.span_name = "flow.convert"; calls = 1; total_s = 0.1 }]
+      (prov ())
+  in
+  let text = Qor.Record.render r in
+  let r2 =
+    match Qor.Record.parse text with
+    | Ok r2 -> r2
+    | Error e -> Alcotest.failf "parse failed: %s" e
+  in
+  Alcotest.(check string) "render/parse round-trips bytes" text
+    (Qor.Record.render r2);
+  (* maps come back sorted (canonical order) *)
+  Alcotest.(check (list string)) "metrics sorted"
+    [ "a.first"; "i.inf"; "m.neg_inf"; "n.nan"; "t.tiny"; "x.pi"; "z.last" ]
+    (List.map fst r2.Qor.Record.metrics);
+  (match Qor.Record.metric r2 "n.nan" with
+   | Some v -> Alcotest.(check bool) "nan survives" true (Float.is_nan v)
+   | None -> Alcotest.fail "n.nan lost");
+  (match Qor.Record.metric r2 "i.inf" with
+   | Some v ->
+     Alcotest.(check bool) "inf survives" true (v = Float.infinity)
+   | None -> Alcotest.fail "i.inf lost");
+  (* counters resolve through the unified metric lookup too *)
+  Alcotest.(check (option (float 0.0))) "counter lookup" (Some 40.0)
+    (Qor.Record.metric r2 "a.count")
+
+let test_unknown_fields_tolerated () =
+  let text = Qor.Record.render (mk ~metrics:[("ff.count", 5.0)] ()) in
+  (* graft unknown fields at the top level and inside provenance; a
+     same-version reader must ignore them *)
+  let body = String.sub text 1 (String.length text - 1) in
+  let with_extras = "{\n  \"future_top_level\": {\"x\": 1}," ^ body in
+  (match Qor.Record.parse with_extras with
+   | Ok r ->
+     Alcotest.(check (option (float 0.0))) "metric kept" (Some 5.0)
+       (Qor.Record.metric r "ff.count")
+   | Error e -> Alcotest.failf "unknown top-level field rejected: %s" e)
+
+let test_reader_strictness () =
+  let good = mk () in
+  let json = Qor.Record.to_json good in
+  let without key =
+    match json with
+    | Qor.Json.Obj kvs ->
+      Qor.Json.Obj (List.filter (fun (k, _) -> k <> key) kvs)
+    | _ -> assert false
+  in
+  let replace key v =
+    match json with
+    | Qor.Json.Obj kvs ->
+      Qor.Json.Obj (List.map (fun (k, x) -> (k, if k = key then v else x)) kvs)
+    | _ -> assert false
+  in
+  (match Qor.Record.of_json (without "circuit") with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "missing circuit accepted");
+  (match Qor.Record.of_json (replace "schema_version" (Qor.Json.Num 99.0)) with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "future schema version accepted");
+  (match Qor.Record.of_json (replace "metrics" (Qor.Json.Str "oops")) with
+   | Error _ -> ()
+   | Ok _ -> Alcotest.fail "ill-typed metrics accepted")
+
+(* --- store ----------------------------------------------------------- *)
+
+let test_store () =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "qor-test-%d" (Unix.getpid ()))
+  in
+  let r1 = mk ~metrics:[("ff.count", 5.0)] () in
+  let r2 = mk ~metrics:[("ff.count", 6.0)] () in
+  let p1 = Qor.Store.append ~dir r1 in
+  let p2 = Qor.Store.append ~dir r2 in
+  (* identical provenance, so the second file gets a collision suffix *)
+  Alcotest.(check bool) "distinct run files" true (p1 <> p2);
+  (match Qor.Store.load p1 with
+   | Ok r -> Alcotest.(check string) "file round-trip"
+               (Qor.Record.render r1) (Qor.Record.render r)
+   | Error e -> Alcotest.failf "load failed: %s" e);
+  let h = Qor.Store.history ~dir in
+  Alcotest.(check int) "two history lines" 2 (List.length h);
+  (match Qor.Store.latest ~dir ~kind:"test" ~circuit:"unit" () with
+   | Some r ->
+     Alcotest.(check (option (float 0.0))) "latest is second append"
+       (Some 6.0) (Qor.Record.metric r "ff.count")
+   | None -> Alcotest.fail "latest found nothing");
+  Alcotest.(check bool) "kind filter excludes" true
+    (Qor.Store.latest ~dir ~kind:"flow" ~circuit:"unit" () = None)
+
+(* --- end-to-end: flow record against itself and a perturbed baseline - *)
+
+let quickstart_design () =
+  let ic = open_in "../examples/quickstart.bench" in
+  let src = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let library = Cell_lib.Default_library.library () in
+  Netlist_io.Bench_format.parse ~name:"quickstart" ~library src
+
+let test_flow_record_gate () =
+  Obs.reset ();
+  let d = quickstart_design () in
+  let config = Phase3.Flow.default_config ~period:1.0 in
+  let result = Phase3.Flow.run ~config d in
+  let record = Qor.Collect.of_flow ~circuit:"quickstart" result in
+  (* the acceptance property: a record gates cleanly against itself *)
+  let self = Qor.Diff.run ~baseline:record record in
+  Alcotest.(check (list string)) "self-diff gate" []
+    self.Qor.Diff.gate_failures;
+  Alcotest.(check (list string)) "self-diff wall" []
+    self.Qor.Diff.wall_regressions;
+  (* perturb one deterministic metric in the baseline: the gate must
+     name exactly that metric, and the markdown must carry the verdict *)
+  let perturbed =
+    { record with
+      Qor.Record.metrics =
+        List.map
+          (fun (k, v) ->
+            if k = "power.total_mw" then (k, v *. 0.9) else (k, v))
+          record.Qor.Record.metrics }
+  in
+  let diff = Qor.Diff.run ~baseline:perturbed record in
+  Alcotest.(check (list string)) "gate names the metric"
+    ["power.total_mw"] diff.Qor.Diff.gate_failures;
+  Alcotest.(check bool) "gate fails" false (Qor.Diff.ok diff);
+  let md = Qor.Diff.markdown diff in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (needle ^ " in markdown") true
+        (Astring.String.is_infix ~affix:needle md))
+    ["Gate: FAIL"; "power.total_mw"];
+  Alcotest.(check bool) "self markdown passes" true
+    (Astring.String.is_infix ~affix:"Gate: PASS" (Qor.Diff.markdown self))
+
+let suite =
+  [ Alcotest.test_case "exact change fails the gate in either direction" `Quick
+      test_exact_gate;
+    Alcotest.test_case "direction conventions (slack up, area down)" `Quick
+      test_exact_direction;
+    Alcotest.test_case "missing metric gates, new metric reports" `Quick
+      test_missing_metric;
+    Alcotest.test_case "NaN/inf compare structurally" `Quick test_nan_inf;
+    Alcotest.test_case "zero baseline uses the absolute floor" `Quick
+      test_zero_baseline_abs_floor;
+    Alcotest.test_case "noise band boundary is inclusive" `Quick
+      test_band_boundary_inclusive;
+    Alcotest.test_case "render/parse round-trip incl. NaN and inf" `Quick
+      test_render_roundtrip;
+    Alcotest.test_case "reader tolerates unknown fields" `Quick
+      test_unknown_fields_tolerated;
+    Alcotest.test_case "reader rejects missing/ill-typed/future" `Quick
+      test_reader_strictness;
+    Alcotest.test_case "store appends, loads, lists history" `Quick test_store;
+    Alcotest.test_case "flow record gates against itself and perturbation"
+      `Quick test_flow_record_gate ]
