@@ -301,15 +301,15 @@ let power_cmd =
         (Sim.Stimulus.inputs_of d)
     in
     ignore (Sim.Engine.run_stream engine stim);
+    let activity = Sim.Activity.capture engine in
     let detail =
-      Power.Estimate.run impl
-        ~activity:(Sim.Engine.toggles engine, Sim.Engine.cycles engine) ~period
+      Power.Estimate.run impl ~activity:(Sim.Activity.counts activity) ~period
     in
     Format.printf "%a@." Power.Estimate.pp_breakdown detail.Power.Estimate.overall;
     (match saif with
      | Some path ->
        let oc = open_out path in
-       output_string oc (Sim.Activity.render (Sim.Activity.capture engine));
+       output_string oc (Sim.Activity.render activity);
        close_out oc;
        Printf.printf "wrote %s\n" path
      | None -> ());

@@ -7,6 +7,7 @@ type variant = {
   clock_buffers : int;
   hold_buffers : int;
   runtime_s : float;
+  kernel : Sim.Kernel.stats;
 }
 
 type t = {
@@ -39,14 +40,14 @@ let evaluate design ~clocks ~workload ~cycles ~seed =
   let detail =
     Power.Estimate.run impl ~activity ~period:clocks.Sim.Clock_spec.period
   in
-  (impl, hold, detail.Power.Estimate.overall)
+  (impl, hold, detail.Power.Estimate.overall, Sim.Kernel.stats kernel)
 
 let power_of design ~clocks ~workload ~cycles ~seed =
-  let _, _, power = evaluate design ~clocks ~workload ~cycles ~seed in
+  let _, _, power, _ = evaluate design ~clocks ~workload ~cycles ~seed in
   power
 
 let variant_of design ~clocks ~workload ~cycles ~seed ~t0 =
-  let impl, hold, power = evaluate design ~clocks ~workload ~cycles ~seed in
+  let impl, hold, power, kstats = evaluate design ~clocks ~workload ~cycles ~seed in
   let stats = Netlist.Stats.compute design in
   { design;
     regs = stats.Netlist.Stats.registers;
@@ -56,7 +57,8 @@ let variant_of design ~clocks ~workload ~cycles ~seed ~t0 =
     clock_buffers =
       impl.Physical.Implement.clock_tree.Physical.Clock_tree.total_buffers;
     hold_buffers = hold.Sta.Hold_fix.buffers_added;
-    runtime_s = now () -. t0 }
+    runtime_s = now () -. t0;
+    kernel = kstats }
 
 type variant_result =
   | R_ff of variant

@@ -13,6 +13,9 @@ type variant = {
   clock_buffers : int;
   hold_buffers : int;       (** min-delay buffers {!Sta.Hold_fix} inserted *)
   runtime_s : float;        (** build/convert + implement + sim + power *)
+  kernel : Sim.Kernel.stats;
+  (** kernel effectiveness counters from this variant's activity run:
+      fused ops, skipped waves and skipped clock cones *)
 }
 
 type t = {

@@ -385,7 +385,10 @@ let runtime_stages (results : Runner.t list) =
     T.create ~title:"Run-time: per-stage breakdown of the 3-phase flow (s)"
       (("design", T.Left)
        :: List.map (fun s -> (s, T.Right)) stages
-       @ [("flow total", T.Right)])
+       @ [ ("flow total", T.Right);
+           (* kernel effectiveness on the 3-phase variant's activity run *)
+           ("fused ops", T.Right); ("waves skip", T.Right);
+           ("cones skip", T.Right) ])
   in
   List.iter
     (fun (r : Runner.t) ->
@@ -396,10 +399,14 @@ let runtime_stages (results : Runner.t list) =
         | None -> "-"
       in
       let total = List.fold_left (fun acc (_, v) -> acc +. v) 0.0 times in
+      let k = r.Runner.threep.Runner.kernel in
       T.add_row t
         (r.Runner.bench.Circuits.Suite.bench_name
          :: List.map cell stages
-         @ [Printf.sprintf "%.3f" total]))
+         @ [ Printf.sprintf "%.3f" total;
+             string_of_int k.Sim.Kernel.fused_ops;
+             string_of_int k.Sim.Kernel.stat_waves_skipped;
+             string_of_int k.Sim.Kernel.stat_cones_skipped ]))
     results;
   t
 

@@ -42,6 +42,11 @@ let glitch_multiplier_cap = 2.5
 let run (impl : Physical.Implement.t) ~activity:(toggles, cycles) ~period =
   Obs.span "power.estimate" @@ fun () ->
   let d = impl.Physical.Implement.design in
+  if Array.length toggles < Design.num_nets d then
+    invalid_arg
+      (Printf.sprintf
+         "Power.Estimate.run: activity covers %d nets, design has %d"
+         (Array.length toggles) (Design.num_nets d));
   let tech = Cell_lib.Library.tech d.Design.library in
   let v2 = tech.Cell_lib.Tech.voltage *. tech.Cell_lib.Tech.voltage in
   let levels = Netlist.Traverse.net_levels d in

@@ -23,7 +23,12 @@ type detail = {
   overall : breakdown;   (** dynamic + leakage *)
 }
 
-(** [run impl ~activity:(toggles, cycles) ~period] — [period] in ns. *)
+(** [run impl ~activity:(toggles, cycles) ~period] — [period] in ns.
+    [toggles] must cover every net of the implemented design (simulator
+    counters or [Sim.Activity.counts] both qualify); [cycles] is the
+    per-lane denominator, so multi-lane kernel runs pass
+    [Kernel.lane_cycles].  Raises [Invalid_argument] if the activity
+    array is shorter than the design's net count. *)
 val run :
   Physical.Implement.t -> activity:int array * int -> period:float -> detail
 

@@ -73,7 +73,7 @@ let implement_and_power design ~clocks ~cycles ~seed =
       ~activity:(Sim.Kernel.toggles kernel, Sim.Kernel.lane_cycles kernel)
       ~period:clocks.Sim.Clock_spec.period
   in
-  (impl, hold, detail)
+  (impl, hold, detail, Sim.Kernel.stats kernel)
 
 (* inserted p2 latches carry Convert.p2_suffix in their instance name;
    retiming preserves the marker, so counting them in the retimed
@@ -149,7 +149,7 @@ let of_flow ?(with_obs = true) ?(measure_power = true) ?(power_cycles = 256)
     if not measure_power then []
     else begin
       let clocks = Phase3.Flow.clocks_of config in
-      let impl, hold, detail =
+      let impl, hold, detail, kstats =
         Obs.span "qor.power" (fun () ->
             implement_and_power result.Phase3.Flow.final ~clocks
               ~cycles:power_cycles ~seed:config.Phase3.Flow.activity_seed)
@@ -166,7 +166,14 @@ let of_flow ?(with_obs = true) ?(measure_power = true) ?(power_cycles = 256)
         ("power.seq_mw", overall.Power.Estimate.seq);
         ("power.comb_mw", overall.Power.Estimate.comb);
         ("power.total_mw", Power.Estimate.total overall);
-        ("power.leakage_mw", Power.Estimate.total leak) ]
+        ("power.leakage_mw", Power.Estimate.total leak);
+        (* kernel effectiveness on the activity run; deterministic for a
+           fixed circuit/seed/cycle count, so the QoR gate can ratchet
+           them like any other metric *)
+        ("kernel.units", f kstats.Sim.Kernel.units);
+        ("kernel.fused_ops", f kstats.Sim.Kernel.fused_ops);
+        ("kernel.waves_skipped", f kstats.Sim.Kernel.stat_waves_skipped);
+        ("kernel.cones_skipped", f kstats.Sim.Kernel.stat_cones_skipped) ]
     end
   in
   let wall =

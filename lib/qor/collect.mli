@@ -26,13 +26,16 @@ val obs_rollup :
     under the given clocks, placement + CTS, Monte-Carlo activity via
     the bit-parallel kernel (one seeded stream per lane), then
     {!Power.Estimate.run}.  Deterministic for fixed inputs — the lane
-    count is fixed regardless of [THREEPHASE_JOBS]. *)
+    count is fixed regardless of [THREEPHASE_JOBS].  Also returns the
+    kernel's effectiveness counters (fused ops, skipped waves/cones)
+    from the activity run. *)
 val implement_and_power :
   Netlist.Design.t ->
   clocks:Sim.Clock_spec.t ->
   cycles:int ->
   seed:int ->
   Physical.Implement.t * Sta.Hold_fix.stats * Power.Estimate.detail
+  * Sim.Kernel.stats
 
 (** [of_flow ~circuit result] — the full flow record: register-count
     metrics, inserted-p2 before/after retiming, clock-gating coverage,

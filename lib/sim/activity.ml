@@ -35,6 +35,14 @@ let capture_kernel kernel =
     ~toggles:(Kernel.toggles kernel)
     ~cycles:(Kernel.lane_cycles kernel)
 
+(* entries cover every net exactly once (of_counts enumerates them all),
+   so the dense array can be rebuilt from the sorted list *)
+let counts t =
+  let n = List.length t.entries in
+  let toggles = Array.make n 0 in
+  List.iter (fun e -> toggles.(e.net) <- e.toggles) t.entries;
+  (toggles, t.cycles)
+
 let quiet_nets t ~threshold =
   List.filter (fun e -> e.rate < threshold) t.entries
 

@@ -24,6 +24,12 @@ val capture : Engine.t -> t
     cycle. *)
 val capture_kernel : Kernel.t -> t
 
+(** Dense per-net toggle array plus the cycle denominator — the shape
+    [Power.Estimate.run]'s [~activity] argument expects, so one captured
+    activity snapshot can feed both the SAIF export and the power
+    estimate. *)
+val counts : t -> int array * int
+
 (** Nets quieter than [threshold] toggles/cycle — the DDCG candidates. *)
 val quiet_nets : t -> threshold:float -> entry list
 

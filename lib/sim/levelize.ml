@@ -4,6 +4,7 @@ type t = {
   level : int array;
   seq_level : int;
   n_buckets : int;
+  cyclic_level : int option;
 }
 
 let is_comb_like (c : Cell_lib.Cell.t) =
@@ -56,19 +57,20 @@ let compute d =
   (* combinational cycles (only possible in degenerate inputs): park the
      remaining instances in one bucket past the acyclic core; repeated
      waves still converge or trip the oscillation budget *)
-  let cyclic_level = !max_level + 1 in
+  let cyc = !max_level + 1 in
   let any_cyclic = ref false in
   for i = 0 to n - 1 do
     if comb.(i) && indeg.(i) > 0 then begin
       any_cyclic := true;
-      level.(i) <- cyclic_level
+      level.(i) <- cyc
     end
   done;
-  let seq_level = if !any_cyclic then cyclic_level + 1 else !max_level + 1 in
+  let seq_level = if !any_cyclic then cyc + 1 else !max_level + 1 in
   for i = 0 to n - 1 do
     if not comb.(i) then level.(i) <- seq_level
   done;
-  { level; seq_level; n_buckets = seq_level + 1 }
+  { level; seq_level; n_buckets = seq_level + 1;
+    cyclic_level = (if !any_cyclic then Some cyc else None) }
 
 let clock_network_order d =
   (* BFS from all clock ports through buffers and ICGs *)

@@ -15,6 +15,11 @@ type t = {
   level : int array;   (** per instance *)
   seq_level : int;     (** level shared by all sequential instances *)
   n_buckets : int;     (** [seq_level + 1] *)
+  cyclic_level : int option;
+  (** bucket holding instances on combinational cycles, when any exist;
+      such instances re-enter the worklist out of topological order, so
+      compile-time transforms that rely on level monotonicity (e.g. the
+      kernel's gate fusion) must leave them alone *)
 }
 
 val compute : Netlist.Design.t -> t
