@@ -68,5 +68,15 @@ let s38584 =
   spec ~name:"s38584" ~seed:21 ~ffs:1319 ~n_layers:5 ~inputs:38 ~outputs:304
     ~self_loop:0.72 ~cross:0.5 ~fanin:4 ~po_cones:190
 
+(* s38417-class circuit (~10x s5378's registers) shaped for the
+   domain-parallel kernel benchmark: few, very wide layers so each
+   levelized wave carries thousands of execution units — enough to
+   amortize one barrier per level.  Not a paper circuit; it has no
+   published power numbers and is exposed through [Suite.extended]. *)
+let sbig =
+  { (spec ~name:"sbig" ~seed:77 ~ffs:2400 ~n_layers:3 ~inputs:64 ~outputs:64
+       ~self_loop:0.30 ~cross:0.25 ~fanin:8 ~po_cones:300)
+    with Generator.cone_depth = 5; reuse = 0.35 }
+
 let all =
   [s1196; s1238; s1423; s1488; s5378; s9234; s13207; s15850; s35932; s38417; s38584]

@@ -19,4 +19,8 @@ val s35932 : Generator.spec
 val s38417 : Generator.spec
 val s38584 : Generator.spec
 
+(** s38417-class wide-wave circuit for the domain-parallel simulation
+    benchmark; not part of the paper's tables (see {!Suite.extended}). *)
+val sbig : Generator.spec
+
 val all : Generator.spec list

@@ -32,4 +32,11 @@ val all : unit -> benchmark list
 (** A small subset (one per family) for fast runs. *)
 val quick : unit -> benchmark list
 
+(** Benchmarks with no published counterpart — currently the s38417-class
+    [sbig] circuit used by the domain-parallel simulator gate.  Kept out
+    of {!all} so paper-comparison tables stay faithful; {!find} resolves
+    them. *)
+val extended : unit -> benchmark list
+
+(** Looks up a benchmark by name in {!all} and {!extended}. *)
 val find : string -> benchmark option

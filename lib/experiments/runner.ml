@@ -111,7 +111,11 @@ let run ?(cycles = 384) ?(verify = true) (bench : Circuits.Suite.benchmark) =
     in
     R_threep (threep, flow)
   in
-  match Jobs.parallel_map (fun f -> f ()) [build_ff; build_ms; build_threep] with
+  match
+    Array.to_list
+      (Jobs.parallel_mapi_array (fun _ f -> f ())
+         [| build_ff; build_ms; build_threep |])
+  with
   | [R_ff ff; R_ms ms; R_threep (threep, flow)] ->
     { bench;
       ff;

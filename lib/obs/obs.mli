@@ -11,14 +11,19 @@
 
     {2 Threading model}
 
-    Each domain (the main one and every worker spawned by
-    {!Jobs.parallel_map}) lazily owns a private buffer registered in a
-    global list, so the write path never takes a lock.  Read-side
-    functions ({!span_stats}, {!counters}, {!chrome_trace}, ...) merge
-    all buffers; call them only while no worker domain is recording.
-    {!Jobs.parallel_map} joins its workers before returning, so
-    ordinary sequential code — the CLI after a flow run, the benchmark
-    harness after a suite — reads safely.
+    Each domain (the main one, every worker spawned by
+    {!Jobs.parallel_mapi_array}/{!Jobs.parallel_map}, and every
+    participant of a persistent {!Jobs.pool}) lazily owns a private
+    buffer registered in a global list, so the write path never takes
+    a lock.  Read-side functions ({!span_stats}, {!counters},
+    {!chrome_trace}, ...) merge all buffers; call them only while no
+    worker domain is recording.  {!Jobs.parallel_mapi_array} joins its
+    workers before returning, and a pool's workers are quiescent
+    whenever {!Jobs.pool_run} is not executing (they park between
+    barriers and record nothing of their own), so ordinary sequential
+    code — the CLI after a flow run, the benchmark harness after a
+    suite, a kernel between [run_streams] calls — reads safely even
+    while a pool stays attached.
 
     Merging is deterministic by construction where it matters:
     counters are summed and gauges take the maximum, both

@@ -92,6 +92,20 @@ let cm_wake = 0
 let cm_fused = 1
 let cm_clock = 2
 
+(* A scheduled clock event with its statically planned reach: starting
+   from the event's port nets, only clock-network instances transitively
+   fed by those nets can go dirty, and only sequential elements clocked
+   from inside that cone can capture.  The plan is a sound superset of
+   any cycle's actual dirty set (runtime [net_dirty] checks keep the
+   skips exact), so predicted-cold sequential cones are never even
+   scanned. *)
+type clock_event = {
+  ev_changes : (int * bool) array; (* port net, level *)
+  ev_insts : int array;   (* reachable clock insts, BFS-order subsequence *)
+  ev_outs : int array;    (* their output nets, same order *)
+  ev_seq : int array;     (* seq insts clocked from the cone, ascending *)
+}
+
 type t = {
   design : Design.t;
   clocks : Clock_spec.t;
@@ -144,8 +158,8 @@ type t = {
   clock_insts : int array;
   clock_outs : int array;     (* their output nets, same order *)
   seq_insts : int array;      (* FF/latch instances, ascending *)
-  ev_pre : (int * bool) array list;
-  ev_post : (int * bool) array list;
+  ev_pre : clock_event list;
+  ev_post : clock_event list;
   net_dirty : bool array;
   mutable dirty : int list;
   (* primary-input staging for per-lane application *)
@@ -159,6 +173,27 @@ type t = {
   (* activity-gating effectiveness *)
   mutable waves_skipped : int;
   mutable cones_skipped : int;
+  (* domain-parallel wave execution: a bucket below [par_limit] whose
+     population reaches [par_threshold] is split into weight-balanced
+     contiguous chunks and evaluated by the attached pool, one barrier
+     per bucket; deferred wakes merge in slot order (see
+     [run_bucket_parallel]) *)
+  prog_depth : int;           (* micro-program stack need, for per-domain stacks *)
+  par_limit : int;            (* first order-sensitive bucket (cyclic or seq) *)
+  par_threshold : int;
+  par_auto : bool;            (* worth attaching a pool for a stream run *)
+  par_jobs : int option;      (* requested domain count for auto-attach *)
+  unit_weight : int array;    (* activity-predicted cost per unit *)
+  wake_slot : int array;      (* changed root net per bucket slot, -1 = none *)
+  mutable pool : Jobs.pool option;
+  mutable par_stacks : (int array * int array) array; (* per-participant *)
+  mutable par_snap : int array array; (* per-participant, 2*nw words *)
+  mutable par_bounds : int array;     (* chunk boundaries, pool size + 1 *)
+  mutable last_domains : int;
+  mutable par_waves : int;            (* parallel batches = barriers *)
+  mutable par_units : int array;      (* units evaluated per participant *)
+  mutable par_max_w : int;            (* Σ heaviest chunk weight per batch *)
+  mutable par_tot_w : int;            (* Σ batch weight *)
 }
 
 type stats = {
@@ -166,6 +201,10 @@ type stats = {
   fused_ops : int;
   stat_waves_skipped : int;
   stat_cones_skipped : int;
+  stat_domains : int;
+  stat_par_waves : int;
+  stat_par_units : int array;
+  stat_load_balance : float;
 }
 
 (* --- Compilation ----------------------------------------------------- *)
@@ -362,6 +401,11 @@ let pop t =
   t.queued <- t.queued - 1;
   u
 
+let wake_net_readers t n =
+  for k = t.fo_off.(n) to t.fo_off.(n + 1) - 1 do
+    wake t t.fo.(k)
+  done
+
 (* --- Event dirty set -------------------------------------------------- *)
 
 let mark_dirty t n =
@@ -435,8 +479,10 @@ let not_v mask va xa = mask land lnot (va lor xa)
 (* comb/ICG instance [i]: evaluate against the current planes and commit
    the output net under [mode].  Each branch commits directly so the hot
    loop never allocates a result tuple.  ICGs also update their
-   enable-latch state (mirrors Engine.icg_output). *)
-let eval_comb1 t i op mode =
+   enable-latch state (mirrors Engine.icg_output).  [sv]/[sx] are the
+   micro-program evaluation stacks — per-domain scratch, so parallel
+   chunks pass their own pair while serial paths pass [t.prog_sv/x]. *)
+let eval_comb1 t sv sx i op mode =
   let off = t.ins_off.(i) in
   let out = t.out_net.(i) in
   if op = op_inv then
@@ -505,7 +551,6 @@ let eval_comb1 t i op mode =
     let n = t.ins.(off) in
     commit1 t out t.v.(n) t.x.(n) mode
   else if op = op_prog then begin
-    let sv = t.prog_sv and sx = t.prog_sx in
     let sp = ref 0 in
     for k = t.prog_off.(i) to t.prog_off.(i + 1) - 1 do
       let c = t.prog.(k) in
@@ -618,7 +663,7 @@ let latch_update1 t i op =
 (* word-sliced twin of [eval_comb1]: evaluates word [w] of instance [i]
    and commits it.  Runs once per word; correctness is identical because
    lanes never interact across words. *)
-let eval_combw t i op w mode =
+let eval_combw t sv sx i op w mode =
   let nw = t.nw in
   let wm = t.wmask.(w) in
   let off = t.ins_off.(i) in
@@ -626,7 +671,6 @@ let eval_combw t i op w mode =
   let vw n = t.v.((n * nw) + w) in
   let xw n = t.x.((n * nw) + w) in
   if op = op_prog then begin
-    let sv = t.prog_sv and sx = t.prog_sx in
     let sp = ref 0 in
     for k = t.prog_off.(i) to t.prog_off.(i + 1) - 1 do
       let c = t.prog.(k) in
@@ -745,9 +789,9 @@ let eval_combw t i op w mode =
       mode
   end
 
-let eval_combn t i op mode =
+let eval_combn t sv sx i op mode =
   for w = 0 to t.nw - 1 do
-    eval_combw t i op w mode
+    eval_combw t sv sx i op w mode
   done
 
 let ff_updaten t i =
@@ -842,12 +886,14 @@ let eval_unit1 t u =
   if first = last then begin
     let i = t.u_mem.(first) in
     let op = t.opcode.(i) in
-    if is_seq_op op then eval_inst_seq1 t i op else eval_comb1 t i op cm_wake
+    if is_seq_op op then eval_inst_seq1 t i op
+    else eval_comb1 t t.prog_sv t.prog_sx i op cm_wake
   end
   else
     for k = first to last do
       let i = t.u_mem.(k) in
-      eval_comb1 t i t.opcode.(i) (if k = last then cm_wake else cm_fused)
+      eval_comb1 t t.prog_sv t.prog_sx i t.opcode.(i)
+        (if k = last then cm_wake else cm_fused)
     done
 
 let eval_unitn t u =
@@ -855,13 +901,124 @@ let eval_unitn t u =
   if first = last then begin
     let i = t.u_mem.(first) in
     let op = t.opcode.(i) in
-    if is_seq_op op then eval_inst_seqn t i op else eval_combn t i op cm_wake
+    if is_seq_op op then eval_inst_seqn t i op
+    else eval_combn t t.prog_sv t.prog_sx i op cm_wake
   end
   else
     for k = first to last do
       let i = t.u_mem.(k) in
-      eval_combn t i t.opcode.(i) (if k = last then cm_wake else cm_fused)
+      eval_combn t t.prog_sv t.prog_sx i t.opcode.(i)
+        (if k = last then cm_wake else cm_fused)
     done
+
+(* --- Domain-parallel bucket execution ----------------------------------
+
+   Buckets strictly below [par_limit] hold only combinational/ICG units,
+   and a settle wave visits such a bucket exactly once with all inputs
+   final: wakes out of comb units go strictly upward in level, so the
+   bucket's population is fixed the moment the cursor reaches it and its
+   evaluation is intra-bucket order-invariant — values AND toggle counts.
+   The only order-sensitive effect is the wake order into later buckets
+   (it decides FIFO order where latches feed latches).  So the batch
+   evaluates every queued unit with silent commits (each unit's sole
+   externally visible output is its root net), records the changed root
+   per bucket slot in a disjoint scratch cell, and after the barrier the
+   caller replays the wakes in slot order — exactly the order a serial
+   pop-by-pop drain would produce, for ANY chunk assignment and domain
+   count.  Shared-array writes are participant-disjoint (each net and
+   each instance state belongs to exactly one unit); reads of lower-level
+   nets are ordered by the pool barrier. *)
+
+let partition_bucket t data head count nd bounds =
+  let weight = t.unit_weight in
+  let total = ref 0 in
+  for s = 0 to count - 1 do
+    total := !total + weight.(data.(head + s))
+  done;
+  bounds.(0) <- 0;
+  let d = ref 1 and acc = ref 0 in
+  for s = 0 to count - 1 do
+    acc := !acc + weight.(data.(head + s));
+    while !d < nd && !acc * nd >= !total * !d do
+      bounds.(!d) <- s + 1;
+      incr d
+    done
+  done;
+  while !d < nd do
+    bounds.(!d) <- count;
+    incr d
+  done;
+  bounds.(nd) <- count;
+  !total
+
+let run_bucket_parallel t pool c =
+  let head = t.bq_head.(c) and tail = t.bq_tail.(c) in
+  let data = t.bq_data.(c) in
+  let count = tail - head in
+  let nd = Jobs.pool_size pool in
+  let bounds = t.par_bounds in
+  let total = partition_bucket t data head count nd bounds in
+  let w1 = t.nw = 1 in
+  let nw = t.nw in
+  Jobs.pool_run pool (fun d ->
+      let sv, sx = t.par_stacks.(d) in
+      let lo = bounds.(d) and hi = bounds.(d + 1) - 1 in
+      if w1 then
+        for s = lo to hi do
+          let u = data.(head + s) in
+          t.in_queue.(u) <- false;
+          let root = t.out_net.(t.u_mem.(t.u_off.(u + 1) - 1)) in
+          let ov = t.v.(root) and ox = t.x.(root) in
+          for k = t.u_off.(u) to t.u_off.(u + 1) - 1 do
+            let i = t.u_mem.(k) in
+            eval_comb1 t sv sx i t.opcode.(i) cm_fused
+          done;
+          t.wake_slot.(s) <-
+            (if t.v.(root) <> ov || t.x.(root) <> ox then root else -1)
+        done
+      else begin
+        let snap = t.par_snap.(d) in
+        for s = lo to hi do
+          let u = data.(head + s) in
+          t.in_queue.(u) <- false;
+          let root = t.out_net.(t.u_mem.(t.u_off.(u + 1) - 1)) in
+          let base = root * nw in
+          for w = 0 to nw - 1 do
+            snap.(w) <- t.v.(base + w);
+            snap.(nw + w) <- t.x.(base + w)
+          done;
+          for k = t.u_off.(u) to t.u_off.(u + 1) - 1 do
+            let i = t.u_mem.(k) in
+            eval_combn t sv sx i t.opcode.(i) cm_fused
+          done;
+          let changed = ref false in
+          for w = 0 to nw - 1 do
+            if t.v.(base + w) <> snap.(w) || t.x.(base + w) <> snap.(nw + w)
+            then changed := true
+          done;
+          t.wake_slot.(s) <- (if !changed then root else -1)
+        done
+      end);
+  t.bq_head.(c) <- 0;
+  t.bq_tail.(c) <- 0;
+  t.queued <- t.queued - count;
+  (* deterministic merge: replay the deferred wakes in slot order *)
+  for s = 0 to count - 1 do
+    let n = t.wake_slot.(s) in
+    if n >= 0 then wake_net_readers t n
+  done;
+  t.par_waves <- t.par_waves + 1;
+  t.par_tot_w <- t.par_tot_w + total;
+  let mx = ref 0 in
+  for d = 0 to nd - 1 do
+    t.par_units.(d) <- t.par_units.(d) + (bounds.(d + 1) - bounds.(d));
+    let wsum = ref 0 in
+    for s = bounds.(d) to bounds.(d + 1) - 1 do
+      wsum := !wsum + t.unit_weight.(data.(head + s))
+    done;
+    if !wsum > !mx then mx := !wsum
+  done;
+  t.par_max_w <- t.par_max_w + !mx
 
 let settle t =
   if t.queued = 0 then
@@ -873,25 +1030,36 @@ let settle t =
     let steps = ref 0 in
     let w1 = t.nw = 1 in
     while t.queued > 0 do
-      incr steps;
+      while t.bq_head.(t.cursor) = t.bq_tail.(t.cursor) do
+        t.cursor <- t.cursor + 1
+      done;
+      let c = t.cursor in
+      (match t.pool with
+       | Some pool
+         when c < t.par_limit
+              && t.bq_tail.(c) - t.bq_head.(c) >= t.par_threshold ->
+         steps := !steps + (t.bq_tail.(c) - t.bq_head.(c));
+         run_bucket_parallel t pool c
+       | _ ->
+         incr steps;
+         let u = pop t in
+         t.in_queue.(u) <- false;
+         if w1 then eval_unit1 t u else eval_unitn t u);
       if !steps > budget then
         raise (Oscillation
                  (Printf.sprintf "design %s failed to settle"
-                    t.design.Design.design_name));
-      let u = pop t in
-      t.in_queue.(u) <- false;
-      if w1 then eval_unit1 t u else eval_unitn t u
+                    t.design.Design.design_name))
     done
   end
 
 (* --- Clock events ----------------------------------------------------- *)
 
-(* Re-evaluate the clock network in BFS order.  When [gated], an
-   instance none of whose input nets changed this event is skipped: its
-   output and (for ICGs) enable-latch state are already consistent,
-   because enable changes arriving between events re-evaluate it through
-   the ordinary settle worklist. *)
-let propagate_clock_network t ~gated =
+(* Re-evaluate (a planned subsequence of) the clock network in BFS
+   order.  When [gated], an instance none of whose input nets changed
+   this event is skipped: its output and (for ICGs) enable-latch state
+   are already consistent, because enable changes arriving between
+   events re-evaluate it through the ordinary settle worklist. *)
+let propagate_clock_network t ~gated insts =
   let w1 = t.nw = 1 in
   Array.iter
     (fun i ->
@@ -907,9 +1075,10 @@ let propagate_clock_network t ~gated =
            !hot)
         in
         if live then
-          if w1 then eval_comb1 t i op cm_clock else eval_combn t i op cm_clock
+          if w1 then eval_comb1 t t.prog_sv t.prog_sx i op cm_clock
+          else eval_combn t t.prog_sv t.prog_sx i op cm_clock
       end)
-    t.clock_insts
+    insts
 
 let set_port t net level =
   if t.nw = 1 then commit1 t net (if level then t.mask else 0) 0 cm_clock
@@ -918,59 +1087,66 @@ let set_port t net level =
       commitw t net w (if level then t.wmask.(w) else 0) 0 cm_clock
     done
 
-let wake_net_readers t n =
-  for k = t.fo_off.(n) to t.fo_off.(n + 1) - 1 do
-    wake t t.fo.(k)
-  done
-
 (* A scheduled clock event, activity-gated: sequential elements whose
    clock/enable net did not change this event are skipped, and readers
    of unchanged clock nets are not woken.  Both skips are exact — a
    FF/latch/ICG re-evaluated with unchanged inputs is idempotent (its
    previous-clock planes were synced the last time the pin moved, and
-   reset changes arrive through the normal data settle, not here).  The
+   reset changes arrive through the normal data settle, not here).
+   When gating is on, the scans run over the event's statically planned
+   cone ([ev_insts]/[ev_seq]) instead of the whole clock network:
+   instances outside the cone cannot have a dirty input this event, so
+   skipping them without even checking is exact, and [cones_skipped]
+   keeps its meaning (sequential elements that did not capture).  The
    release scan keeps the engine's descending instance order so glitch
    toggle counts stay identical. *)
-let apply_clock_event t changes =
+let apply_clock_event t ev =
   clear_dirty t;
   (* 1. apply clock port levels *)
-  Array.iter (fun (net, level) -> set_port t net level) changes;
-  (* 2. propagate through the clock network in BFS order *)
-  propagate_clock_network t ~gated:t.gating;
+  Array.iter (fun (net, level) -> set_port t net level) ev.ev_changes;
+  (* 2. propagate through the (reachable) clock network in BFS order *)
+  propagate_clock_network t ~gated:t.gating
+    (if t.gating then ev.ev_insts else t.clock_insts);
   (* 3. simultaneous FF captures + latch transparency transitions, only
      where the clock pin actually moved *)
   let w1 = t.nw = 1 in
-  let updated = ref false in
+  let updated = ref 0 in
   Array.iter
     (fun i ->
       let cn = t.ins.(t.ins_off.(i)) in
       if (not t.gating) || t.net_dirty.(cn) then begin
-        updated := true;
+        incr updated;
         let op = t.opcode.(i) in
         if op = op_ff then (if w1 then ff_update1 t i else ff_updaten t i)
         else if w1 then latch_update1 t i op
         else latch_updaten t i op
-      end
-      else t.cones_skipped <- t.cones_skipped + 1)
-    t.seq_insts;
+      end)
+    (if t.gating then ev.ev_seq else t.seq_insts);
+  t.cones_skipped <-
+    t.cones_skipped + (Array.length t.seq_insts - !updated);
   (* 4. release the new register outputs and settle the data network;
      wake the readers of every clock net that changed in steps 1-2.
      Descending instance order matches the engine's release order (it
      conses pending captures during an ascending scan), keeping worklist
      order — and so glitch toggle counts — identical.  When no element
-     updated, every release is a no-op: outputs already match state. *)
-  if !updated then
-    for k = Array.length t.seq_insts - 1 downto 0 do
-      release_seq t t.seq_insts.(k) cm_wake
-    done;
+     updated, every release is a no-op: outputs already match state.
+     Releasing only the planned cone is equally exact: an element
+     outside it cannot have captured this event, so its output already
+     matches its state. *)
+  if !updated > 0 then begin
+    let rel = if t.gating then ev.ev_seq else t.seq_insts in
+    for k = Array.length rel - 1 downto 0 do
+      release_seq t rel.(k) cm_wake
+    done
+  end;
   Array.iter
     (fun (net, _) ->
       if (not t.gating) || t.net_dirty.(net) then wake_net_readers t net)
-    changes;
+    ev.ev_changes;
   Array.iter
     (fun out ->
       if (not t.gating) || t.net_dirty.(out) then wake_net_readers t out)
-    t.clock_outs;
+    (if t.gating then ev.ev_outs else t.clock_outs);
   settle t
 
 (* --- Accessors -------------------------------------------------------- *)
@@ -989,11 +1165,22 @@ let toggles t = t.toggles
 
 let toggles_lane0 t = t.toggles0
 
+let load_balance t =
+  if t.par_tot_w = 0 then 1.0
+  else
+    float_of_int t.par_max_w
+    *. float_of_int t.last_domains
+    /. float_of_int t.par_tot_w
+
 let stats t =
   { units = t.n_units;
     fused_ops = t.n_fused;
     stat_waves_skipped = t.waves_skipped;
-    stat_cones_skipped = t.cones_skipped }
+    stat_cones_skipped = t.cones_skipped;
+    stat_domains = t.last_domains;
+    stat_par_waves = t.par_waves;
+    stat_par_units = Array.copy t.par_units;
+    stat_load_balance = load_balance t }
 
 let net_value t ~lane n =
   if lane < 0 || lane >= t.lanes then invalid_arg "Kernel.net_value: bad lane";
@@ -1090,13 +1277,81 @@ let run_cycle_broadcast t inputs =
 let sum_toggles t = Array.fold_left ( + ) 0 t.toggles
 
 (* one batch of Obs metrics per stream run — cheap enough to stay on
-   unconditionally, coarse enough not to show up in profiles *)
+   unconditionally, coarse enough not to show up in profiles.  The
+   parallel wave stats are gauges, not counters: they depend on the
+   attached domain count, and QoR records gate counters byte-exactly
+   across THREEPHASE_JOBS values. *)
 let observe_run t ~cycles_run ~toggles_before ~waves_before ~cones_before =
   Obs.count "sim.kernel.cycles" cycles_run;
   Obs.count "sim.kernel.lane_cycles" (cycles_run * t.lanes);
   Obs.count "sim.kernel.toggles" (sum_toggles t - toggles_before);
   Obs.count "sim.kernel.waves_skipped" (t.waves_skipped - waves_before);
-  Obs.count "sim.kernel.cones_skipped" (t.cones_skipped - cones_before)
+  Obs.count "sim.kernel.cones_skipped" (t.cones_skipped - cones_before);
+  if t.par_waves > 0 then begin
+    Obs.gauge "sim.kernel.par.domains" (float_of_int t.last_domains);
+    Obs.gauge "sim.kernel.par.waves" (float_of_int t.par_waves);
+    Obs.gauge "sim.kernel.par.load_balance" (load_balance t);
+    Array.iteri
+      (fun d n ->
+        Obs.gauge
+          (Printf.sprintf "sim.kernel.par.units.d%d" d)
+          (float_of_int n))
+      t.par_units
+  end
+
+(* --- Parallel pool lifecycle -------------------------------------------
+
+   Worker domains are created once per kernel run (or explicitly via
+   [enable_parallel] to span many [run_cycle] calls, e.g. a benchmark
+   timing loop), never per level: [run_bucket_parallel] reuses the
+   attached pool's barrier.  Attaching a pool never changes results —
+   only which buckets are evaluated by how many domains. *)
+
+let enable_parallel ?jobs t =
+  match t.pool with
+  | Some _ -> ()
+  | None ->
+    let pool =
+      match jobs with
+      | Some j -> Jobs.pool_create ~jobs:j ()
+      | None -> Jobs.pool_create ()
+    in
+    let nd = Jobs.pool_size pool in
+    if nd = 1 then Jobs.pool_destroy pool
+    else begin
+      t.pool <- Some pool;
+      t.last_domains <- nd;
+      if Array.length t.par_units < nd then begin
+        let grown = Array.make nd 0 in
+        Array.blit t.par_units 0 grown 0 (Array.length t.par_units);
+        t.par_units <- grown
+      end;
+      t.par_bounds <- Array.make (nd + 1) 0;
+      t.par_stacks <-
+        Array.init nd (fun _ ->
+            (Array.make t.prog_depth 0, Array.make t.prog_depth 0));
+      t.par_snap <- Array.init nd (fun _ -> Array.make (2 * t.nw) 0)
+    end
+
+let disable_parallel t =
+  match t.pool with
+  | None -> ()
+  | Some pool ->
+    t.pool <- None;
+    Jobs.pool_destroy pool
+
+let parallel_domains t =
+  match t.pool with None -> 1 | Some p -> Jobs.pool_size p
+
+(* auto-attach for the duration of a stream run: only when the compiled
+   shape can amortize a barrier per wave (par_auto) and no pool is
+   already attached *)
+let with_run_pool t f =
+  if t.pool <> None || not t.par_auto then f ()
+  else begin
+    enable_parallel ?jobs:t.par_jobs t;
+    Fun.protect ~finally:(fun () -> disable_parallel t) f
+  end
 
 let run_streams t streams =
   if Array.length streams <> t.lanes then
@@ -1110,29 +1365,32 @@ let run_streams t streams =
     arrs;
   let toggles_before = sum_toggles t in
   let waves_before = t.waves_skipped and cones_before = t.cones_skipped in
-  Obs.span "sim.kernel.run" (fun () ->
-      let cycle_inputs = Array.make t.lanes [] in
-      for c = 0 to n_cycles - 1 do
-        for l = 0 to t.lanes - 1 do
-          cycle_inputs.(l) <- arrs.(l).(c)
-        done;
-        run_cycle t cycle_inputs
-      done);
+  with_run_pool t (fun () ->
+      Obs.span "sim.kernel.run" (fun () ->
+          let cycle_inputs = Array.make t.lanes [] in
+          for c = 0 to n_cycles - 1 do
+            for l = 0 to t.lanes - 1 do
+              cycle_inputs.(l) <- arrs.(l).(c)
+            done;
+            run_cycle t cycle_inputs
+          done));
   observe_run t ~cycles_run:n_cycles ~toggles_before ~waves_before ~cones_before
 
 let run_stream_broadcast t stream =
   let toggles_before = sum_toggles t in
   let waves_before = t.waves_skipped and cones_before = t.cones_skipped in
-  Obs.span "sim.kernel.run" (fun () ->
-      List.iter (run_cycle_broadcast t) stream);
+  with_run_pool t (fun () ->
+      Obs.span "sim.kernel.run" (fun () ->
+          List.iter (run_cycle_broadcast t) stream));
   observe_run t ~cycles_run:(List.length stream) ~toggles_before ~waves_before
     ~cones_before
 
 (* --- Creation --------------------------------------------------------- *)
 
 let create ?(init = `Zero) ?(lanes = max_lanes) ?(fuse = true) ?(gating = true)
-    design ~clocks =
+    ?jobs ?(par_threshold = 512) ?activity design ~clocks =
   if lanes < 1 then invalid_arg "Kernel.create: lanes must be positive";
+  let par_threshold = max 1 par_threshold in
   let n_nets = Design.num_nets design in
   let n_insts = Design.num_insts design in
   let nw = words_of_lanes lanes in
@@ -1283,17 +1541,90 @@ let create ?(init = `Zero) ?(lanes = max_lanes) ?(fuse = true) ?(gating = true)
            | None -> None)
          changes)
   in
+  (* statically plan each event's reachable clock cone: a fixpoint over
+     the clock network marks every instance transitively fed (through
+     any input pin — a sound superset) by the event's port nets, and
+     every sequential element clocked from inside that cone.  Everything
+     else is predicted cold and never scanned at runtime. *)
+  let plan_event changes =
+    let hot = Array.make (max 1 n_nets) false in
+    Array.iter (fun (net, _) -> hot.(net) <- true) changes;
+    let in_ev = Array.make (max 1 n_insts) false in
+    let grew = ref true in
+    while !grew do
+      grew := false;
+      Array.iter
+        (fun i ->
+          if (not in_ev.(i)) && not (is_seq_op compiled.(i).c_op) then
+            if List.exists (fun n -> hot.(n)) compiled.(i).c_ins then begin
+              in_ev.(i) <- true;
+              hot.(compiled.(i).c_out) <- true;
+              grew := true
+            end)
+        clock_insts
+    done;
+    let keep pred arr = Array.of_list (List.filter pred (Array.to_list arr)) in
+    let ev_insts = keep (fun i -> in_ev.(i)) clock_insts in
+    { ev_changes = changes;
+      ev_insts;
+      ev_outs = Array.map (fun i -> compiled.(i).c_out) ev_insts;
+      ev_seq = keep (fun i -> hot.(List.hd compiled.(i).c_ins)) seq_insts }
+  in
   let ev_pre =
     List.filter_map
       (fun (time, ch) ->
-        if time <= threshold +. 1e-9 then Some (resolve ch) else None)
+        if time <= threshold +. 1e-9 then Some (plan_event (resolve ch))
+        else None)
       period_events
   in
   let ev_post =
     List.filter_map
       (fun (time, ch) ->
-        if time > threshold +. 1e-9 then Some (resolve ch) else None)
+        if time > threshold +. 1e-9 then Some (plan_event (resolve ch))
+        else None)
       period_events
+  in
+  (* activity-predictive unit weights for chunk packing: structural cost
+     per member plus the expected wake cost of a hot root (toggle rate ×
+     fanout).  Packing only affects load balance, never results. *)
+  let unit_weight = Array.make (max 1 n_units) 1 in
+  for u = 0 to n_units - 1 do
+    let w = ref 0 in
+    for k = u_off.(u) to u_off.(u + 1) - 1 do
+      let i = u_mem.(k) in
+      w := !w + 4 + (ins_off.(i + 1) - ins_off.(i))
+    done;
+    (match activity with
+     | None -> ()
+     | Some (tg, lane_cycles) ->
+       let root = compiled.(u_mem.(u_off.(u + 1) - 1)).c_out in
+       if root < Array.length tg && lane_cycles > 0 then begin
+         let deg = fo_off.(root + 1) - fo_off.(root) in
+         let rate = float_of_int tg.(root) /. float_of_int lane_cycles in
+         w := !w + (int_of_float (rate *. 8.0) * (2 + deg))
+       end);
+    unit_weight.(u) <- !w
+  done;
+  let par_limit =
+    match lv.Levelize.cyclic_level with
+    | Some cl -> cl
+    | None -> lv.Levelize.seq_level
+  in
+  (* auto-parallel only when some comb bucket is wide enough to amortize
+     a barrier — small kernels (s5378-class) stay strictly serial *)
+  let par_auto =
+    (match jobs with Some j -> j > 1 | None -> Jobs.default_jobs () > 1)
+    && par_limit > 0
+    && (let width = Array.make par_limit 0 in
+        let mx = ref 0 in
+        for u = 0 to n_units - 1 do
+          let l = u_level.(u) in
+          if l < par_limit then begin
+            width.(l) <- width.(l) + 1;
+            if width.(l) > !mx then mx := width.(l)
+          end
+        done;
+        !mx >= par_threshold)
   in
   let st_x_init k = match init with `Zero -> 0 | `X -> wmask.(k mod nw) in
   let t = {
@@ -1349,6 +1680,22 @@ let create ?(init = `Zero) ?(lanes = max_lanes) ?(fuse = true) ?(gating = true)
     cycle_count = 0;
     waves_skipped = 0;
     cones_skipped = 0;
+    prog_depth = !max_depth + 1;
+    par_limit;
+    par_threshold;
+    par_auto;
+    par_jobs = jobs;
+    unit_weight;
+    wake_slot = Array.make (max 1 n_units) (-1);
+    pool = None;
+    par_stacks = [||];
+    par_snap = [||];
+    par_bounds = [||];
+    last_domains = 1;
+    par_waves = 0;
+    par_units = [||];
+    par_max_w = 0;
+    par_tot_w = 0;
   } in
   let set_planes n nv nx =
     for w = 0 to nw - 1 do
@@ -1377,7 +1724,7 @@ let create ?(init = `Zero) ?(lanes = max_lanes) ?(fuse = true) ?(gating = true)
   (match init with
    | `Zero -> List.iter (fun (_, net) -> set_planes net 0 0) t.input_nets
    | `X -> ());
-  propagate_clock_network t ~gated:false;
+  propagate_clock_network t ~gated:false t.clock_insts;
   Array.iteri
     (fun i op ->
       if is_seq_op op then begin
@@ -1410,7 +1757,7 @@ let create ?(init = `Zero) ?(lanes = max_lanes) ?(fuse = true) ?(gating = true)
         | `X -> ()
       end)
     t.opcode;
-  propagate_clock_network t ~gated:false;
+  propagate_clock_network t ~gated:false t.clock_insts;
   for u = 0 to n_units - 1 do
     wake t u
   done;
