@@ -10,15 +10,27 @@ open Cmdliner
 
 let library = Cell_lib.Default_library.library ()
 
-let read_design path =
+(* Extension dispatch: [.bench] is ISCAS89, [.sv] goes through the
+   word-level elaborator (parameters, vectors, always_ff/always_comb,
+   hierarchy — see docs/RTL.md), anything else is read as the flat
+   structural-Verilog exchange subset.  Front-end errors carry
+   file:line:col positions; re-raise them as [Failure] so cmdliner
+   prints them as clean one-liners. *)
+let read_design ?top path =
   let ic = open_in path in
   let len = in_channel_length ic in
   let src = really_input_string ic len in
   close_in ic;
   let name = Filename.remove_extension (Filename.basename path) in
-  if Filename.check_suffix path ".bench" then
-    Netlist_io.Bench_format.parse ~name ~library src
-  else Netlist_io.Verilog.parse ~library src
+  try
+    if Filename.check_suffix path ".bench" then
+      Netlist_io.Bench_format.parse ~name ~library src
+    else if Filename.check_suffix path ".sv" then
+      Elab.Elaborate.read ~file:path ?top ~library src
+    else Netlist_io.Verilog.parse ~file:path ~library src
+  with
+  | Elab.Diag.Error (_, msg) | Netlist_io.Verilog.Error (_, msg) ->
+    failwith msg
 
 let write_design path d =
   let text =
@@ -33,7 +45,7 @@ let write_design path d =
    a file — the CI QoR gate runs ISCAS circuits without shipping their
    netlists.  Returns the design and, for suite circuits, the
    benchmark's published clock period. *)
-let resolve_input spec =
+let resolve_input ?top spec =
   match String.length spec >= 6 && String.sub spec 0 6 = "suite:" with
   | true ->
     let name = String.sub spec 6 (String.length spec - 6) in
@@ -46,13 +58,27 @@ let resolve_input spec =
   | false ->
     if not (Sys.file_exists spec) then
       failwith (Printf.sprintf "no such file: %s" spec);
-    (read_design spec, None)
+    (read_design ?top spec, None)
 
 let input_arg =
   Arg.(required & pos 0 (some string) None
        & info [] ~docv:"INPUT"
-           ~doc:"Input netlist (.bench or .v), or suite:NAME for a built-in \
-                 benchmark circuit (e.g. suite:s1196).")
+           ~doc:"Input design (.bench, .v, or word-level .sv RTL), or \
+                 suite:NAME for a built-in benchmark circuit (e.g. \
+                 suite:s1196).")
+
+let top_arg =
+  Arg.(value & opt (some string) None
+       & info ["top"] ~docv:"MODULE"
+           ~doc:"Top module of a .sv input (default: the unique module \
+                 that no other module instantiates).")
+
+let constraints_arg =
+  Arg.(value & opt (some string) None
+       & info ["constraints"] ~docv:"FILE"
+           ~doc:"Read an SDC file (create_clock, set_input_delay, ...); \
+                 the first clock's period is used when --period is not \
+                 given.")
 
 let output_arg =
   Arg.(value & opt (some string) None
@@ -134,15 +160,52 @@ let qor_dir_arg =
 
 let convert_cmd =
   let run input output period solver no_retime no_cg no_verify optimize sdc vcd
-      trace timings json qor_dir =
-    match resolve_input input with
+      trace timings json qor_dir top constraints =
+    match
+      let d = resolve_input ?top input in
+      let cs =
+        match constraints with
+        | None -> None
+        | Some path ->
+          let ic = open_in path in
+          let src = really_input_string ic (in_channel_length ic) in
+          close_in ic;
+          (match Netlist_io.Sdc.parse ~file:path src with
+           | cs -> Some cs
+           | exception Netlist_io.Sdc.Error (_, msg) -> failwith msg)
+      in
+      (d, cs)
+    with
     | exception Failure msg -> `Error (false, msg)
-    | d, suite_period ->
-    let period = period_of period suite_period in
+    | (d, suite_period), cs ->
+    let sdc_period =
+      match cs with None -> None | Some cs -> Netlist_io.Sdc.period cs
+    in
+    let period =
+      match period with
+      | Some p -> p
+      | None -> period_of sdc_period suite_period
+    in
     (* under --json, stdout carries exactly one JSON document: the run
        record.  Everything human-facing goes to stderr. *)
     let out = if json then stderr else stdout in
     let say fmt = Printf.fprintf out (fmt ^^ "\n%!") in
+    (match cs with
+     | None -> ()
+     | Some cs ->
+       say "constraints: %d clock(s), %d input / %d output delays%s"
+         (List.length cs.Netlist_io.Sdc.clocks)
+         (List.length cs.Netlist_io.Sdc.input_delays)
+         (List.length cs.Netlist_io.Sdc.output_delays)
+         (if cs.Netlist_io.Sdc.ignored = [] then ""
+          else
+            Printf.sprintf " (%d unsupported commands ignored)"
+              (List.length cs.Netlist_io.Sdc.ignored));
+       (match Netlist_io.Sdc.clock_port cs with
+        | Some p when not (Netlist.Design.is_clock_port d p) ->
+          say "warning: constraints clock port '%s' is not a clock of %s" p
+            d.Netlist.Design.design_name
+        | _ -> ()));
     let cg =
       if no_cg then
         { Phase3.Clock_gating.default_options with
@@ -246,7 +309,7 @@ let convert_cmd =
     Term.(ret (const run $ input_arg $ output_arg $ period_arg $ solver_arg
                $ no_retime_arg $ no_cg_arg $ no_verify_arg $ optimize_arg
                $ sdc_arg $ vcd_arg $ trace_arg $ timings_arg $ json_arg
-               $ qor_dir_arg))
+               $ qor_dir_arg $ top_arg $ constraints_arg))
 
 let master_slave_cmd =
   let run input output =

@@ -1,0 +1,8 @@
+# Timing constraints for aesround (LEN5-style SDC).
+set CLK_PERIOD 2.5
+
+create_clock -name core_clk -period $CLK_PERIOD [get_ports clk]
+set_clock_uncertainty 0.05 [get_clocks core_clk]
+
+set_input_delay 0.2 -clock core_clk [get_ports {start din key}]
+set_output_delay 0.2 -clock core_clk [get_ports {dout done}]

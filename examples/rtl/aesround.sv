@@ -1,0 +1,84 @@
+// AES-round-flavoured toy core: a 16-bit state stepped through a 4-bit
+// S-box layer, a nibble rotation, a byte-swap mix and a round-key XOR
+// for a fixed number of rounds.  Exercises always_comb case tables,
+// instance outputs landing on part-selects, concatenation rotates,
+// $clog2, a synchronous active-high reset and a round counter with a
+// comparator-driven done flag.
+//
+// Convert end-to-end with:
+//   ff2latch convert examples/rtl/aesround.sv --constraints examples/rtl/aesround.sdc
+
+module sbox4 (
+  input  logic [3:0] x,
+  output logic [3:0] y
+);
+  always_comb
+    case (x)
+      4'h0: y = 4'hC;
+      4'h1: y = 4'h5;
+      4'h2: y = 4'h6;
+      4'h3: y = 4'hB;
+      4'h4: y = 4'h9;
+      4'h5: y = 4'h0;
+      4'h6: y = 4'hA;
+      4'h7: y = 4'hD;
+      4'h8: y = 4'h3;
+      4'h9: y = 4'hE;
+      4'hA: y = 4'hF;
+      4'hB: y = 4'h8;
+      4'hC: y = 4'h4;
+      4'hD: y = 4'h7;
+      4'hE: y = 4'h1;
+      default: y = 4'h2;
+    endcase
+endmodule
+
+module aesround (
+  input  logic        clk,
+  input  logic        rst,
+  input  logic        start,
+  input  logic [15:0] din,
+  input  logic [15:0] key,
+  output logic [15:0] dout,
+  output logic        done
+);
+  localparam ROUNDS = 10;
+  localparam CW = $clog2(ROUNDS + 1);
+
+  logic [15:0]   state_q;
+  logic [CW-1:0] round_q;
+  logic          running_q;
+
+  // substitution layer: one S-box per nibble
+  logic [15:0] subbed;
+  sbox4 s0 (.x(state_q[3:0]),   .y(subbed[3:0]));
+  sbox4 s1 (.x(state_q[7:4]),   .y(subbed[7:4]));
+  sbox4 s2 (.x(state_q[11:8]),  .y(subbed[11:8]));
+  sbox4 s3 (.x(state_q[15:12]), .y(subbed[15:12]));
+
+  // rotate left one nibble, then mix with the byte-swapped value
+  logic [15:0] shifted, mixed, next_state;
+  assign shifted = {subbed[11:0], subbed[15:12]};
+  assign mixed = shifted ^ {shifted[7:0], shifted[15:8]};
+  assign next_state = mixed ^ key;
+
+  always_ff @(posedge clk) begin
+    if (rst) begin
+      state_q <= 16'h0;
+      round_q <= '0;
+      running_q <= 1'b0;
+    end
+    else if (start) begin
+      state_q <= din;
+      round_q <= '0;
+      running_q <= 1'b1;
+    end
+    else if (running_q && (round_q != ROUNDS)) begin
+      state_q <= next_state;
+      round_q <= round_q + 1'b1;
+    end
+  end
+
+  assign done = running_q && (round_q == ROUNDS);
+  assign dout = state_q;
+endmodule

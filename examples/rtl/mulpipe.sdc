@@ -1,0 +1,9 @@
+# Timing constraints for mulpipe (LEN5-style SDC).
+set CLK_PERIOD 2.0
+set IO_DELAY 0.2
+
+create_clock -name core_clk -period $CLK_PERIOD [get_ports clk]
+set_clock_uncertainty 0.05 [get_clocks core_clk]
+
+set_input_delay $IO_DELAY -clock core_clk [all_inputs]
+set_output_delay $IO_DELAY -clock core_clk [all_outputs]

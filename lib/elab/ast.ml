@@ -1,0 +1,100 @@
+(* Abstract syntax for the supported word-level SystemVerilog subset.
+   Produced by Parser, consumed by Elaborate; docs/RTL.md documents the
+   concrete grammar.  Locations are Netlist_io.Srcloc.t and point at the
+   first token of each node. *)
+
+type loc = Netlist_io.Srcloc.t
+
+type edge = Posedge | Negedge
+
+(* Expressions.  Selects apply to identifiers only (no select-of-select),
+   which is all the subset's grammar can produce. *)
+type expr =
+  | Eid of string * loc
+  | Enum of { width : int option; value : int; loc : loc }
+      (* sized or unsized literal; unsized literals take minimal width *)
+  | Eunary of string * expr * loc
+      (* ~ ! - & | ^ ~& ~| ~^ (reduction ops included) *)
+  | Ebinary of string * expr * expr * loc
+      (* + - * / % & | ^ ~^ && || == != < <= > >= << >> <<< >>> *)
+  | Eternary of expr * expr * expr * loc
+  | Ebit of string * expr * loc          (* a[i]; i constant or dynamic *)
+  | Epart of string * expr * expr * loc  (* a[msb:lsb]; both constant *)
+  | Econcat of expr list * loc           (* {a, b, ...}, msb-first *)
+  | Erepl of expr * expr * loc           (* {N{x}}; N constant *)
+  | Efun of string * expr list * loc     (* $clog2 in constant context *)
+
+(* Assignment targets. *)
+type lval =
+  | Lid of string * loc
+  | Lbit of string * expr * loc          (* q[i]; i constant *)
+  | Lpart of string * expr * expr * loc  (* q[msb:lsb]; constant *)
+  | Lconcat of lval list * loc           (* {c, s}, msb-first *)
+
+(* Procedural statements (bodies of always_comb / always_ff). *)
+type stmt =
+  | Sblock of stmt list * loc
+  | Sassign of lval * expr * loc   (* '=' in always_comb, '<=' in always_ff *)
+  | Sif of expr * stmt * stmt option * loc
+  | Scase of expr * (expr list * stmt) list * stmt option * loc
+      (* arms are (labels, body); the option is the default arm *)
+
+type range = { msb : expr; lsb : expr }  (* constant expressions *)
+
+type direction = Input | Output
+
+type port = {
+  port_name : string;
+  dir : direction;
+  port_range : range option;  (* None = scalar *)
+  port_loc : loc;
+}
+
+type item =
+  | Ilocalparam of { lp_name : string; lp_value : expr; lp_loc : loc }
+  | Inet of { net_name : string; net_range : range option; net_loc : loc }
+  | Iassign of lval * expr * loc
+  | Ialways_comb of stmt * loc
+  | Ialways_ff of {
+      clock : string;
+      clock_edge : edge;
+      areset : (edge * string) option;  (* async reset in the sensitivity *)
+      ff_body : stmt;
+      ff_loc : loc;
+    }
+  | Iinst of {
+      target : string;                       (* instantiated module name *)
+      inst_name : string;
+      param_overrides : (string * expr) list;
+      conns : (string * expr option) list;   (* named; None = unconnected *)
+      inst_loc : loc;
+    }
+
+type module_ = {
+  module_name : string;
+  params : (string * expr) list;  (* header parameters with defaults, ordered *)
+  ports : port list;
+  items : item list;
+  module_loc : loc;
+}
+
+type source = {
+  file : string;
+  text : string;       (* original source, for error excerpts *)
+  modules : module_ list;
+}
+
+let loc_of_expr = function
+  | Eid (_, l) | Eunary (_, _, l) | Ebinary (_, _, _, l)
+  | Eternary (_, _, _, l) | Ebit (_, _, l) | Epart (_, _, _, l)
+  | Econcat (_, l) | Erepl (_, _, l) | Efun (_, _, l) -> l
+  | Enum { loc; _ } -> loc
+
+let loc_of_lval = function
+  | Lid (_, l) | Lbit (_, _, l) | Lpart (_, _, _, l) | Lconcat (_, l) -> l
+
+let loc_of_stmt = function
+  | Sblock (_, l) | Sassign (_, _, l) | Sif (_, _, _, l) | Scase (_, _, _, l) -> l
+
+let find_module src name =
+  List.find_opt (fun m -> String.equal m.module_name name) src.modules

@@ -1,0 +1,21 @@
+exception Error of Netlist_io.Srcloc.t option * string
+
+let () =
+  Printexc.register_printer (function
+    | Error (loc, msg) ->
+      Some
+        (Printf.sprintf "Elab.Diag.Error (%s)"
+           (match loc with
+            | Some l -> Netlist_io.Srcloc.to_string l ^ ": " ^ msg
+            | None -> msg))
+    | _ -> None)
+
+let fail ?source ?loc fmt =
+  Format.kasprintf
+    (fun msg ->
+      raise (Error (loc, Netlist_io.Srcloc.message ?source ?loc msg)))
+    fmt
+
+let message_of = function
+  | Error (_, msg) -> msg
+  | e -> Printexc.to_string e

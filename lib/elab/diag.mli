@@ -1,0 +1,19 @@
+(** Diagnostics for the SystemVerilog front-end.
+
+    All lexer, parser and elaborator failures raise {!Error} carrying
+    the source position (file, 1-based line/column) of the offending
+    token and a message that already embeds a ["file:line:col:"] prefix
+    plus a one-line source excerpt with a caret — see
+    {!Netlist_io.Srcloc}. *)
+
+exception Error of Netlist_io.Srcloc.t option * string
+
+(** [fail ?source ?loc fmt ...] raises {!Error} with a formatted
+    message; when [source] is given the excerpt line is appended. *)
+val fail :
+  ?source:string -> ?loc:Netlist_io.Srcloc.t ->
+  ('a, Format.formatter, unit, 'b) format4 -> 'a
+
+(** The human-readable message of an {!Error} (already located), or
+    [Printexc.to_string] for any other exception. *)
+val message_of : exn -> string

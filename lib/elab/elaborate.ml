@@ -1,0 +1,1003 @@
+open Ast
+module Env = Map.Make (String)
+module SSet = Set.Make (String)
+
+(* An elaborated variable: canonical nets (index 0 = LSB), the declared
+   LSB offset ([7:4] stores lsb = 4), and per-bit driver bookkeeping so
+   conflicting drivers fail with a located message instead of a late
+   Builder.freeze exception. *)
+type var = {
+  nets : Techmap.word;
+  v_lsb : int;
+  driven : bool array;
+}
+
+type ctx = {
+  b : Netlist.Builder.t;
+  src : string;
+  modules : Ast.module_ list;
+  clock_sets : (string, SSet.t) Hashtbl.t;
+  ff_cell : Cell_lib.Cell.t;
+  ffr_cell : Cell_lib.Cell.t;
+  mutable gensym : int;
+}
+
+type scope = {
+  ctx : ctx;
+  prefix : string;  (* hierarchical path, "" at top, "u1$" below *)
+  mutable params : int Env.t;
+  vars : (string, var) Hashtbl.t;
+}
+
+(* Reads inside procedural blocks differ by block kind:
+   - continuous assigns read canonical nets;
+   - always_ff reads canonical nets too (non-blocking semantics: every
+     RHS sees pre-edge values);
+   - always_comb reads of the block's own targets go through the
+     procedural environment (blocking semantics), everything else is
+     canonical. *)
+type mode = Mcont | Mff | Mcomb of SSet.t
+
+(* Procedural value: per-bit nets, None = not assigned on every path. *)
+type pval = Netlist.Design.net option array
+
+let errf ctx loc fmt = Diag.fail ~source:ctx.src ~loc fmt
+
+let gpfx sc base =
+  sc.ctx.gensym <- sc.ctx.gensym + 1;
+  Printf.sprintf "%s%s%d" sc.prefix base sc.ctx.gensym
+
+let bits_needed v =
+  let rec go n acc = if n = 0 then max 1 acc else go (n lsr 1) (acc + 1) in
+  go v 0
+
+let clog2 n = if n <= 1 then 0 else bits_needed (n - 1)
+
+let bitname prefix name ~scalar ~lsb i =
+  if scalar then prefix ^ name
+  else Printf.sprintf "%s%s[%d]" prefix name (lsb + i)
+
+(* --- Constant expressions (parameters, ranges, selects) --- *)
+
+let rec eval_const ctx params e : int =
+  let ec = eval_const ctx params in
+  match e with
+  | Enum { value; _ } -> value
+  | Eid (n, loc) ->
+    (match Env.find_opt n params with
+     | Some v -> v
+     | None ->
+       errf ctx loc "'%s' is not a constant (only parameters are allowed here)" n)
+  | Eunary ("-", a, _) -> -(ec a)
+  | Eunary ("!", a, _) -> if ec a = 0 then 1 else 0
+  | Eunary (op, _, loc) ->
+    errf ctx loc "operator '%s' is not supported in constant expressions" op
+  | Ebinary (op, a, b, loc) ->
+    let va = ec a and vb = ec b in
+    let nonzero what = if vb = 0 then errf ctx loc "%s by zero" what else vb in
+    (match op with
+     | "+" -> va + vb
+     | "-" -> va - vb
+     | "*" -> va * vb
+     | "/" -> va / nonzero "division"
+     | "%" -> va mod nonzero "modulo"
+     | "<<" | "<<<" ->
+       if vb < 0 || vb > 62 then errf ctx loc "shift amount %d out of range" vb
+       else va lsl vb
+     | ">>" | ">>>" ->
+       if vb < 0 || vb > 62 then errf ctx loc "shift amount %d out of range" vb
+       else va lsr vb
+     | "==" -> if va = vb then 1 else 0
+     | "!=" -> if va <> vb then 1 else 0
+     | "<" -> if va < vb then 1 else 0
+     | "<=" -> if va <= vb then 1 else 0
+     | ">" -> if va > vb then 1 else 0
+     | ">=" -> if va >= vb then 1 else 0
+     | "&&" -> if va <> 0 && vb <> 0 then 1 else 0
+     | "||" -> if va <> 0 || vb <> 0 then 1 else 0
+     | "&" -> va land vb
+     | "|" -> va lor vb
+     | "^" -> va lxor vb
+     | _ ->
+       errf ctx loc "operator '%s' is not supported in constant expressions" op)
+  | Eternary (c, t, f, _) -> if ec c <> 0 then ec t else ec f
+  | Efun ("$clog2", [ a ], _) -> clog2 (ec a)
+  | Efun (n, _, loc) ->
+    errf ctx loc "unknown system function %s (only $clog2 is supported)" n
+  | Ebit _ | Epart _ | Econcat _ | Erepl _ ->
+    errf ctx (loc_of_expr e) "expected a constant expression"
+
+let ec sc e = eval_const sc.ctx sc.params e
+
+let try_const sc e =
+  match ec sc e with v -> Some v | exception Diag.Error _ -> None
+
+(* --- Variables --- *)
+
+let find_var sc name loc =
+  match Hashtbl.find_opt sc.vars name with
+  | Some v -> v
+  | None ->
+    if Env.mem name sc.params then
+      errf sc.ctx loc "'%s' is a parameter, not a signal" name
+    else errf sc.ctx loc "unknown signal '%s'" name
+
+let var_width (v : var) = Array.length v.nets
+
+let mark_driven sc (name : string) (v : var) i loc =
+  if v.driven.(i) then
+    errf sc.ctx loc "%s[%d] has multiple drivers" name (v.v_lsb + i)
+  else v.driven.(i) <- true
+
+(* --- Expression lowering --- *)
+
+let resize sc w n = Techmap.resize sc.ctx.b w n
+
+let bool_of sc w =
+  if Techmap.width w = 1 then w.(0)
+  else (Techmap.reduce sc.ctx.b Netlist.Gates.Or w ~prefix:(gpfx sc "any")).(0)
+
+let read_word sc mode (env : pval Env.t) name loc : Techmap.word =
+  match Env.find_opt name sc.params with
+  | Some v -> Techmap.const_word sc.ctx.b ~width:(bits_needed v) v
+  | None ->
+    let v = find_var sc name loc in
+    let proc =
+      match mode with Mcomb targets -> SSet.mem name targets | _ -> false
+    in
+    if not proc then v.nets
+    else
+      match Env.find_opt name env with
+      | None ->
+        errf sc.ctx loc
+          "'%s' is read before it is assigned in this always_comb block" name
+      | Some pv ->
+        Array.map
+          (function
+            | Some n -> n
+            | None ->
+              errf sc.ctx loc
+                "'%s' is read but not assigned on every path above" name)
+          pv
+
+let rec lower sc mode env e : Techmap.word =
+  let b = sc.ctx.b in
+  let low = lower sc mode env in
+  match e with
+  | Enum { width = Some w; value; _ } -> Techmap.const_word b ~width:w value
+  | Enum { width = None; value; _ } ->
+    Techmap.const_word b ~width:(bits_needed value) value
+  | Eid (n, loc) -> read_word sc mode env n loc
+  | Eunary (op, a, loc) ->
+    let wa = low a in
+    (match op with
+     | "~" -> Techmap.bnot b wa ~prefix:(gpfx sc "not")
+     | "-" ->
+       let z = Techmap.const_word b ~width:(Techmap.width wa) 0 in
+       Techmap.sub b z wa ~prefix:(gpfx sc "neg")
+     | "!" -> Techmap.reduce b Netlist.Gates.Nor wa ~prefix:(gpfx sc "lnot")
+     | "&" -> Techmap.reduce b Netlist.Gates.And wa ~prefix:(gpfx sc "rand")
+     | "~&" -> Techmap.reduce b Netlist.Gates.Nand wa ~prefix:(gpfx sc "rnand")
+     | "|" -> Techmap.reduce b Netlist.Gates.Or wa ~prefix:(gpfx sc "ror")
+     | "~|" -> Techmap.reduce b Netlist.Gates.Nor wa ~prefix:(gpfx sc "rnor")
+     | "^" -> Techmap.reduce b Netlist.Gates.Xor wa ~prefix:(gpfx sc "rxor")
+     | "~^" -> Techmap.reduce b Netlist.Gates.Xnor wa ~prefix:(gpfx sc "rxnor")
+     | _ -> errf sc.ctx loc "unsupported unary operator '%s'" op)
+  | Ebinary (op, a, bx, loc) -> lower_binary sc mode env op a bx loc
+  | Eternary (c, t, f, _) ->
+    let cn = bool_of sc (low c) in
+    let wt = low t and wf = low f in
+    let n = max (Techmap.width wt) (Techmap.width wf) in
+    Techmap.mux b ~sel:cn ~if0:(resize sc wf n) ~if1:(resize sc wt n)
+      ~prefix:(gpfx sc "sel") ()
+  | Ebit (name, idx, loc) ->
+    let v = find_var sc name loc in
+    let w = read_word sc mode env name loc in
+    (match try_const sc idx with
+     | Some i ->
+       let j = i - v.v_lsb in
+       if j < 0 || j >= var_width v then
+         errf sc.ctx loc "bit %d is outside %s[%d:%d]" i
+           (name) (v.v_lsb + var_width v - 1) v.v_lsb
+       else [| w.(j) |]
+     | None ->
+       if v.v_lsb <> 0 then
+         errf sc.ctx loc
+           "dynamic bit-select on %s requires an [N-1:0] range" name
+       else
+         let shifted =
+           Techmap.shr sc.ctx.b w (lower sc mode env idx)
+             ~prefix:(gpfx sc "dynsel")
+         in
+         [| shifted.(0) |])
+  | Epart (name, msb, lsb, loc) ->
+    let v = find_var sc name loc in
+    let w = read_word sc mode env name loc in
+    let im = ec_part sc msb and il = ec_part sc lsb in
+    let jm = im - v.v_lsb and jl = il - v.v_lsb in
+    if jl < 0 || jm >= var_width v || jm < jl then
+      errf sc.ctx loc "part-select [%d:%d] is outside %s[%d:%d]" im il name
+        (v.v_lsb + var_width v - 1) v.v_lsb
+    else Array.sub w jl (jm - jl + 1)
+  | Econcat (es, _) ->
+    Array.concat (List.rev_map low es)
+  | Erepl (count, x, loc) ->
+    let k = ec sc count in
+    if k < 1 then errf sc.ctx loc "replication count must be >= 1"
+    else
+      let w = low x in
+      Array.concat (List.init k (fun _ -> w))
+  | Efun (_, _, _) ->
+    let v = ec sc e in
+    Techmap.const_word b ~width:(bits_needed v) v
+
+and ec_part sc e =
+  (* part-select bounds must be constant *)
+  match try_const sc e with
+  | Some v -> v
+  | None ->
+    errf sc.ctx (loc_of_expr e)
+      "part-select bounds must be constant (use shifts for dynamic access)"
+
+and lower_binary sc mode env op a bx loc : Techmap.word =
+  let b = sc.ctx.b in
+  let low = lower sc mode env in
+  let same () =
+    let wa = low a and wb = low bx in
+    let n = max (Techmap.width wa) (Techmap.width wb) in
+    (resize sc wa n, resize sc wb n)
+  in
+  let gate g =
+    let wa, wb = same () in
+    Techmap.binop b g wa wb ~prefix:(gpfx sc "bit")
+  in
+  let logical g =
+    let na = bool_of sc (low a) and nb = bool_of sc (low bx) in
+    Techmap.binop b g [| na |] [| nb |] ~prefix:(gpfx sc "log")
+  in
+  let pow2 what =
+    match try_const sc bx with
+    | Some k when k > 0 && k land (k - 1) = 0 ->
+      let rec log2 n = if n <= 1 then 0 else 1 + log2 (n / 2) in
+      log2 k
+    | Some _ | None ->
+      errf sc.ctx loc "%s is only supported by constant powers of two" what
+  in
+  match op with
+  | "&" -> gate Netlist.Gates.And
+  | "|" -> gate Netlist.Gates.Or
+  | "^" -> gate Netlist.Gates.Xor
+  | "~^" | "^~" -> gate Netlist.Gates.Xnor
+  | "&&" -> logical Netlist.Gates.And
+  | "||" -> logical Netlist.Gates.Or
+  | "+" ->
+    let wa, wb = same () in
+    Techmap.add b wa wb ~prefix:(gpfx sc "add")
+  | "-" ->
+    let wa, wb = same () in
+    Techmap.sub b wa wb ~prefix:(gpfx sc "sub")
+  | "*" -> Techmap.mul b (low a) (low bx) ~prefix:(gpfx sc "mul")
+  | "/" ->
+    let s = pow2 "division" in
+    let wa = low a in
+    let n = Techmap.width wa in
+    Array.init n (fun i ->
+      if i + s < n then wa.(i + s) else Netlist.Builder.const b false)
+  | "%" ->
+    let s = pow2 "modulo" in
+    let wa = low a in
+    let n = Techmap.width wa in
+    Array.init n (fun i ->
+      if i < s then wa.(i) else Netlist.Builder.const b false)
+  | "<<" | "<<<" ->
+    let wa = low a in
+    let n = Techmap.width wa in
+    (match try_const sc bx with
+     | Some k when k >= 0 ->
+       Array.init n (fun i ->
+         if i - k >= 0 && i - k < n then wa.(i - k)
+         else Netlist.Builder.const b false)
+     | Some k -> errf sc.ctx loc "negative shift amount %d" k
+     | None -> Techmap.shl b wa (low bx) ~prefix:(gpfx sc "shl"))
+  | ">>" ->
+    let wa = low a in
+    let n = Techmap.width wa in
+    (match try_const sc bx with
+     | Some k when k >= 0 ->
+       Array.init n (fun i ->
+         if i + k < n then wa.(i + k) else Netlist.Builder.const b false)
+     | Some k -> errf sc.ctx loc "negative shift amount %d" k
+     | None -> Techmap.shr b wa (low bx) ~prefix:(gpfx sc "shr"))
+  | ">>>" ->
+    errf sc.ctx loc
+      "'>>>' is unsupported (unsigned-only subset); use '>>'"
+  | "==" ->
+    let wa, wb = same () in
+    Techmap.eq b wa wb ~prefix:(gpfx sc "eq")
+  | "!=" ->
+    let wa, wb = same () in
+    Techmap.ne b wa wb ~prefix:(gpfx sc "ne")
+  | "<" ->
+    let wa, wb = same () in
+    Techmap.ult b wa wb ~prefix:(gpfx sc "lt")
+  | ">" ->
+    let wa, wb = same () in
+    Techmap.ult b wb wa ~prefix:(gpfx sc "gt")
+  | "<=" ->
+    let wa, wb = same () in
+    Techmap.uge b wb wa ~prefix:(gpfx sc "le")
+  | ">=" ->
+    let wa, wb = same () in
+    Techmap.uge b wa wb ~prefix:(gpfx sc "ge")
+  | _ -> errf sc.ctx loc "unsupported operator '%s'" op
+
+(* --- Assignment targets inside procedural blocks --- *)
+
+let rec lval_width sc = function
+  | Lid (n, loc) -> var_width (find_var sc n loc)
+  | Lbit (_, _, _) -> 1
+  | Lpart (n, msb, lsb, loc) ->
+    let v = find_var sc n loc in
+    let im = ec_part sc msb and il = ec_part sc lsb in
+    if im - v.v_lsb >= var_width v || il < v.v_lsb || im < il then
+      errf sc.ctx loc "part-select [%d:%d] is outside %s[%d:%d]" im il n
+        (v.v_lsb + var_width v - 1) v.v_lsb
+    else im - il + 1
+  | Lconcat (parts, _) ->
+    List.fold_left (fun acc p -> acc + lval_width sc p) 0 parts
+
+(* Destination bits of an lval, LSB-first. *)
+let rec lval_dest_bits sc = function
+  | Lid (n, loc) ->
+    let v = find_var sc n loc in
+    List.init (var_width v) (fun i -> (n, v, i, loc))
+  | Lbit (n, idx, loc) ->
+    let v = find_var sc n loc in
+    let i =
+      match try_const sc idx with
+      | Some i -> i - v.v_lsb
+      | None ->
+        errf sc.ctx loc "assignment bit index on %s must be constant" n
+    in
+    if i < 0 || i >= var_width v then
+      errf sc.ctx loc "bit %d is outside %s[%d:%d]" (i + v.v_lsb) n
+        (v.v_lsb + var_width v - 1) v.v_lsb
+    else [ (n, v, i, loc) ]
+  | Lpart (n, msb, lsb, loc) ->
+    let v = find_var sc n loc in
+    let im = ec_part sc msb - v.v_lsb and il = ec_part sc lsb - v.v_lsb in
+    if il < 0 || im >= var_width v || im < il then
+      errf sc.ctx loc "part-select is outside %s" n
+    else List.init (im - il + 1) (fun k -> (n, v, il + k, loc))
+  | Lconcat (parts, _) ->
+    (* msb-first in the source; LSB-first overall = reverse the parts *)
+    List.concat_map (lval_dest_bits sc) (List.rev parts)
+
+(* Continuous drive: buffer each value bit onto the canonical net. *)
+let drive_bits sc lv (w : Techmap.word) =
+  let dests = lval_dest_bits sc lv in
+  let w = resize sc w (List.length dests) in
+  List.iteri
+    (fun k (name, v, i, loc) ->
+      mark_driven sc name v i loc;
+      Netlist.Gates.emit sc.ctx.b Netlist.Gates.Buf [ w.(k) ] ~out:v.nets.(i)
+        ~prefix:(gpfx sc "drv"))
+    dests
+
+(* --- Procedural environment --- *)
+
+let base_pval mode (v : var) : pval =
+  match mode with
+  | Mff | Mcont -> Array.map (fun n -> Some n) v.nets
+  | Mcomb _ -> Array.make (var_width v) None
+
+let rec assign_env sc mode (env : pval Env.t) lv (w : Techmap.word) =
+  match lv with
+  | Lid (n, loc) ->
+    let v = find_var sc n loc in
+    let w = resize sc w (var_width v) in
+    Env.add n (Array.map (fun x -> Some x) w) env
+  | Lbit (n, idx, loc) ->
+    let v = find_var sc n loc in
+    let i =
+      match try_const sc idx with
+      | Some i -> i - v.v_lsb
+      | None ->
+        errf sc.ctx loc "assignment bit index on %s must be constant" n
+    in
+    if i < 0 || i >= var_width v then
+      errf sc.ctx loc "bit index is outside %s" n
+    else begin
+      let base =
+        match Env.find_opt n env with
+        | Some pv -> Array.copy pv
+        | None -> base_pval mode v
+      in
+      base.(i) <- Some (resize sc w 1).(0);
+      Env.add n base env
+    end
+  | Lpart (n, msb, lsb, loc) ->
+    let v = find_var sc n loc in
+    let im = ec_part sc msb - v.v_lsb and il = ec_part sc lsb - v.v_lsb in
+    if il < 0 || im >= var_width v || im < il then
+      errf sc.ctx loc "part-select is outside %s" n
+    else begin
+      let span = im - il + 1 in
+      let w = resize sc w span in
+      let base =
+        match Env.find_opt n env with
+        | Some pv -> Array.copy pv
+        | None -> base_pval mode v
+      in
+      for k = 0 to span - 1 do
+        base.(il + k) <- Some w.(k)
+      done;
+      Env.add n base env
+    end
+  | Lconcat (parts, _) ->
+    let total = lval_width sc lv in
+    let w = resize sc w total in
+    let off = ref 0 in
+    List.fold_left
+      (fun env p ->
+        let wp = lval_width sc p in
+        let chunk = Array.sub w !off wp in
+        off := !off + wp;
+        assign_env sc mode env p chunk)
+      env (List.rev parts)
+
+(* Merge two branch environments under condition [cond] (true = envT).
+   Bits assigned on only one path become None in comb mode (reported at
+   the end of the block); in ff mode the canonical Q value fills the
+   missing side, which is exactly non-blocking hold semantics. *)
+let merge_envs sc mode cond (envT : pval Env.t) (envF : pval Env.t) =
+  let keys =
+    Env.fold (fun k _ s -> SSet.add k s) envT
+      (Env.fold (fun k _ s -> SSet.add k s) envF SSet.empty)
+  in
+  SSet.fold
+    (fun name acc ->
+      let v = find_var sc name (Netlist_io.Srcloc.make ~file:"" ~line:1 ~col:1) in
+      let get e =
+        match Env.find_opt name e with Some pv -> pv | None -> base_pval mode v
+      in
+      let pT = get envT and pF = get envF in
+      let merged =
+        Array.init (var_width v) (fun i ->
+          match (pT.(i), pF.(i)) with
+          | Some a, Some b when a = b -> Some a
+          | Some a, Some b ->
+            Some
+              (Techmap.mux sc.ctx.b ~sel:cond ~if0:[| b |] ~if1:[| a |]
+                 ~prefix:(gpfx sc "m") ()).(0)
+          | _ -> None)
+      in
+      Env.add name merged acc)
+    keys Env.empty
+
+let rec exec sc mode (env : pval Env.t) (s : Ast.stmt) : pval Env.t =
+  match s with
+  | Sblock (ss, _) -> List.fold_left (exec sc mode) env ss
+  | Sassign (lv, rhs, _) ->
+    let w = lower sc mode env rhs in
+    assign_env sc mode env lv w
+  | Sif (c, t, eo, _) ->
+    let cn = bool_of sc (lower sc mode env c) in
+    let envT = exec sc mode env t in
+    let envF = match eo with Some e -> exec sc mode env e | None -> env in
+    merge_envs sc mode cn envT envF
+  | Scase (subj, arms, dflt, _) ->
+    let sw = lower sc mode env subj in
+    let n = Techmap.width sw in
+    let rec chain = function
+      | [] -> (match dflt with Some d -> exec sc mode env d | None -> env)
+      | (labels, body) :: rest ->
+        let eqs =
+          List.map
+            (fun l ->
+              let lw = resize sc (lower sc mode env l) n in
+              (Techmap.eq sc.ctx.b sw lw ~prefix:(gpfx sc "cl")).(0))
+            labels
+        in
+        let cn =
+          match eqs with
+          | [ e ] -> e
+          | es ->
+            Netlist.Gates.emit_fresh sc.ctx.b Netlist.Gates.Or es
+              ~prefix:(gpfx sc "cor")
+        in
+        let envT = exec sc mode env body in
+        let envF = chain rest in
+        merge_envs sc mode cn envT envF
+    in
+    chain arms
+
+(* Syntactic assignment targets of a statement (for comb-read rules). *)
+let stmt_targets stmt =
+  let rec lv acc = function
+    | Lid (n, _) | Lbit (n, _, _) | Lpart (n, _, _, _) -> SSet.add n acc
+    | Lconcat (ps, _) -> List.fold_left lv acc ps
+  in
+  let rec go acc = function
+    | Sblock (ss, _) -> List.fold_left go acc ss
+    | Sassign (l, _, _) -> lv acc l
+    | Sif (_, t, eo, _) ->
+      let acc = go acc t in
+      (match eo with Some e -> go acc e | None -> acc)
+    | Scase (_, arms, dflt, _) ->
+      let acc = List.fold_left (fun a (_, s) -> go a s) acc arms in
+      (match dflt with Some d -> go acc d | None -> acc)
+  in
+  go SSet.empty stmt
+
+(* --- always_ff lowering --- *)
+
+let rec unwrap_block = function
+  | Sblock ([ s ], _) -> unwrap_block s
+  | s -> s
+
+(* Accepted reset-condition shapes for the top-level 'if' of an
+   async-reset always_ff, per the reset edge in the sensitivity list. *)
+let reset_cond_matches redge rname cond =
+  match (redge, cond) with
+  | Negedge, Eunary (("!" | "~"), Eid (n, _), _) -> String.equal n rname
+  | Negedge, Ebinary ("==", Eid (n, _), Enum { value = 0; _ }, _) ->
+    String.equal n rname
+  | Posedge, Eid (n, _) -> String.equal n rname
+  | Posedge, Ebinary ("==", Eid (n, _), Enum { value = 1; _ }, _) ->
+    String.equal n rname
+  | Posedge, Ebinary ("!=", Eid (n, _), Enum { value = 0; _ }, _) ->
+    String.equal n rname
+  | _ -> false
+
+let ff_pins (cell : Cell_lib.Cell.t) =
+  let q =
+    List.find (fun p -> p.Cell_lib.Cell.direction = Cell_lib.Cell.Output)
+      cell.Cell_lib.Cell.pins
+  in
+  match cell.Cell_lib.Cell.kind with
+  | Cell_lib.Cell.Flip_flop { clock_pin; data_pin; reset_pin; _ } ->
+    (clock_pin, data_pin, reset_pin, q.Cell_lib.Cell.pin_name)
+  | _ -> invalid_arg "Elaborate.ff_pins: not a flip-flop"
+
+let scalar_net sc name loc =
+  let v = find_var sc name loc in
+  if var_width v <> 1 then
+    errf sc.ctx loc "'%s' must be 1 bit wide here" name
+  else v.nets.(0)
+
+let elab_ff sc ~clock ~clock_edge ~areset ~ff_body ~ff_loc =
+  let b = sc.ctx.b in
+  if clock_edge = Negedge then
+    errf sc.ctx ff_loc "negedge clocks are unsupported";
+  let ck = scalar_net sc clock ff_loc in
+  let emit_plain env =
+    let ckp, dp, _, qp = ff_pins sc.ctx.ff_cell in
+    Env.iter
+      (fun name pv ->
+        let v = find_var sc name ff_loc in
+        Array.iteri
+          (fun i bit ->
+            let d = Option.get bit in
+            mark_driven sc name v i ff_loc;
+            ignore
+              (Netlist.Builder.add_instance b
+                 (Printf.sprintf "%s%s_ff%d" sc.prefix name (v.v_lsb + i))
+                 sc.ctx.ff_cell
+                 [ (ckp, ck); (dp, d); (qp, v.nets.(i)) ]))
+          pv)
+      env
+  in
+  match areset with
+  | None -> emit_plain (exec sc Mff Env.empty ff_body)
+  | Some (redge, rname) ->
+    let rnet = scalar_net sc rname ff_loc in
+    (match unwrap_block ff_body with
+     | Sif (cond, rst_s, Some main_s, if_loc)
+       when reset_cond_matches redge rname cond ->
+       let renv = exec sc Mff Env.empty rst_s in
+       let menv = exec sc Mff Env.empty main_s in
+       let t0 = Netlist.Builder.const b false in
+       let t1 = Netlist.Builder.const b true in
+       (* the DFFR reset pin is active-low: invert a posedge reset once *)
+       let rn =
+         match redge with
+         | Negedge -> rnet
+         | Posedge ->
+           Netlist.Gates.emit_fresh b Netlist.Gates.Not [ rnet ]
+             ~prefix:(gpfx sc "rstn")
+       in
+       let ckp, dp, rp, qp = ff_pins sc.ctx.ffr_cell in
+       let rp = Option.get rp in
+       let names =
+         SSet.union
+           (Env.fold (fun k _ s -> SSet.add k s) renv SSet.empty)
+           (Env.fold (fun k _ s -> SSet.add k s) menv SSet.empty)
+       in
+       SSet.iter
+         (fun name ->
+           let v = find_var sc name ff_loc in
+           let rv =
+             match Env.find_opt name renv with
+             | Some pv -> pv
+             | None ->
+               errf sc.ctx if_loc
+                 "'%s' is assigned in this always_ff but has no value in the \
+                  reset branch" name
+           in
+           let dv =
+             match Env.find_opt name menv with
+             | Some pv -> pv
+             | None -> Array.map (fun n -> Some n) v.nets (* hold *)
+           in
+           Array.iteri
+             (fun i rbit ->
+               let rb = Option.get rbit in
+               let d = Option.get dv.(i) in
+               mark_driven sc name v i ff_loc;
+               let iname =
+                 Printf.sprintf "%s%s_ff%d" sc.prefix name (v.v_lsb + i)
+               in
+               if rb = t0 then
+                 ignore
+                   (Netlist.Builder.add_instance b iname sc.ctx.ffr_cell
+                      [ (ckp, ck); (dp, d); (rp, rn); (qp, v.nets.(i)) ])
+               else if rb = t1 then begin
+                 (* reset-to-1 on an active-low-clear FF: store the
+                    complement and invert around the cell *)
+                 let qn =
+                   Netlist.Builder.fresh_net b
+                     (Printf.sprintf "%s%s_n%d" sc.prefix name (v.v_lsb + i))
+                 in
+                 let dn =
+                   if d = v.nets.(i) then qn (* hold: feed Q' back *)
+                   else
+                     Netlist.Gates.emit_fresh b Netlist.Gates.Not [ d ]
+                       ~prefix:(gpfx sc "dn")
+                 in
+                 ignore
+                   (Netlist.Builder.add_instance b iname sc.ctx.ffr_cell
+                      [ (ckp, ck); (dp, dn); (rp, rn); (qp, qn) ]);
+                 Netlist.Gates.emit b Netlist.Gates.Not [ qn ]
+                   ~out:v.nets.(i) ~prefix:(iname ^ "_q")
+               end
+               else
+                 errf sc.ctx if_loc
+                   "reset value of '%s' must be a literal constant" name)
+             rv)
+         names
+     | _ ->
+       errf sc.ctx ff_loc
+         "an async-reset always_ff must be a single 'if (%s) ... else ...' \
+          matching the %s event on '%s'"
+         (match redge with Negedge -> "!" ^ rname | Posedge -> rname)
+         (match redge with Negedge -> "negedge" | Posedge -> "posedge")
+         rname)
+
+(* --- Hierarchy --- *)
+
+(* Port geometry under a parameter binding: (name, dir, width, lsb). *)
+let port_info ctx params (p : Ast.port) =
+  match p.port_range with
+  | None -> (p.port_name, p.dir, 1, 0, true)
+  | Some r ->
+    let m = eval_const ctx params r.msb and l = eval_const ctx params r.lsb in
+    if m < l then
+      errf ctx p.port_loc "port range [%d:%d] must be descending" m l
+    else (p.port_name, p.dir, m - l + 1, l, false)
+
+let rec lval_of_expr sc = function
+  | Eid (n, l) -> Lid (n, l)
+  | Ebit (n, i, l) -> Lbit (n, i, l)
+  | Epart (n, m, lo, l) -> Lpart (n, m, lo, l)
+  | Econcat (es, l) -> Lconcat (List.map (lval_of_expr sc) es, l)
+  | e ->
+    errf sc.ctx (loc_of_expr e)
+      "an instance output must connect to a signal, select or concatenation"
+
+let rec elab_body ctx ~depth (m : Ast.module_) ~params ~prefix
+    ~(bound : (string * (Techmap.word * int)) list) =
+  let sc = { ctx; prefix; params; vars = Hashtbl.create 16 } in
+  let declare name v loc =
+    if Hashtbl.mem sc.vars name || Env.mem name sc.params then
+      errf ctx loc "duplicate declaration of '%s'" name
+    else Hashtbl.add sc.vars name v
+  in
+  List.iter
+    (fun (p : Ast.port) ->
+      let w, lsb =
+        match List.assoc_opt p.port_name bound with
+        | Some x -> x
+        | None -> invalid_arg "Elaborate.elab_body: unbound port"
+      in
+      let driven = Array.make (Array.length w) (p.dir = Input) in
+      declare p.port_name { nets = w; v_lsb = lsb; driven } p.port_loc)
+    m.ports;
+  (* pass 1: parameters and net declarations, in order *)
+  List.iter
+    (function
+      | Ilocalparam { lp_name; lp_value; lp_loc } ->
+        if Env.mem lp_name sc.params || Hashtbl.mem sc.vars lp_name then
+          errf ctx lp_loc "duplicate declaration of '%s'" lp_name
+        else sc.params <- Env.add lp_name (ec sc lp_value) sc.params
+      | Inet { net_name; net_range; net_loc } ->
+        let width, lsb, scalar =
+          match net_range with
+          | None -> (1, 0, true)
+          | Some r ->
+            let m = ec sc r.msb and l = ec sc r.lsb in
+            if m < l then
+              errf ctx net_loc "range [%d:%d] must be descending" m l
+            else (m - l + 1, l, false)
+        in
+        let nets =
+          Array.init width (fun i ->
+            Netlist.Builder.fresh_net ctx.b
+              (bitname prefix net_name ~scalar ~lsb i))
+        in
+        declare net_name
+          { nets; v_lsb = lsb; driven = Array.make width false }
+          net_loc
+      | _ -> ())
+    m.items;
+  (* pass 2: drivers *)
+  List.iter
+    (function
+      | Ilocalparam _ | Inet _ -> ()
+      | Iassign (lv, rhs, _) ->
+        drive_bits sc lv (lower sc Mcont Env.empty rhs)
+      | Ialways_comb (body, loc) ->
+        let targets = stmt_targets body in
+        let env = exec sc (Mcomb targets) Env.empty body in
+        SSet.iter
+          (fun name ->
+            let v = find_var sc name loc in
+            match Env.find_opt name env with
+            | None -> errf ctx loc "'%s' is never assigned in always_comb" name
+            | Some pv ->
+              Array.iteri
+                (fun i bit ->
+                  match bit with
+                  | None ->
+                    errf ctx loc
+                      "'%s' is not assigned on every path through this \
+                       always_comb (would infer a latch)" name
+                  | Some n ->
+                    mark_driven sc name v i loc;
+                    Netlist.Gates.emit ctx.b Netlist.Gates.Buf [ n ]
+                      ~out:v.nets.(i) ~prefix:(gpfx sc "cmb"))
+                pv)
+          targets
+      | Ialways_ff { clock; clock_edge; areset; ff_body; ff_loc } ->
+        elab_ff sc ~clock ~clock_edge ~areset ~ff_body ~ff_loc
+      | Iinst { target; inst_name; param_overrides; conns; inst_loc } ->
+        elab_inst sc ~depth ~target ~inst_name ~param_overrides ~conns
+          ~inst_loc)
+    m.items
+
+and elab_inst sc ~depth ~target ~inst_name ~param_overrides ~conns
+    ~inst_loc =
+  let ctx = sc.ctx in
+  if depth > 64 then
+    errf ctx inst_loc "instantiation nests deeper than 64 (recursion?)";
+  let child =
+    match List.find_opt (fun c -> String.equal c.module_name target) ctx.modules with
+    | Some c -> c
+    | None -> errf ctx inst_loc "unknown module '%s'" target
+  in
+  List.iter
+    (fun (pname, _) ->
+      if not (List.mem_assoc pname child.params) then
+        errf ctx inst_loc "module %s has no parameter '%s'" target pname)
+    param_overrides;
+  let penv =
+    List.fold_left
+      (fun acc (pname, default) ->
+        let v =
+          match List.assoc_opt pname param_overrides with
+          | Some e -> eval_const ctx sc.params e (* parent scope *)
+          | None -> eval_const ctx acc default   (* child scope so far *)
+        in
+        Env.add pname v acc)
+      Env.empty child.params
+  in
+  List.iter
+    (fun (cname, _) ->
+      if not (List.exists (fun (p : Ast.port) ->
+                  String.equal p.port_name cname) child.ports) then
+        errf ctx inst_loc "module %s has no port '%s'" target cname)
+    conns;
+  let bound =
+    List.map
+      (fun (p : Ast.port) ->
+        let pname, dir, pw, lsb, _ = port_info ctx penv p in
+        let conn = List.assoc_opt pname conns in
+        let word =
+          match (dir, conn) with
+          | Input, Some (Some e) ->
+            resize sc (lower sc Mcont Env.empty e) pw
+          | Input, (Some None | None) ->
+            errf ctx inst_loc "input port '%s' of %s is unconnected" pname
+              target
+          | Output, Some (Some e) ->
+            let lv = lval_of_expr sc e in
+            let dests = lval_dest_bits sc lv in
+            List.iter (fun (n, v, i, loc) -> mark_driven sc n v i loc) dests;
+            let nets = List.map (fun (_, v, i, _) -> v.nets.(i)) dests in
+            let wl = List.length nets in
+            if wl = pw then Array.of_list nets
+            else if wl < pw then
+              (* child's upper output bits dangle in the parent *)
+              Array.init pw (fun i ->
+                if i < wl then List.nth nets i
+                else
+                  Netlist.Builder.fresh_net ctx.b
+                    (gpfx sc (inst_name ^ "_nc")))
+            else begin
+              (* destination wider than the port: tie the rest to 0 *)
+              let t0 = Netlist.Builder.const ctx.b false in
+              List.iteri
+                (fun i n ->
+                  if i >= pw then
+                    Netlist.Gates.emit ctx.b Netlist.Gates.Buf [ t0 ] ~out:n
+                      ~prefix:(gpfx sc "pad"))
+                nets;
+              Array.of_list (List.filteri (fun i _ -> i < pw) nets)
+            end
+          | Output, (Some None | None) ->
+            Array.init pw (fun _ ->
+              Netlist.Builder.fresh_net ctx.b (gpfx sc (inst_name ^ "_nc")))
+        in
+        (pname, (word, lsb)))
+      child.ports
+  in
+  elab_body ctx ~depth:(depth + 1) child ~params:penv
+    ~prefix:(sc.prefix ^ inst_name ^ "$") ~bound
+
+(* --- Clock discovery --- *)
+
+(* Per module, the set of identifiers that play a clock role: used as an
+   always_ff clock, or connected to a clock port of a child instance.
+   Fixed point over the hierarchy; top-level input ports in the top
+   module's set are marked as clock roots. *)
+let clock_sets (src : Ast.source) =
+  let tbl = Hashtbl.create 8 in
+  List.iter (fun m -> Hashtbl.replace tbl m.module_name SSet.empty) src.modules;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun m ->
+        let s = ref (Hashtbl.find tbl m.module_name) in
+        List.iter
+          (function
+            | Ialways_ff { clock; _ } -> s := SSet.add clock !s
+            | Iinst { target; conns; _ } ->
+              (match Hashtbl.find_opt tbl target with
+               | None -> ()
+               | Some child_set ->
+                 List.iter
+                   (fun (port, e) ->
+                     match e with
+                     | Some (Eid (id, _)) when SSet.mem port child_set ->
+                       s := SSet.add id !s
+                     | _ -> ())
+                   conns)
+            | _ -> ())
+          m.items;
+        if not (SSet.equal !s (Hashtbl.find tbl m.module_name)) then begin
+          Hashtbl.replace tbl m.module_name !s;
+          changed := true
+        end)
+      src.modules
+  done;
+  (* a clock port must be fed a plain signal, not an expression *)
+  List.iter
+    (fun m ->
+      List.iter
+        (function
+          | Iinst { target; conns; _ } ->
+            (match Hashtbl.find_opt tbl target with
+             | None -> ()
+             | Some child_set ->
+               List.iter
+                 (fun (port, e) ->
+                   match e with
+                   | Some (Eid _) | None -> ()
+                   | Some e when SSet.mem port child_set ->
+                     Diag.fail ~source:src.text ~loc:(loc_of_expr e)
+                       "clock port '%s' of %s must be connected to a plain \
+                        signal" port target
+                   | Some _ -> ())
+                 conns)
+          | _ -> ())
+        m.items)
+    src.modules;
+  tbl
+
+(* --- Top level --- *)
+
+let pick_top ?top (src : Ast.source) =
+  match top with
+  | Some t ->
+    (match find_module src t with
+     | Some m -> m
+     | None -> Diag.fail "unknown top module '%s'" t)
+  | None ->
+    let instantiated =
+      List.fold_left
+        (fun acc m ->
+          List.fold_left
+            (fun acc -> function
+              | Iinst { target; _ } -> SSet.add target acc
+              | _ -> acc)
+            acc m.items)
+        SSet.empty src.modules
+    in
+    (match
+       List.filter
+         (fun m -> not (SSet.mem m.module_name instantiated))
+         src.modules
+     with
+     | [ m ] -> m
+     | [] -> Diag.fail "no top-level module found (instantiation cycle?)"
+     | ms ->
+       Diag.fail "multiple top-level candidates (%s); select one with --top"
+         (String.concat ", " (List.map (fun m -> m.module_name) ms)))
+
+let design_of_source ?top ~library (src : Ast.source) =
+  if src.modules = [] then Diag.fail "%s: no modules found" src.file;
+  let m = pick_top ?top src in
+  let csets = clock_sets src in
+  let b = Netlist.Builder.create ~name:m.module_name ~library in
+  let ctx =
+    { b; src = src.text; modules = src.modules; clock_sets = csets;
+      ff_cell =
+        (* prefer the conventional DFF over the smallest Flip_flop-kind
+           cell: the smallest may be a pulsed latch, which is the
+           conversion flow's *output* vocabulary, not its input *)
+        (match Cell_lib.Library.find library "DFF_X1" with
+         | Some c -> c
+         | None -> Cell_lib.Library.flip_flop library);
+      ffr_cell =
+        (match Cell_lib.Library.find library "DFFR_X1" with
+         | Some c -> c
+         | None -> Cell_lib.Library.flip_flop_with_reset library);
+      gensym = 0 }
+  in
+  let params =
+    List.fold_left
+      (fun acc (pname, default) ->
+        Env.add pname (eval_const ctx acc default) acc)
+      Env.empty m.params
+  in
+  let top_clocks = Hashtbl.find csets m.module_name in
+  let bound =
+    List.map
+      (fun (p : Ast.port) ->
+        let pname, dir, pw, lsb, scalar = port_info ctx params p in
+        let clockish = SSet.mem pname top_clocks in
+        if clockish && (dir <> Input || pw <> 1) then
+          errf ctx p.port_loc
+            "clock '%s' must be a scalar input port" pname;
+        let word =
+          match dir with
+          | Input ->
+            Array.init pw (fun i ->
+              Netlist.Builder.add_input ~clock:clockish b
+                (bitname "" pname ~scalar ~lsb i))
+          | Output ->
+            Array.init pw (fun i ->
+              let name = bitname "" pname ~scalar ~lsb i in
+              let net = Netlist.Builder.fresh_net b name in
+              Netlist.Builder.add_output b name net;
+              net)
+        in
+        (pname, (word, lsb)))
+      m.ports
+  in
+  elab_body ctx ~depth:0 m ~params ~prefix:"" ~bound;
+  Netlist.Builder.freeze b
+
+let read ?(file = "<string>") ?top ~library src =
+  design_of_source ?top ~library (Parser.parse ~file src)

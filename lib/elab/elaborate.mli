@@ -1,0 +1,39 @@
+(** Elaboration: parsed SystemVerilog to the gate-level IR.
+
+    Takes an {!Ast.source}, picks a top module, flattens the hierarchy
+    (parameter overrides are evaluated per instance), lowers
+    [always_ff]/[always_comb]/[assign] through {!Techmap} onto library
+    gates, and maps registers onto the library's flip-flops — a plain
+    DFF when the block has no async reset, the resettable DFF (with
+    complement storage for reset-to-1 bits) when it does.  Vector
+    signals become one net per bit named [v[i]]; hierarchy flattens
+    into [inst$sig] names, so designs round-trip through
+    {!Netlist_io.Verilog.write}.
+
+    Clock discovery: any signal used as an [always_ff] clock, or
+    reaching a child's clock port, is a clock; at the top it must be a
+    scalar input port and is registered as a clock root.  Async-reset
+    signals are ordinary data inputs.
+
+    Width rules are self-determined and unsigned (documented
+    divergences from IEEE 1800 — see [docs/RTL.md]): arithmetic and
+    bitwise results take [max] of the operand widths (the add carry is
+    dropped; write [{1'b0, a} + b] to keep it), [*] produces the full
+    product, comparisons and reductions are 1 bit, shifts take the left
+    operand's width, and assignments zero-extend or truncate.
+
+    All failures raise {!Diag.Error} with file/line/column and a source
+    excerpt. *)
+
+(** [design_of_source ?top ~library src] elaborates [src].  [top]
+    selects the root module; when omitted the unique uninstantiated
+    module is used (anything else is an error). *)
+val design_of_source :
+  ?top:string -> library:Cell_lib.Library.t -> Ast.source ->
+  Netlist.Design.t
+
+(** [read ?file ?top ~library src] = {!Parser.parse} +
+    {!design_of_source}; [file] labels diagnostics. *)
+val read :
+  ?file:string -> ?top:string -> library:Cell_lib.Library.t -> string ->
+  Netlist.Design.t

@@ -1,0 +1,194 @@
+type token =
+  | Tid of string                               (* identifiers and keywords *)
+  | Tnum of { width : int option; value : int } (* numeric literal *)
+  | Top of string                               (* operator / punctuation *)
+  | Teof
+
+let token_to_string = function
+  | Tid s -> s
+  | Tnum { width = Some w; value } -> Printf.sprintf "%d'd%d" w value
+  | Tnum { width = None; value } -> string_of_int value
+  | Top s -> s
+  | Teof -> "<eof>"
+
+(* Multi-character operators, longest first so maximal munch works. *)
+let operators =
+  [ "<<<"; ">>>"; "<<"; ">>"; "<="; ">="; "=="; "!="; "&&"; "||";
+    "~&"; "~|"; "~^"; "^~"; "+:"; "-:";
+    "+"; "-"; "*"; "/"; "%"; "&"; "|"; "^"; "~"; "!"; "<"; ">"; "=";
+    "("; ")"; "["; "]"; "{"; "}"; ";"; ","; "."; ":"; "?"; "@"; "#" ]
+
+let is_id_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = '$'
+
+let is_id_char c = is_id_start c || (c >= '0' && c <= '9')
+
+let is_digit c = c >= '0' && c <= '9'
+
+let digit_value base c =
+  let v =
+    if is_digit c then Char.code c - Char.code '0'
+    else if c >= 'a' && c <= 'f' then 10 + Char.code c - Char.code 'a'
+    else if c >= 'A' && c <= 'F' then 10 + Char.code c - Char.code 'A'
+    else -1
+  in
+  if v >= 0 && v < base then Some v else None
+
+let tokenize ~file src =
+  let n = String.length src in
+  let toks = ref [] in
+  let line = ref 1 and bol = ref 0 in
+  let loc_at i = Netlist_io.Srcloc.make ~file ~line:!line ~col:(i - !bol + 1) in
+  let fail i fmt =
+    Format.kasprintf
+      (fun msg -> Diag.fail ~source:src ~loc:(loc_at i) "%s" msg) fmt
+  in
+  let newline i = incr line; bol := i + 1 in
+  (* based digits after a ' marker: returns (value, next index) *)
+  let based_digits i0 base =
+    let v = ref 0 and i = ref i0 and seen = ref false in
+    let continue = ref true in
+    while !continue && !i < n do
+      let c = src.[!i] in
+      if c = '_' then incr i
+      else
+        match digit_value base c with
+        | Some d ->
+          if !v > (max_int - d) / base then fail !i "numeric literal overflows";
+          v := (!v * base) + d;
+          seen := true;
+          incr i
+        | None ->
+          if (c = 'x' || c = 'X' || c = 'z' || c = 'Z' || c = '?')
+          && (base = 2 || base = 8 || base = 16) then
+            fail !i "x/z digits are unsupported (2-valued elaboration)"
+          else continue := false
+    done;
+    if not !seen then fail i0 "expected digits in based literal";
+    (!v, !i)
+  in
+  let rec go i =
+    if i >= n then ()
+    else
+      match src.[i] with
+      | '\n' -> newline i; go (i + 1)
+      | ' ' | '\t' | '\r' -> go (i + 1)
+      | '/' when i + 1 < n && src.[i + 1] = '/' ->
+        let j = ref i in
+        while !j < n && src.[!j] <> '\n' do incr j done;
+        go !j
+      | '/' when i + 1 < n && src.[i + 1] = '*' ->
+        let j = ref (i + 2) in
+        while !j + 1 < n && not (src.[!j] = '*' && src.[!j + 1] = '/') do
+          if src.[!j] = '\n' then newline !j;
+          incr j
+        done;
+        if !j + 1 >= n then fail i "unterminated block comment";
+        go (!j + 2)
+      | '(' when i + 1 < n && src.[i + 1] = '*' ->
+        (* attribute instance (* ... *) — skipped; '(' followed by '*' is
+           never legal expression syntax, so this is unambiguous *)
+        let j = ref (i + 2) in
+        while !j + 1 < n && not (src.[!j] = '*' && src.[!j + 1] = ')') do
+          if src.[!j] = '\n' then newline !j;
+          incr j
+        done;
+        if !j + 1 >= n then fail i "unterminated (* attribute *)";
+        go (!j + 2)
+      | '`' ->
+        (* compiler directives (`timescale, `define, ...): skip the line *)
+        let j = ref i in
+        while !j < n && src.[!j] <> '\n' do incr j done;
+        go !j
+      | '"' -> fail i "string literals are unsupported"
+      | '\'' ->
+        (* unbased or unsized-based literal: '0, 'b101, 'hFF *)
+        if i + 1 >= n then fail i "lone '"
+        else begin
+          let j = i + 1 in
+          let j = if j < n && (src.[j] = 's' || src.[j] = 'S') then
+              fail j "signed literals are unsupported" else j
+          in
+          match src.[j] with
+          | 'b' | 'B' ->
+            let v, k = based_digits (j + 1) 2 in
+            toks := (Tnum { width = None; value = v }, loc_at i) :: !toks;
+            go k
+          | 'o' | 'O' ->
+            let v, k = based_digits (j + 1) 8 in
+            toks := (Tnum { width = None; value = v }, loc_at i) :: !toks;
+            go k
+          | 'd' | 'D' ->
+            let v, k = based_digits (j + 1) 10 in
+            toks := (Tnum { width = None; value = v }, loc_at i) :: !toks;
+            go k
+          | 'h' | 'H' ->
+            let v, k = based_digits (j + 1) 16 in
+            toks := (Tnum { width = None; value = v }, loc_at i) :: !toks;
+            go k
+          | '0' ->
+            toks := (Tnum { width = None; value = 0 }, loc_at i) :: !toks;
+            go (j + 1)
+          | '1' ->
+            fail i "unbased '1 is unsupported; use a sized literal like 4'hF"
+          | c -> fail i "bad literal '%c" c
+        end
+      | c when is_digit c ->
+        (* decimal run, optionally the size of a based literal *)
+        let j = ref i and v = ref 0 in
+        while !j < n && (is_digit src.[!j] || src.[!j] = '_') do
+          if src.[!j] <> '_' then begin
+            let d = Char.code src.[!j] - Char.code '0' in
+            if !v > (max_int - d) / 10 then fail i "numeric literal overflows";
+            v := (!v * 10) + d
+          end;
+          incr j
+        done;
+        if !j < n && src.[!j] = '\'' then begin
+          (* sized based literal: 8'hFF *)
+          let width = !v in
+          if width <= 0 then fail i "literal width must be positive";
+          if width > 62 then
+            fail i "literal width %d exceeds the supported 62 bits" width;
+          let k = !j + 1 in
+          if k >= n then fail !j "truncated based literal";
+          let k =
+            if src.[k] = 's' || src.[k] = 'S' then
+              fail k "signed literals are unsupported"
+            else k
+          in
+          let base =
+            match src.[k] with
+            | 'b' | 'B' -> 2 | 'o' | 'O' -> 8 | 'd' | 'D' -> 10 | 'h' | 'H' -> 16
+            | c -> fail k "bad base '%c' in literal" c
+          in
+          let value, k' = based_digits (k + 1) base in
+          if width < 62 && value lsr width <> 0 then
+            fail i "literal value does not fit in %d bits" width;
+          toks := (Tnum { width = Some width; value }, loc_at i) :: !toks;
+          go k'
+        end
+        else begin
+          toks := (Tnum { width = None; value = !v }, loc_at i) :: !toks;
+          go !j
+        end
+      | c when is_id_start c ->
+        let j = ref i in
+        while !j < n && is_id_char src.[!j] do incr j done;
+        toks := (Tid (String.sub src i (!j - i)), loc_at i) :: !toks;
+        go !j
+      | _ ->
+        (match
+           List.find_opt
+             (fun op ->
+               let l = String.length op in
+               i + l <= n && String.equal (String.sub src i l) op)
+             operators
+         with
+         | Some op ->
+           toks := (Top op, loc_at i) :: !toks;
+           go (i + String.length op)
+         | None -> fail i "unexpected character %C" src.[i])
+  in
+  go 0;
+  List.rev !toks

@@ -1,0 +1,27 @@
+(** Tokenizer for the SystemVerilog subset.
+
+    Produces located tokens; keywords are returned as {!Tid} and
+    distinguished by the parser.  Comments, [(* attribute *)] instances
+    and backtick compiler directives (whole line) are skipped.  Numeric
+    literals are 2-valued and limited to 62 bits (an OCaml immediate):
+    [x]/[z] digits, signed ([s]) markers, string literals and the
+    unbased all-ones ['1] raise {!Diag.Error} with the offending
+    position. *)
+
+type token =
+  | Tid of string
+      (** identifier or keyword *)
+  | Tnum of { width : int option; value : int }
+      (** numeric literal; [width = None] for unsized (including ['0]
+          and unsized-based forms like ['hFF]) *)
+  | Top of string
+      (** operator or punctuation, spelled as written *)
+  | Teof
+
+(** Rendering for error messages. *)
+val token_to_string : token -> string
+
+(** [tokenize ~file src] scans the whole source.  Raises {!Diag.Error}
+    on lexical errors. *)
+val tokenize :
+  file:string -> string -> (token * Netlist_io.Srcloc.t) list

@@ -1,0 +1,611 @@
+open Lexer
+
+type st = {
+  mutable toks : (token * Ast.loc) list;
+  src : string;
+  mutable last : Ast.loc;
+}
+
+let fail st loc fmt =
+  Format.kasprintf (fun msg -> Diag.fail ~source:st.src ~loc "%s" msg) fmt
+
+let cur_loc st = match st.toks with [] -> st.last | (_, l) :: _ -> l
+
+let peek st = match st.toks with [] -> Teof | (t, _) :: _ -> t
+
+let peek2 st = match st.toks with _ :: (t, _) :: _ -> t | _ -> Teof
+
+let next st =
+  match st.toks with
+  | [] -> Teof
+  | (t, l) :: rest -> st.toks <- rest; st.last <- l; t
+
+let expect st want =
+  let t = peek st in
+  if t = Top want then ignore (next st)
+  else fail st (cur_loc st) "expected '%s', got '%s'" want (token_to_string t)
+
+let expect_kw st kw =
+  let t = peek st in
+  if t = Tid kw then ignore (next st)
+  else fail st (cur_loc st) "expected '%s', got '%s'" kw (token_to_string t)
+
+let expect_id st what =
+  match peek st with
+  | Tid s when not (String.length s > 0 && s.[0] = '$') ->
+    ignore (next st); s
+  | t -> fail st (cur_loc st) "expected %s, got '%s'" what (token_to_string t)
+
+(* Keywords that cannot start an expression or a declarator name. *)
+let reserved =
+  [ "module"; "endmodule"; "input"; "output"; "inout"; "wire"; "logic";
+    "reg"; "bit"; "assign"; "always_comb"; "always_ff"; "always";
+    "always_latch"; "begin"; "end"; "if"; "else"; "case"; "casez"; "casex";
+    "endcase"; "default"; "posedge"; "negedge"; "or"; "parameter";
+    "localparam"; "generate"; "endgenerate"; "genvar"; "for"; "while";
+    "function"; "endfunction"; "task"; "endtask"; "typedef"; "enum";
+    "struct"; "union"; "interface"; "endinterface"; "package";
+    "endpackage"; "import"; "initial"; "signed"; "unsigned"; "int";
+    "integer"; "unique"; "priority"; "return" ]
+
+let is_reserved s = List.mem s reserved
+
+(* Explicitly rejected constructs, with a pointer to what to use instead;
+   docs/RTL.md keeps the same table. *)
+let unsupported =
+  [ "always", "use always_comb or always_ff";
+    "always_latch", "intentional latches are not part of the subset";
+    "initial", "initial blocks are not synthesizable here";
+    "generate", "generate blocks are unsupported; expand manually";
+    "genvar", "generate blocks are unsupported; expand manually";
+    "for", "loops are unsupported; expand manually";
+    "while", "loops are unsupported; expand manually";
+    "function", "functions are unsupported; use a module";
+    "task", "tasks are unsupported";
+    "typedef", "user types are unsupported; use plain vectors";
+    "enum", "enums are unsupported; use localparam constants";
+    "struct", "structs are unsupported; use plain vectors";
+    "union", "unions are unsupported";
+    "interface", "interfaces are unsupported; use plain ports";
+    "package", "packages are unsupported";
+    "import", "packages are unsupported";
+    "inout", "bidirectional ports are unsupported";
+    "signed", "signed arithmetic is unsupported; compute unsigned";
+    "casez", "wildcard cases are unsupported; use case";
+    "casex", "wildcard cases are unsupported; use case" ]
+
+let check_unsupported st =
+  match peek st with
+  | Tid kw ->
+    (match List.assoc_opt kw unsupported with
+     | Some hint -> fail st (cur_loc st) "'%s' is unsupported: %s" kw hint
+     | None -> ())
+  | _ -> ()
+
+(* --- Expressions: precedence climbing --- *)
+
+(* Binary precedence levels, loosest first. *)
+let binary_levels =
+  [ ["||"]; ["&&"]; ["|"]; ["^"; "~^"; "^~"]; ["&"];
+    ["=="; "!="]; ["<"; "<="; ">"; ">="]; ["<<"; ">>"; "<<<"; ">>>"];
+    ["+"; "-"]; ["*"; "/"; "%"] ]
+
+let unary_ops = ["~"; "!"; "-"; "+"; "&"; "|"; "^"; "~&"; "~|"; "~^"]
+
+let rec parse_expr st : Ast.expr =
+  let cond = parse_binary st binary_levels in
+  match peek st with
+  | Top "?" ->
+    let loc = cur_loc st in
+    ignore (next st);
+    let then_e = parse_expr st in
+    expect st ":";
+    let else_e = parse_expr st in
+    Ast.Eternary (cond, then_e, else_e, loc)
+  | _ -> cond
+
+and parse_binary st levels : Ast.expr =
+  match levels with
+  | [] -> parse_unary st
+  | ops :: tighter ->
+    let lhs = ref (parse_binary st tighter) in
+    let continue = ref true in
+    while !continue do
+      match peek st with
+      | Top op when List.mem op ops ->
+        let loc = cur_loc st in
+        ignore (next st);
+        let rhs = parse_binary st tighter in
+        lhs := Ast.Ebinary (op, !lhs, rhs, loc)
+      | _ -> continue := false
+    done;
+    !lhs
+
+and parse_unary st : Ast.expr =
+  match peek st with
+  | Top op when List.mem op unary_ops ->
+    let loc = cur_loc st in
+    ignore (next st);
+    let operand = parse_unary st in
+    if String.equal op "+" then operand else Ast.Eunary (op, operand, loc)
+  | _ -> parse_primary st
+
+and parse_primary st : Ast.expr =
+  check_unsupported st;
+  let loc = cur_loc st in
+  match next st with
+  | Tnum { width; value } -> Ast.Enum { width; value; loc }
+  | Top "(" ->
+    let e = parse_expr st in
+    expect st ")";
+    e
+  | Top "{" ->
+    let first = parse_expr st in
+    (match peek st with
+     | Top "{" ->
+       (* replication {N{x}} *)
+       ignore (next st);
+       let inner = parse_expr st in
+       expect st "}";
+       expect st "}";
+       Ast.Erepl (first, inner, loc)
+     | _ ->
+       let parts = ref [first] in
+       while peek st = Top "," do
+         ignore (next st);
+         parts := parse_expr st :: !parts
+       done;
+       expect st "}";
+       Ast.Econcat (List.rev !parts, loc))
+  | Tid name when String.length name > 0 && name.[0] = '$' ->
+    (* system function call, constant-context only ($clog2) *)
+    expect st "(";
+    let args = ref [parse_expr st] in
+    while peek st = Top "," do
+      ignore (next st);
+      args := parse_expr st :: !args
+    done;
+    expect st ")";
+    Ast.Efun (name, List.rev !args, loc)
+  | Tid name when not (is_reserved name) -> parse_select st name loc
+  | t -> fail st loc "expected an expression, got '%s'" (token_to_string t)
+
+(* a, a[i], a[msb:lsb], a[base +: w], a[base -: w] *)
+and parse_select st name loc : Ast.expr =
+  match peek st with
+  | Top "[" ->
+    ignore (next st);
+    let first = parse_expr st in
+    (match peek st with
+     | Top ":" ->
+       ignore (next st);
+       let lsb = parse_expr st in
+       expect st "]";
+       Ast.Epart (name, first, lsb, loc)
+     | Top "+:" ->
+       ignore (next st);
+       let width = parse_expr st in
+       expect st "]";
+       (* a[base +: w] = a[base+w-1 : base] *)
+       let msb =
+         Ast.Ebinary ("-",
+           Ast.Ebinary ("+", first, width, loc),
+           Ast.Enum { width = None; value = 1; loc }, loc)
+       in
+       Ast.Epart (name, msb, first, loc)
+     | Top "-:" ->
+       ignore (next st);
+       let width = parse_expr st in
+       expect st "]";
+       (* a[base -: w] = a[base : base-w+1] *)
+       let lsb =
+         Ast.Ebinary ("+",
+           Ast.Ebinary ("-", first, width, loc),
+           Ast.Enum { width = None; value = 1; loc }, loc)
+       in
+       Ast.Epart (name, first, lsb, loc)
+     | _ ->
+       expect st "]";
+       (match peek st with
+        | Top "[" ->
+          fail st (cur_loc st)
+            "multi-dimensional select on %s: memories/arrays are unsupported"
+            name
+        | _ -> Ast.Ebit (name, first, loc)))
+  | _ -> Ast.Eid (name, loc)
+
+(* --- Assignment targets --- *)
+
+let rec parse_lval st : Ast.lval =
+  let loc = cur_loc st in
+  match peek st with
+  | Top "{" ->
+    ignore (next st);
+    let parts = ref [parse_lval st] in
+    while peek st = Top "," do
+      ignore (next st);
+      parts := parse_lval st :: !parts
+    done;
+    expect st "}";
+    Ast.Lconcat (List.rev !parts, loc)
+  | Tid name when not (is_reserved name) ->
+    ignore (next st);
+    (match peek st with
+     | Top "[" ->
+       ignore (next st);
+       let first = parse_expr st in
+       (match peek st with
+        | Top ":" ->
+          ignore (next st);
+          let lsb = parse_expr st in
+          expect st "]";
+          Ast.Lpart (name, first, lsb, loc)
+        | _ ->
+          expect st "]";
+          Ast.Lbit (name, first, loc))
+     | _ -> Ast.Lid (name, loc))
+  | t ->
+    check_unsupported st;
+    fail st loc "expected an assignment target, got '%s'" (token_to_string t)
+
+(* --- Statements --- *)
+
+(* [blocking] selects the required assignment operator: '=' inside
+   always_comb, '<=' inside always_ff. *)
+let rec parse_stmt st ~blocking : Ast.stmt =
+  check_unsupported st;
+  let loc = cur_loc st in
+  match peek st with
+  | Tid "begin" ->
+    ignore (next st);
+    let stmts = ref [] in
+    while peek st <> Tid "end" && peek st <> Teof do
+      stmts := parse_stmt st ~blocking :: !stmts
+    done;
+    expect_kw st "end";
+    Ast.Sblock (List.rev !stmts, loc)
+  | Tid "if" ->
+    ignore (next st);
+    expect st "(";
+    let cond = parse_expr st in
+    expect st ")";
+    let then_s = parse_stmt st ~blocking in
+    let else_s =
+      if peek st = Tid "else" then begin
+        ignore (next st);
+        Some (parse_stmt st ~blocking)
+      end
+      else None
+    in
+    Ast.Sif (cond, then_s, else_s, loc)
+  | Tid "case" ->
+    ignore (next st);
+    expect st "(";
+    let subject = parse_expr st in
+    expect st ")";
+    let arms = ref [] and default = ref None in
+    while peek st <> Tid "endcase" && peek st <> Teof do
+      if peek st = Tid "default" then begin
+        ignore (next st);
+        if peek st = Top ":" then ignore (next st);
+        (match !default with
+         | Some _ -> fail st loc "duplicate default arm"
+         | None -> default := Some (parse_stmt st ~blocking))
+      end
+      else begin
+        let labels = ref [parse_expr st] in
+        while peek st = Top "," do
+          ignore (next st);
+          labels := parse_expr st :: !labels
+        done;
+        expect st ":";
+        let body = parse_stmt st ~blocking in
+        arms := (List.rev !labels, body) :: !arms
+      end
+    done;
+    expect_kw st "endcase";
+    Ast.Scase (subject, List.rev !arms, !default, loc)
+  | _ ->
+    let lv = parse_lval st in
+    (match next st with
+     | Top "=" when blocking -> ()
+     | Top "<=" when not blocking -> ()
+     | Top "=" ->
+       fail st loc "blocking '=' inside always_ff; use '<='"
+     | Top "<=" ->
+       fail st loc "non-blocking '<=' inside always_comb; use '='"
+     | t -> fail st loc "expected an assignment, got '%s'" (token_to_string t));
+    let rhs = parse_expr st in
+    expect st ";";
+    Ast.Sassign (lv, rhs, loc)
+
+(* --- Declarations and module items --- *)
+
+(* Skip an optional data-type-ish prefix in parameter declarations:
+   'int', 'integer', 'unsigned', or a packed range. *)
+let skip_param_type st =
+  (match peek st with
+   | Tid "int" | Tid "integer" -> ignore (next st)
+   | _ -> ());
+  (match peek st with
+   | Tid "unsigned" -> ignore (next st)
+   | _ -> ());
+  (match peek st with
+   | Top "[" ->
+     (* ranged parameter: accept and ignore the range (values are ints) *)
+     ignore (next st);
+     let _ = parse_expr st in
+     expect st ":";
+     let _ = parse_expr st in
+     expect st "]"
+   | _ -> ())
+
+let parse_range_opt st : Ast.range option =
+  match peek st with
+  | Top "[" ->
+    ignore (next st);
+    let msb = parse_expr st in
+    expect st ":";
+    let lsb = parse_expr st in
+    expect st "]";
+    (match peek st with
+     | Top "[" ->
+       fail st (cur_loc st) "multi-dimensional ranges (memories) are unsupported"
+     | _ -> ());
+    Some { Ast.msb; lsb }
+  | _ -> None
+
+let skip_net_kw st =
+  match peek st with
+  | Tid ("wire" | "logic" | "reg" | "bit") -> ignore (next st)
+  | Tid "signed" ->
+    fail st (cur_loc st) "'signed' is unsupported: signed arithmetic is unsupported; compute unsigned"
+  | _ -> ()
+
+(* Header parameter list: #(parameter int A = 1, B = 2, localparam ...) *)
+let parse_param_ports st =
+  expect st "#";
+  expect st "(";
+  let params = ref [] in
+  let rec go () =
+    (match peek st with
+     | Tid "parameter" | Tid "localparam" -> ignore (next st)
+     | _ -> ());
+    skip_param_type st;
+    let name = expect_id st "a parameter name" in
+    expect st "=";
+    let value = parse_expr st in
+    params := (name, value) :: !params;
+    match next st with
+    | Top "," -> go ()
+    | Top ")" -> ()
+    | t ->
+      fail st (cur_loc st) "malformed parameter list at '%s'" (token_to_string t)
+  in
+  (match peek st with
+   | Top ")" -> ignore (next st)  (* empty #() *)
+   | _ -> go ());
+  List.rev !params
+
+(* ANSI port list.  Direction and range carry over bare continuation
+   names: (input logic [7:0] a, b, output y). *)
+let parse_port_list st =
+  expect st "(";
+  let ports = ref [] in
+  let dir = ref None and range = ref None in
+  let rec go () =
+    check_unsupported st;
+    let loc = cur_loc st in
+    (match peek st with
+     | Tid "input" -> ignore (next st); dir := Some Ast.Input;
+       skip_net_kw st; range := parse_range_opt st
+     | Tid "output" -> ignore (next st); dir := Some Ast.Output;
+       skip_net_kw st; range := parse_range_opt st
+     | _ -> ());
+    let name = expect_id st "a port name" in
+    (match !dir with
+     | None -> fail st loc "port %s needs a direction (non-ANSI headers are unsupported)" name
+     | Some d ->
+       ports :=
+         { Ast.port_name = name; dir = d; port_range = !range; port_loc = loc }
+         :: !ports);
+    match next st with
+    | Top "," -> go ()
+    | Top ")" -> ()
+    | t -> fail st (cur_loc st) "malformed port list at '%s'" (token_to_string t)
+  in
+  (match peek st with
+   | Top ")" -> ignore (next st)
+   | _ -> go ());
+  List.rev !ports
+
+let parse_sensitivity st =
+  expect st "@";
+  expect st "(";
+  let edge_of () =
+    match next st with
+    | Tid "posedge" -> Ast.Posedge
+    | Tid "negedge" -> Ast.Negedge
+    | Top "*" ->
+      fail st (cur_loc st) "always_ff requires posedge/negedge events"
+    | t ->
+      fail st (cur_loc st)
+        "expected posedge/negedge, got '%s'" (token_to_string t)
+  in
+  let e1 = edge_of () in
+  let s1 = expect_id st "a clock signal" in
+  let second =
+    if peek st = Tid "or" then begin
+      ignore (next st);
+      let e2 = edge_of () in
+      let s2 = expect_id st "a reset signal" in
+      Some (e2, s2)
+    end
+    else None
+  in
+  expect st ")";
+  (e1, s1, second)
+
+let parse_instance st ~target ~loc =
+  let param_overrides =
+    if peek st = Top "#" then begin
+      ignore (next st);
+      expect st "(";
+      let ps = ref [] in
+      let rec go () =
+        expect st ".";
+        let name = expect_id st "a parameter name" in
+        expect st "(";
+        let v = parse_expr st in
+        expect st ")";
+        ps := (name, v) :: !ps;
+        match next st with
+        | Top "," -> go ()
+        | Top ")" -> ()
+        | t ->
+          fail st (cur_loc st) "malformed parameter override at '%s'"
+            (token_to_string t)
+      in
+      (match peek st with
+       | Top ")" -> ignore (next st)
+       | _ -> go ());
+      List.rev !ps
+    end
+    else []
+  in
+  let inst_name = expect_id st "an instance name" in
+  expect st "(";
+  let conns = ref [] in
+  let rec go () =
+    (match peek st with
+     | Top "." when peek2 st = Top "*" ->
+       fail st (cur_loc st) "'.*' connections are unsupported; name every port"
+     | _ -> ());
+    expect st ".";
+    let port = expect_id st "a port name" in
+    (match peek st with
+     | Top "(" ->
+       ignore (next st);
+       (match peek st with
+        | Top ")" -> ignore (next st); conns := (port, None) :: !conns
+        | _ ->
+          let e = parse_expr st in
+          expect st ")";
+          conns := (port, Some e) :: !conns)
+     | _ ->
+       (* .clk shorthand for .clk(clk) *)
+       conns := (port, Some (Ast.Eid (port, cur_loc st))) :: !conns);
+    match next st with
+    | Top "," -> go ()
+    | Top ")" -> ()
+    | t -> fail st (cur_loc st) "malformed connection list at '%s'" (token_to_string t)
+  in
+  (match peek st with
+   | Top ")" -> ignore (next st)
+   | _ -> go ());
+  expect st ";";
+  Ast.Iinst
+    { target; inst_name; param_overrides; conns = List.rev !conns;
+      inst_loc = loc }
+
+let rec parse_items st acc =
+  check_unsupported st;
+  let loc = cur_loc st in
+  match peek st with
+  | Tid "endmodule" ->
+    ignore (next st);
+    (* optional "endmodule : name" label *)
+    (match peek st with
+     | Top ":" -> ignore (next st); ignore (expect_id st "the module name")
+     | _ -> ());
+    List.rev acc
+  | Teof -> fail st loc "missing endmodule"
+  | Tid ("parameter" | "localparam") ->
+    ignore (next st);
+    skip_param_type st;
+    let rec decls acc' =
+      let name = expect_id st "a parameter name" in
+      expect st "=";
+      let value = parse_expr st in
+      let d = Ast.Ilocalparam { lp_name = name; lp_value = value; lp_loc = loc } in
+      match next st with
+      | Top "," -> decls (d :: acc')
+      | Top ";" -> List.rev (d :: acc')
+      | t -> fail st (cur_loc st) "malformed parameter at '%s'" (token_to_string t)
+    in
+    parse_items st (List.rev_append (decls []) acc)
+  | Tid ("wire" | "logic" | "reg" | "bit") ->
+    ignore (next st);
+    let range = parse_range_opt st in
+    let rec decls acc' =
+      let name = expect_id st "a net name" in
+      let d = Ast.Inet { net_name = name; net_range = range; net_loc = loc } in
+      match next st with
+      | Top "," -> decls (d :: acc')
+      | Top ";" -> List.rev (d :: acc')
+      | Top "=" ->
+        (* declaration with init: logic [3:0] x = expr; *)
+        let rhs = parse_expr st in
+        expect st ";";
+        List.rev (Ast.Iassign (Ast.Lid (name, loc), rhs, loc) :: d :: acc')
+      | t -> fail st (cur_loc st) "malformed declaration at '%s'" (token_to_string t)
+    in
+    parse_items st (List.rev_append (decls []) acc)
+  | Tid "assign" ->
+    ignore (next st);
+    let lv = parse_lval st in
+    expect st "=";
+    let rhs = parse_expr st in
+    expect st ";";
+    parse_items st (Ast.Iassign (lv, rhs, loc) :: acc)
+  | Tid "always_comb" ->
+    ignore (next st);
+    let body = parse_stmt st ~blocking:true in
+    parse_items st (Ast.Ialways_comb (body, loc) :: acc)
+  | Tid "always_ff" ->
+    ignore (next st);
+    let e1, s1, second = parse_sensitivity st in
+    let body = parse_stmt st ~blocking:false in
+    parse_items st
+      (Ast.Ialways_ff
+         { clock = s1; clock_edge = e1; areset = second; ff_body = body;
+           ff_loc = loc }
+       :: acc)
+  | Tid name when not (is_reserved name) ->
+    ignore (next st);
+    parse_items st (parse_instance st ~target:name ~loc :: acc)
+  | t -> fail st loc "unexpected '%s' in module body" (token_to_string t)
+
+let parse_module st =
+  expect_kw st "module";
+  let loc = st.last in
+  let name = expect_id st "a module name" in
+  let params = if peek st = Top "#" then parse_param_ports st else [] in
+  let ports = if peek st = Top "(" then parse_port_list st else [] in
+  expect st ";";
+  let items = parse_items st [] in
+  { Ast.module_name = name; params; ports; items; module_loc = loc }
+
+let parse ?(file = "<string>") src =
+  let st = { toks = Lexer.tokenize ~file src; src;
+             last = Netlist_io.Srcloc.make ~file ~line:1 ~col:1 }
+  in
+  let modules = ref [] in
+  while peek st <> Teof do
+    check_unsupported st;
+    (match peek st with
+     | Tid "module" -> modules := parse_module st :: !modules
+     | t ->
+       fail st (cur_loc st) "expected 'module', got '%s'" (token_to_string t))
+  done;
+  let ms = List.rev !modules in
+  (* duplicate module names are almost always a paste error *)
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun (m : Ast.module_) ->
+      if Hashtbl.mem seen m.Ast.module_name then
+        Diag.fail ~source:src ~loc:m.Ast.module_loc
+          "duplicate module %s" m.Ast.module_name;
+      Hashtbl.add seen m.Ast.module_name ())
+    ms;
+  { Ast.file; text = src; modules = ms }

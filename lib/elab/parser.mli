@@ -1,0 +1,16 @@
+(** Recursive-descent parser for the supported SystemVerilog subset.
+
+    Accepts ANSI-header modules with [#(parameter ...)] lists, vector
+    ports and nets, [assign], [always_comb], [always_ff] (posedge clock
+    with an optional async-reset event), [if]/[case] statements, and
+    named-connection instantiation with [#(.P(v))] overrides and the
+    [.clk] shorthand.  Constructs outside the subset ([generate],
+    functions, [for], typedefs, non-ANSI headers, [.*], positional
+    connections, [signed], ...) raise {!Diag.Error} with a located
+    message naming the construct and, where one exists, the supported
+    alternative.  The accepted grammar is tabulated in [docs/RTL.md]. *)
+
+(** [parse ?file src] parses every module in [src].  Raises
+    {!Diag.Error} on lexical or syntax errors; [file] only labels
+    diagnostics. *)
+val parse : ?file:string -> string -> Ast.source

@@ -1,0 +1,170 @@
+open Netlist
+
+type word = Design.net array
+
+let width = Array.length
+
+let iname b prefix = Printf.sprintf "%s_%d" prefix (Builder.size b)
+
+let const_word b ~width v =
+  Array.init width (fun i ->
+    let bit = if i < 62 then (v lsr i) land 1 = 1 else false in
+    Builder.const b bit)
+
+let resize b w n =
+  let cur = width w in
+  if n <= cur then Array.sub w 0 n
+  else Array.init n (fun i -> if i < cur then w.(i) else Builder.const b false)
+
+(* Emit [op] over per-bit inputs, into out.(i) when a destination word is
+   given, else onto a fresh net. *)
+let emit_bit b op ins ~out ~i ~prefix =
+  let p = Printf.sprintf "%s_b%d" prefix i in
+  match out with
+  | Some o -> Gates.emit b op ins ~out:o.(i) ~prefix:p; o.(i)
+  | None -> Gates.emit_fresh b op ins ~prefix:p
+
+let buf b ?out w ~prefix =
+  Array.init (width w) (fun i -> emit_bit b Gates.Buf [w.(i)] ~out ~i ~prefix)
+
+let bnot b ?out w ~prefix =
+  Array.init (width w) (fun i -> emit_bit b Gates.Not [w.(i)] ~out ~i ~prefix)
+
+(* Bitwise binary op over equal-width words. *)
+let binop b op ?out wa wb ~prefix =
+  assert (width wa = width wb);
+  Array.init (width wa)
+    (fun i -> emit_bit b op [wa.(i); wb.(i)] ~out ~i ~prefix)
+
+(* Reduction to a 1-bit word.  Gates.emit builds the balanced tree; a
+   1-bit operand needs no gates for the non-inverting ops. *)
+let reduce b op w ~prefix =
+  if width w = 1 then
+    match op with
+    | Gates.And | Gates.Or | Gates.Xor | Gates.Buf -> [| w.(0) |]
+    | Gates.Nand | Gates.Nor | Gates.Xnor | Gates.Not ->
+      [| Gates.emit_fresh b Gates.Not [w.(0)] ~prefix |]
+  else [| Gates.emit_fresh b op (Array.to_list w) ~prefix |]
+
+(* sel ? if1 : if0 per bit, on MUX2 (pins A,B,S,Z; S=1 selects B).
+   Bits where both arms are the same net pass through without a cell. *)
+let mux b ~sel ?out ~if0 ~if1 ~prefix () =
+  assert (width if0 = width if1);
+  Array.init (width if0) (fun i ->
+    if if0.(i) = if1.(i) && out = None then if0.(i)
+    else begin
+      let z =
+        match out with
+        | Some o -> o.(i)
+        | None -> Builder.fresh_net b (Printf.sprintf "%s_z%d" prefix i)
+      in
+      if if0.(i) = if1.(i) then
+        Gates.emit b Gates.Buf [if0.(i)] ~out:z
+          ~prefix:(Printf.sprintf "%s_b%d" prefix i)
+      else
+        ignore
+          (Builder.add_cell b (iname b prefix) "MUX2_X1"
+             [ "A", if0.(i); "B", if1.(i); "S", sel; "Z", z ]);
+      z
+    end)
+
+(* Ripple-carry a + b + cin; returns (sum, carry-out).  sum lands in
+   [out] when given. *)
+let add_c b ?out wa wb ~cin ~prefix =
+  assert (width wa = width wb);
+  let carry = ref cin in
+  let sum =
+    Array.init (width wa) (fun i ->
+      let p = Printf.sprintf "%s_fa%d" prefix i in
+      let axb = Gates.emit_fresh b Gates.Xor [wa.(i); wb.(i)] ~prefix:(p ^ "x") in
+      let s = emit_bit b Gates.Xor [axb; !carry] ~out ~i ~prefix in
+      let g = Gates.emit_fresh b Gates.And [wa.(i); wb.(i)] ~prefix:(p ^ "g") in
+      let pr = Gates.emit_fresh b Gates.And [axb; !carry] ~prefix:(p ^ "p") in
+      carry := Gates.emit_fresh b Gates.Or [g; pr] ~prefix:(p ^ "c");
+      s)
+  in
+  (sum, !carry)
+
+let add b ?out wa wb ~prefix =
+  fst (add_c b ?out wa wb ~cin:(Builder.const b false) ~prefix)
+
+(* a - b as a + ~b + 1; carry-out = 1 iff a >= b (no borrow). *)
+let sub_c b ?out wa wb ~prefix =
+  let nb = bnot b wb ~prefix:(prefix ^ "_n") in
+  add_c b ?out wa nb ~cin:(Builder.const b true) ~prefix
+
+let sub b ?out wa wb ~prefix = fst (sub_c b ?out wa wb ~prefix)
+
+(* Unsigned comparisons, all built on one subtract chain. *)
+let ult b wa wb ~prefix =
+  let _, cout = sub_c b wa wb ~prefix in
+  [| Gates.emit_fresh b Gates.Not [cout] ~prefix:(prefix ^ "_lt") |]
+
+let uge b wa wb ~prefix =
+  let _, cout = sub_c b wa wb ~prefix in
+  [| cout |]
+
+let eq b wa wb ~prefix =
+  assert (width wa = width wb);
+  let bits = binop b Gates.Xnor wa wb ~prefix:(prefix ^ "_x") in
+  reduce b Gates.And bits ~prefix:(prefix ^ "_and")
+
+let ne b wa wb ~prefix =
+  assert (width wa = width wb);
+  let bits = binop b Gates.Xor wa wb ~prefix:(prefix ^ "_x") in
+  reduce b Gates.Or bits ~prefix:(prefix ^ "_or")
+
+(* Full wa+wb-bit product by shift-and-add of AND-gated partial rows. *)
+let mul b ?out wa wb ~prefix =
+  let wtot = width wa + width wb in
+  let zero = Builder.const b false in
+  let row j =
+    Array.init wtot (fun i ->
+      if i >= j && i - j < width wa then
+        Gates.emit_fresh b Gates.And [wa.(i - j); wb.(j)]
+          ~prefix:(Printf.sprintf "%s_pp%d_%d" prefix j (i - j))
+      else zero)
+  in
+  let acc = ref (row 0) in
+  for j = 1 to width wb - 1 do
+    let last = j = width wb - 1 in
+    let dest = if last then out else None in
+    acc := add b ?out:dest !acc (row j) ~prefix:(Printf.sprintf "%s_r%d" prefix j)
+  done;
+  if width wb = 1 then (match out with Some _ -> buf b ?out !acc ~prefix | None -> !acc)
+  else !acc
+
+(* Logarithmic barrel shifter.  [dir] picks the fill side; shift amounts
+   >= the word width produce all zeros. *)
+let shift b dir ?out w amt ~prefix =
+  let wd = width w in
+  let zero = Builder.const b false in
+  let shifted_by acc k =
+    Array.init wd (fun i ->
+      let src = match dir with `Left -> i - k | `Right -> i + k in
+      if src < 0 || src >= wd then zero else acc.(src))
+  in
+  (* Stages only for amount bits that shift < wd; higher bits force 0. *)
+  let max_stage =
+    let rec go k = if k < 62 && 1 lsl k < wd then go (k + 1) else k in
+    go 0
+  in
+  let acc = ref w in
+  for k = 0 to min max_stage (width amt) - 1 do
+    acc :=
+      mux b ~sel:amt.(k) ~if0:!acc ~if1:(shifted_by !acc (1 lsl k))
+        ~prefix:(Printf.sprintf "%s_s%d" prefix k) ()
+  done;
+  let used = min max_stage (width amt) in
+  let high = Array.sub amt used (width amt - used) in
+  let staged = !acc in
+  if width high = 0 then
+    match out with Some _ -> buf b ?out staged ~prefix | None -> staged
+  else begin
+    let toobig = (reduce b Gates.Or high ~prefix:(prefix ^ "_hi")).(0) in
+    mux b ~sel:toobig ?out ~if0:staged
+      ~if1:(Array.make wd zero) ~prefix:(prefix ^ "_clip") ()
+  end
+
+let shl b ?out w amt ~prefix = shift b `Left ?out w amt ~prefix
+let shr b ?out w amt ~prefix = shift b `Right ?out w amt ~prefix

@@ -1,0 +1,76 @@
+(** Word-level operators over library gates.
+
+    A {!word} is an array of nets, index 0 = LSB.  Every operator builds
+    combinational cells through {!Netlist.Gates} / {!Netlist.Builder};
+    when an [?out] word is supplied the result is driven onto those nets
+    (used to land values on a variable's canonical nets), otherwise
+    fresh nets are allocated.  [prefix] seeds generated net and instance
+    names and must be unique per call site.
+
+    Width discipline is the elaborator's job: binary operators assert
+    equal operand widths; use {!resize} (zero-extend / truncate) first.
+    All arithmetic is unsigned — see [docs/RTL.md] for the divergences
+    from IEEE 1800 width rules. *)
+
+type word = Netlist.Design.net array
+
+val width : word -> int
+
+(** [width]-bit constant; bits beyond 62 are zero. *)
+val const_word : Netlist.Builder.t -> width:int -> int -> word
+
+(** Zero-extend or truncate to the given width.  Never emits gates. *)
+val resize : Netlist.Builder.t -> word -> int -> word
+
+(** Per-bit buffer; the way a computed word is tied onto canonical nets. *)
+val buf : Netlist.Builder.t -> ?out:word -> word -> prefix:string -> word
+
+val bnot : Netlist.Builder.t -> ?out:word -> word -> prefix:string -> word
+
+(** Per-bit binary bitwise op ([And]/[Or]/[Xor]/[Xnor]/...). *)
+val binop :
+  Netlist.Builder.t -> Netlist.Gates.op -> ?out:word -> word -> word ->
+  prefix:string -> word
+
+(** Reduction ([&w], [|w], [^w] and inverted forms) to a 1-bit word. *)
+val reduce :
+  Netlist.Builder.t -> Netlist.Gates.op -> word -> prefix:string -> word
+
+(** [mux b ~sel ~if0 ~if1 ()] = [sel ? if1 : if0], one MUX2 per bit;
+    bits whose arms are the same net pass through cell-free. *)
+val mux :
+  Netlist.Builder.t -> sel:Netlist.Design.net -> ?out:word ->
+  if0:word -> if1:word -> prefix:string -> unit -> word
+
+(** Ripple-carry [a + b + cin]; returns (sum, carry-out). *)
+val add_c :
+  Netlist.Builder.t -> ?out:word -> word -> word ->
+  cin:Netlist.Design.net -> prefix:string -> word * Netlist.Design.net
+
+(** [a + b], carry dropped (write [{1'b0,a} + b] in RTL to keep it). *)
+val add :
+  Netlist.Builder.t -> ?out:word -> word -> word -> prefix:string -> word
+
+(** [a - b] (two's complement wraparound). *)
+val sub :
+  Netlist.Builder.t -> ?out:word -> word -> word -> prefix:string -> word
+
+(** Unsigned [a < b] / [a >= b] as 1-bit words, via one subtract chain. *)
+val ult : Netlist.Builder.t -> word -> word -> prefix:string -> word
+val uge : Netlist.Builder.t -> word -> word -> prefix:string -> word
+
+(** Equality / inequality as 1-bit words. *)
+val eq : Netlist.Builder.t -> word -> word -> prefix:string -> word
+val ne : Netlist.Builder.t -> word -> word -> prefix:string -> word
+
+(** Full [wa+wb]-bit unsigned product (shift-and-add). *)
+val mul :
+  Netlist.Builder.t -> ?out:word -> word -> word -> prefix:string -> word
+
+(** Logical shifts by a dynamic amount (logarithmic barrel shifter,
+    zero fill; amounts >= the word width yield zero).  Constant shift
+    amounts should be handled as pure rearrangement by the caller. *)
+val shl :
+  Netlist.Builder.t -> ?out:word -> word -> word -> prefix:string -> word
+val shr :
+  Netlist.Builder.t -> ?out:word -> word -> word -> prefix:string -> word

@@ -1,0 +1,49 @@
+type t = { file : string; line : int; col : int }
+
+let make ~file ~line ~col = { file; line; col }
+
+let to_string { file; line; col } = Printf.sprintf "%s:%d:%d" file line col
+
+let nth_line source n =
+  let rec go start line =
+    if line = n then
+      let stop =
+        match String.index_from_opt source start '\n' with
+        | Some j -> j
+        | None -> String.length source
+      in
+      Some (String.sub source start (stop - start))
+    else
+      match String.index_from_opt source start '\n' with
+      | Some j -> go (j + 1) (line + 1)
+      | None -> None
+  in
+  if n < 1 then None else go 0 1
+
+let excerpt ~source loc =
+  match nth_line source loc.line with
+  | None -> None
+  | Some text ->
+    let text =
+      (* keep the excerpt one readable line *)
+      if String.length text > 120 then String.sub text 0 117 ^ "..." else text
+    in
+    let caret_col = max 0 (min (loc.col - 1) (String.length text)) in
+    let caret =
+      String.map (fun c -> if c = '\t' then '\t' else ' ')
+        (String.sub text 0 caret_col)
+      ^ "^"
+    in
+    Some (Printf.sprintf "  %s\n  %s" text caret)
+
+let message ?source ?loc msg =
+  match loc with
+  | None -> msg
+  | Some l ->
+    let head = Printf.sprintf "%s: %s" (to_string l) msg in
+    (match source with
+     | None -> head
+     | Some src ->
+       (match excerpt ~source:src l with
+        | None -> head
+        | Some e -> head ^ "\n" ^ e))

@@ -1,0 +1,27 @@
+(** Source positions for front-end diagnostics.
+
+    Every reader in this library ({!Verilog}, {!Sdc}) and the word-level
+    elaborator ([Elab]) reports errors as a {!t} (file, 1-based line and
+    column) plus a message that embeds a one-line source excerpt with a
+    caret, so failures on real RTL point at the offending token instead
+    of a bare string. *)
+
+type t = {
+  file : string;  (** as passed to the reader; ["<string>"] when unnamed *)
+  line : int;     (** 1-based *)
+  col : int;      (** 1-based *)
+}
+
+val make : file:string -> line:int -> col:int -> t
+
+(** ["file:line:col"]. *)
+val to_string : t -> string
+
+(** The source line the location points into, trimmed to a readable
+    length, followed by a caret line marking the column; [None] when the
+    location is out of range. *)
+val excerpt : source:string -> t -> string option
+
+(** [message ?source ?loc msg] prefixes [msg] with the location and, when
+    the original [source] text is available, appends the {!excerpt}. *)
+val message : ?source:string -> ?loc:t -> string -> string

@@ -1,6 +1,14 @@
-exception Error of string
+exception Error of Srcloc.t option * string
 
-let error fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+let () =
+  Printexc.register_printer (function
+    | Error (loc, msg) ->
+      Some
+        (Printf.sprintf "Netlist_io.Verilog.Error (%s)"
+           (match loc with
+            | Some l -> Srcloc.to_string l ^ ": " ^ msg
+            | None -> msg))
+    | _ -> None)
 
 (* --- Lexer --- *)
 
@@ -37,60 +45,89 @@ let scan_clock_comment src =
   | Some clocks -> Some clocks
   | None -> None
 
-let tokenize src =
+(* The lexer walks the raw string and keeps a parallel line/column count,
+   so every token carries the Srcloc.t it started at. *)
+let tokenize ~file src =
   let n = String.length src in
   let toks = ref [] in
+  let line = ref 1 and bol = ref 0 in
+  let loc_at i = Srcloc.make ~file ~line:!line ~col:(i - !bol + 1) in
+  let fail i fmt =
+    Format.kasprintf
+      (fun msg ->
+        raise (Error (Some (loc_at i), Srcloc.message ~source:src ~loc:(loc_at i) msg)))
+      fmt
+  in
   let is_id c =
     (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
     || (c >= '0' && c <= '9') || c = '_' || c = '$' || c = '[' || c = ']'
   in
+  let newline i = incr line; bol := i + 1 in
   let rec go i =
     if i >= n then ()
     else
       match src.[i] with
-      | ' ' | '\t' | '\n' | '\r' -> go (i + 1)
+      | '\n' -> newline i; go (i + 1)
+      | ' ' | '\t' | '\r' -> go (i + 1)
       | '/' when i + 1 < n && src.[i + 1] = '/' ->
         let j = ref i in
         while !j < n && src.[!j] <> '\n' do incr j done;
         go !j
       | '/' when i + 1 < n && src.[i + 1] = '*' ->
         let j = ref (i + 2) in
-        while !j + 1 < n && not (src.[!j] = '*' && src.[!j + 1] = '/') do incr j done;
+        while !j + 1 < n && not (src.[!j] = '*' && src.[!j + 1] = '/') do
+          if src.[!j] = '\n' then newline !j;
+          incr j
+        done;
         go (!j + 2)
       | '(' | ')' | ';' | ',' | '.' | '=' as c ->
-        toks := Punct c :: !toks;
+        toks := (Punct c, loc_at i) :: !toks;
         go (i + 1)
       | '1' when i + 3 < n && src.[i + 1] = '\'' && (src.[i + 2] = 'b' || src.[i + 2] = 'B') ->
         (match src.[i + 3] with
-         | '0' -> toks := Lit false :: !toks; go (i + 4)
-         | '1' -> toks := Lit true :: !toks; go (i + 4)
-         | c -> error "bad literal 1'b%c" c)
+         | '0' -> toks := (Lit false, loc_at i) :: !toks; go (i + 4)
+         | '1' -> toks := (Lit true, loc_at i) :: !toks; go (i + 4)
+         | c -> fail i "bad literal 1'b%c" c)
       | c when is_id c ->
         let j = ref i in
         while !j < n && is_id src.[!j] do incr j done;
-        toks := Id (String.sub src i (!j - i)) :: !toks;
+        toks := (Id (String.sub src i (!j - i)), loc_at i) :: !toks;
         go !j
-      | c -> error "unexpected character %C" c
+      | c -> fail i "unexpected character %C" c
   in
   go 0;
   List.rev !toks
 
 (* --- Parser --- *)
 
-type st = { mutable toks : token list }
+type st = {
+  mutable toks : (token * Srcloc.t) list;
+  src : string;
+  mutable last_loc : Srcloc.t;
+}
 
-let peek st = match st.toks with [] -> Eof | t :: _ -> t
+let cur_loc st =
+  match st.toks with [] -> st.last_loc | (_, l) :: _ -> l
+
+let error st fmt =
+  let loc = cur_loc st in
+  Format.kasprintf
+    (fun msg ->
+      raise (Error (Some loc, Srcloc.message ~source:st.src ~loc msg)))
+    fmt
+
+let peek st = match st.toks with [] -> Eof | (t, _) :: _ -> t
 
 let next st =
   match st.toks with
   | [] -> Eof
-  | t :: rest -> st.toks <- rest; t
+  | (t, l) :: rest -> st.toks <- rest; st.last_loc <- l; t
 
 let expect_punct st c =
-  match next st with
-  | Punct p when p = c -> ()
+  match peek st with
+  | Punct p when p = c -> ignore (next st)
   | t ->
-    error "expected %C, got %s" c
+    error st "expected %C, got %s" c
       (match t with
        | Id s -> s
        | Lit b -> if b then "1'b1" else "1'b0"
@@ -98,11 +135,11 @@ let expect_punct st c =
        | Eof -> "<eof>")
 
 let expect_id st =
-  match next st with
-  | Id s -> s
-  | Lit _ | Punct _ | Eof -> error "expected identifier"
+  match peek st with
+  | Id s -> ignore (next st); s
+  | Lit _ | Punct _ | Eof -> error st "expected identifier"
 
-let parse ?clocks ~library src =
+let parse ?(file = "<string>") ?clocks ~library src =
   let clock_names =
     match scan_clock_comment src, clocks with
     | Some cs, _ -> cs
@@ -110,10 +147,13 @@ let parse ?clocks ~library src =
     | None, None -> conventional_clock_names
   in
   let is_clock name = List.exists (String.equal name) clock_names in
-  let st = { toks = tokenize src } in
+  let st =
+    { toks = tokenize ~file src; src;
+      last_loc = Srcloc.make ~file ~line:1 ~col:1 }
+  in
   (match next st with
    | Id "module" -> ()
-   | _ -> error "expected 'module'");
+   | _ -> error st "expected 'module'");
   let module_name = expect_id st in
   (* port list (names only; directions come from declarations) *)
   (match peek st with
@@ -123,7 +163,7 @@ let parse ?clocks ~library src =
        match next st with
        | Punct ')' -> ()
        | Id _ | Punct ',' -> ports ()
-       | Lit _ | Punct _ | Eof -> error "malformed port list"
+       | Lit _ | Punct _ | Eof -> error st "malformed port list"
      in
      ports ()
    | Punct _ | Id _ | Lit _ | Eof -> ());
@@ -141,12 +181,12 @@ let parse ?clocks ~library src =
     match next st with
     | Punct ';' -> List.rev (name :: acc)
     | Punct ',' -> id_list (name :: acc)
-    | Id _ | Lit _ | Punct _ | Eof -> error "malformed declaration list"
+    | Id _ | Lit _ | Punct _ | Eof -> error st "malformed declaration list"
   in
   let net_of name =
     match Hashtbl.find_opt nets name with
     | Some n -> n
-    | None -> error "undeclared signal %s" name
+    | None -> error st "undeclared signal %s" name
   in
   let parse_instance cell_name =
     let inst_name = expect_id st in
@@ -163,17 +203,17 @@ let parse ?clocks ~library src =
           match next st with
           | Id sig_name -> net_of sig_name
           | Lit v -> Netlist.Builder.const b v
-          | Punct _ | Eof -> error "malformed connection for pin %s" pin
+          | Punct _ | Eof -> error st "malformed connection for pin %s" pin
         in
         expect_punct st ')';
         conns := (pin, net) :: !conns;
         connections ()
-      | Id _ | Lit _ | Punct _ | Eof -> error "malformed instance %s" inst_name
+      | Id _ | Lit _ | Punct _ | Eof -> error st "malformed instance %s" inst_name
     in
     connections ();
     expect_punct st ';';
     (match Cell_lib.Library.find library cell_name with
-     | None -> error "unknown cell %s (instance %s)" cell_name inst_name
+     | None -> error st "unknown cell %s (instance %s)" cell_name inst_name
      | Some cell ->
        ignore (Netlist.Builder.add_instance b inst_name cell (List.rev !conns)))
   in
@@ -184,7 +224,7 @@ let parse ?clocks ~library src =
       let names = id_list [] in
       List.iter
         (fun name ->
-          if Hashtbl.mem nets name then error "duplicate declaration of %s" name;
+          if Hashtbl.mem nets name then error st "duplicate declaration of %s" name;
           Hashtbl.add nets name
             (Netlist.Builder.add_input ~clock:(is_clock name) b name))
         names;
@@ -214,19 +254,19 @@ let parse ?clocks ~library src =
               ~out:existing ~prefix:("tie_" ^ lhs)
           | None -> Hashtbl.replace nets lhs (Netlist.Builder.const b v))
        | Id rhs -> aliases := (lhs, rhs) :: !aliases
-       | Punct _ | Eof -> error "malformed assign");
+       | Punct _ | Eof -> error st "malformed assign");
       expect_punct st ';';
       body ()
     | Id cell_name -> parse_instance cell_name; body ()
-    | Eof -> error "missing endmodule"
-    | Lit _ | Punct _ -> error "unexpected token in module body"
+    | Eof -> error st "missing endmodule"
+    | Lit _ | Punct _ -> error st "unexpected token in module body"
   in
   body ();
   (* resolve aliases: output port -> source net; otherwise insert a buffer *)
   let alias_map = Hashtbl.create 16 in
   List.iter (fun (lhs, rhs) -> Hashtbl.replace alias_map lhs rhs) !aliases;
   let rec resolve name fuel =
-    if fuel = 0 then error "alias cycle at %s" name
+    if fuel = 0 then error st "alias cycle at %s" name
     else
       match Hashtbl.find_opt alias_map name with
       | Some rhs -> resolve rhs (fuel - 1)

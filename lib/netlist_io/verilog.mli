@@ -1,7 +1,7 @@
-(** Reader and writer for a structural Verilog subset: one module, scalar
-    ports, [input]/[output]/[wire] declarations, cell instances with named
-    port connections, and [assign] aliases for output ports and constant
-    ties.
+(** Reader and writer for the {e flat structural} Verilog subset: one
+    module, scalar ports, [input]/[output]/[wire] declarations, named
+    library-cell instances, and [assign] aliases for output ports and
+    constant ties.
 
     {v
       // @clocks clk
@@ -14,13 +14,29 @@
       endmodule
     v}
 
+    This is the gate-level exchange format the flow writes and re-reads:
+    every instance must name a {!Cell_lib} cell, and there is no
+    behavioural code, no vectors and no hierarchy.  {e Word-level}
+    SystemVerilog — parameters, vector ports, [always_ff]/[always_comb],
+    arithmetic operators, module hierarchy — is handled by the separate
+    elaboration front-end ([Elab.Frontend], see docs/RTL.md), which
+    lowers RTL through a techmapper into the same {!Netlist.Design.t}
+    this reader produces.  [ff2latch] picks the front-end by extension:
+    [.v] comes here, [.sv] goes through the elaborator.
+
     Clock ports come from a [// @clocks p1 p2 ...] comment when present,
     from the [~clocks] argument otherwise, and finally from a built-in list
     of conventional names (clk, clock, p1, p2, p3, clkbar). *)
 
-exception Error of string
+(** Parse errors carry the source position of the offending token when
+    one is known; the message already embeds a ["file:line:col:"] prefix
+    and a one-line source excerpt with a caret. *)
+exception Error of Srcloc.t option * string
 
+(** [parse ?file ?clocks ~library src] reads one structural module.
+    [file] (default ["<string>"]) only labels error locations. *)
 val parse :
+  ?file:string ->
   ?clocks:string list -> library:Cell_lib.Library.t -> string -> Netlist.Design.t
 
 (** [write d] renders the design; emits an [@clocks] header comment so the

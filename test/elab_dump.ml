@@ -1,0 +1,16 @@
+(* Golden-test helper: elaborate a .sv file and print the flat
+   structural-Verilog netlist on stdout.  The dune rules in this
+   directory diff its output against the committed golden_*.v files;
+   regenerate them with `dune promote` after an intentional change. *)
+
+let () =
+  let path = Sys.argv.(1) in
+  let ic = open_in path in
+  let src = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  let library = Cell_lib.Default_library.library () in
+  match Elab.Elaborate.read ~file:path ~library src with
+  | d -> print_string (Netlist_io.Verilog.write d)
+  | exception Elab.Diag.Error (_, msg) ->
+    prerr_endline msg;
+    exit 1

@@ -15,5 +15,6 @@ let () =
       ("experiments", Test_experiments.suite);
       ("obs", Test_obs.suite);
       ("qor", Test_qor.suite);
+      ("elab", Test_elab.suite);
       ("artifacts", Test_artifacts.suite);
       ("fuzz", Test_fuzz.suite) ]

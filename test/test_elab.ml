@@ -1,0 +1,335 @@
+(* Tests for the word-level SystemVerilog front-end (lib/elab):
+   located diagnostics, parameters, selects, reset styles, and qcheck
+   cross-checks of the techmapped arithmetic against OCaml integers via
+   both simulators. *)
+
+module L = Sim.Logic
+
+let library = Cell_lib.Default_library.library ()
+
+let elab ?top src = Elab.Elaborate.read ~file:"t.sv" ?top ~library src
+
+let expect_error ?(file = "t.sv") ~needle src =
+  match Elab.Elaborate.read ~file ~library src with
+  | _ -> Alcotest.failf "expected an error mentioning %S" needle
+  | exception Elab.Diag.Error (loc, msg) ->
+    Alcotest.(check bool)
+      (Printf.sprintf "message %S mentions %S" msg needle)
+      true
+      (Astring.String.is_infix ~affix:needle msg);
+    Alcotest.(check bool) "message carries file:line:col" true
+      (Astring.String.is_infix ~affix:(file ^ ":") msg);
+    Alcotest.(check bool) "location is attached" true (loc <> None)
+
+(* --- helpers: drive a design with integer words --- *)
+
+let bits name width v =
+  List.init width (fun i ->
+    let n = if width = 1 then name else Printf.sprintf "%s[%d]" name i in
+    (n, L.of_bool ((v lsr i) land 1 = 1)))
+
+let word_of outs name width =
+  let bit i =
+    let n = if width = 1 then name else Printf.sprintf "%s[%d]" name i in
+    match List.assoc n outs with
+    | L.L1 -> 1
+    | L.L0 -> 0
+    | L.LX -> Alcotest.failf "output %s is X" n
+  in
+  List.fold_left (fun acc i -> acc lor (bit i lsl i)) 0 (List.init width Fun.id)
+
+let clk = Sim.Clock_spec.single ~period:1.0 ~port:"clk"
+
+(* --- diagnostics --- *)
+
+let test_located_errors () =
+  expect_error ~needle:"always_comb or always_ff"
+    "module m(input a, output y);\n  always @(a) y = a;\nendmodule\n";
+  expect_error ~needle:"x/z digits"
+    "module m(output logic [3:0] y);\n  assign y = 4'b10xz;\nendmodule\n";
+  expect_error ~needle:"unknown signal 'b'"
+    "module m(input a, output y);\n  assign y = b;\nendmodule\n";
+  expect_error ~needle:"generate"
+    "module m(input a);\n  generate endgenerate\nendmodule\n";
+  expect_error ~needle:"multiple drivers"
+    "module m(input a, output y);\n  assign y = a;\n  assign y = !a;\nendmodule\n";
+  (* the excerpt line/col points at the offending token *)
+  (match elab "module m(input a, output y);\n  assign y = q;\nendmodule\n" with
+   | _ -> Alcotest.fail "expected error"
+   | exception Elab.Diag.Error (Some loc, _) ->
+     Alcotest.(check int) "line" 2 loc.Netlist_io.Srcloc.line
+   | exception Elab.Diag.Error (None, _) -> Alcotest.fail "expected a location")
+
+let test_comb_latch_error () =
+  expect_error ~needle:"every path"
+    "module m(input a, input b, output logic y);\n\
+    \  always_comb if (a) y = b;\nendmodule\n";
+  expect_error ~needle:"read before"
+    "module m(input a, output logic y);\n\
+    \  always_comb begin y = y | a; end\nendmodule\n"
+
+(* --- parameters --- *)
+
+let param_src =
+  "module inner #(parameter W = 4) (input logic [W-1:0] d, \
+   output logic [W-1:0] q);\n\
+  \  assign q = ~d;\nendmodule\n\
+   module outer(input logic [6:0] d, output logic [6:0] q);\n\
+  \  inner #(.W(7)) u (.d(d), .q(q));\nendmodule\n"
+
+let test_parameter_override () =
+  let d = elab param_src in
+  (* top 'outer' instantiates inner with W=7: 7 inverters *)
+  Alcotest.(check int) "primary inputs" 7
+    (List.length d.Netlist.Design.primary_inputs);
+  let stats = Netlist.Stats.compute d in
+  Alcotest.(check int) "no flops" 0 stats.Netlist.Stats.flip_flops;
+  (* default width when not overridden *)
+  let d4 =
+    elab ~top:"inner"
+      "module inner #(parameter W = 4) (input logic [W-1:0] d, \
+       output logic [W-1:0] q);\n  assign q = ~d;\nendmodule\n"
+  in
+  Alcotest.(check int) "default W=4" 4
+    (List.length d4.Netlist.Design.primary_inputs)
+
+let test_clog2_param () =
+  let d =
+    elab
+      "module m #(parameter DEPTH = 12, parameter AW = $clog2(DEPTH)) \
+       (input logic [AW-1:0] a, output logic [AW-1:0] y);\n\
+      \  assign y = a;\nendmodule\n"
+  in
+  Alcotest.(check int) "clog2(12) = 4 address bits" 4
+    (List.length d.Netlist.Design.primary_inputs)
+
+(* --- selects and expressions, simulated --- *)
+
+let run_comb src ~ins ~outs:outw =
+  (* single-register pass-through: y is registered so the design has a
+     clock.  The engine's edge captures the previous cycle's inputs, so
+     hold each vector for two cycles and sample the second. *)
+  let d = elab src in
+  let e = Sim.Engine.create d ~clocks:clk in
+  fun values ->
+    let inputs = List.concat_map (fun ((n, w), v) -> bits n w v) (List.combine ins values) in
+    ignore (Sim.Engine.run_cycle e inputs);
+    let outs = Sim.Engine.run_cycle e inputs in
+    List.map (fun (n, w) -> word_of outs n w) outw
+
+let test_part_select () =
+  let f =
+    run_comb
+      "module m(input clk, input logic [7:0] a, output logic [3:0] hi, \
+       output logic [3:0] lo, output logic b6);\n\
+      \  always_ff @(posedge clk) begin\n\
+      \    hi <= a[7:4];\n    lo <= a[3:0];\n    b6 <= a[6];\n  end\nendmodule\n"
+      ~ins:[ ("a", 8) ]
+      ~outs:[ ("hi", 4); ("lo", 4); ("b6", 1) ]
+  in
+  List.iter
+    (fun a ->
+      match f [ a ] with
+      | [ hi; lo; b6 ] ->
+        Alcotest.(check int) "hi" (a lsr 4) hi;
+        Alcotest.(check int) "lo" (a land 15) lo;
+        Alcotest.(check int) "b6" ((a lsr 6) land 1) b6
+      | _ -> assert false)
+    [ 0; 1; 0x5A; 0xA5; 0xFF; 0x40 ]
+
+let test_concat_repl () =
+  let f =
+    run_comb
+      "module m(input clk, input logic [3:0] a, output logic [7:0] y, \
+       output logic [5:0] r);\n\
+      \  always_ff @(posedge clk) begin\n\
+      \    y <= {a, 4'hC};\n    r <= {3{a[1:0]}};\n  end\nendmodule\n"
+      ~ins:[ ("a", 4) ]
+      ~outs:[ ("y", 8); ("r", 6) ]
+  in
+  List.iter
+    (fun a ->
+      match f [ a ] with
+      | [ y; r ] ->
+        Alcotest.(check int) "concat" ((a lsl 4) lor 0xC) y;
+        let two = a land 3 in
+        Alcotest.(check int) "repl" (two lor (two lsl 2) lor (two lsl 4)) r
+      | _ -> assert false)
+    [ 0; 3; 9; 15 ]
+
+(* --- reset styles --- *)
+
+let count_cells d name =
+  Array.fold_left
+    (fun acc c -> if String.equal c.Cell_lib.Cell.name name then acc + 1 else acc)
+    0 d.Netlist.Design.inst_cells
+
+let async_src =
+  "module m(input clk, input rst_n, input logic [3:0] d, \
+   output logic [3:0] q);\n\
+  \  always_ff @(posedge clk or negedge rst_n)\n\
+  \    if (!rst_n) q <= 4'd0;\n    else q <= d;\nendmodule\n"
+
+let sync_src =
+  "module m(input clk, input rst, input logic [3:0] d, \
+   output logic [3:0] q);\n\
+  \  always_ff @(posedge clk)\n\
+  \    if (rst) q <= 4'd0;\n    else q <= d;\nendmodule\n"
+
+let test_async_vs_sync_reset () =
+  let da = elab async_src in
+  Alcotest.(check int) "async: 4 DFFR" 4 (count_cells da "DFFR_X1");
+  Alcotest.(check int) "async: no plain DFF" 0 (count_cells da "DFF_X1");
+  let ds = elab sync_src in
+  Alcotest.(check int) "sync: 4 DFF" 4 (count_cells ds "DFF_X1");
+  Alcotest.(check int) "sync: no DFFR" 0 (count_cells ds "DFFR_X1");
+  Alcotest.(check bool) "sync: reset becomes data muxes" true
+    (count_cells ds "MUX2_X1" >= 4);
+  (* behaviour: async clear pulls q low mid-stream *)
+  let e = Sim.Engine.create da ~clocks:clk in
+  ignore (Sim.Engine.run_cycle e (("rst_n", L.L1) :: bits "d" 4 9));
+  let outs = Sim.Engine.run_cycle e (("rst_n", L.L1) :: bits "d" 4 9) in
+  Alcotest.(check int) "loads 9" 9 (word_of outs "q" 4);
+  let outs = Sim.Engine.run_cycle e [ ("rst_n", L.L0) ] in
+  Alcotest.(check int) "async clear" 0 (word_of outs "q" 4)
+
+let test_reset_to_ones () =
+  (* reset-to-1 bits store the complement around DFFR *)
+  let d =
+    elab
+      "module m(input clk, input rst_n, input logic [1:0] d, \
+       output logic [1:0] q);\n\
+      \  always_ff @(posedge clk or negedge rst_n)\n\
+      \    if (!rst_n) q <= 2'b10;\n    else q <= d;\nendmodule\n"
+  in
+  let e = Sim.Engine.create d ~clocks:clk in
+  let outs = Sim.Engine.run_cycle e (("rst_n", L.L0) :: bits "d" 2 0) in
+  Alcotest.(check int) "resets to 2" 2 (word_of outs "q" 2);
+  ignore (Sim.Engine.run_cycle e (("rst_n", L.L1) :: bits "d" 2 1));
+  let outs = Sim.Engine.run_cycle e (("rst_n", L.L1) :: bits "d" 2 1) in
+  Alcotest.(check int) "then loads 1" 1 (word_of outs "q" 2)
+
+let test_missing_reset_value () =
+  expect_error ~needle:"reset branch"
+    "module m(input clk, input rst_n, input d, output logic q, \
+     output logic r);\n\
+    \  always_ff @(posedge clk or negedge rst_n)\n\
+    \    if (!rst_n) q <= 1'b0;\n    else begin q <= d; r <= d; end\nendmodule\n"
+
+(* --- qcheck: techmapped arithmetic vs OCaml integers --- *)
+
+let arith_src w =
+  Printf.sprintf
+    "module m(input clk, input logic [%d:0] a, input logic [%d:0] b,\n\
+    \         output logic [%d:0] sum, output logic [%d:0] prod,\n\
+    \         output logic lt, output logic eq2, output logic [%d:0] sh);\n\
+    \  always_ff @(posedge clk) begin\n\
+    \    sum <= {1'b0, a} + b;\n\
+    \    prod <= a * b;\n\
+    \    lt <= a < b;\n\
+    \    eq2 <= a == b;\n\
+    \    sh <= a << b[1:0];\n\
+    \  end\nendmodule\n"
+    (w - 1) (w - 1) w (2 * w - 1) (w - 1)
+
+let test_qcheck_arith () =
+  let w = 6 in
+  let d = elab (arith_src w) in
+  let engine = Sim.Engine.create d ~clocks:clk in
+  let kernel = Sim.Kernel.create d ~clocks:clk in
+  let gen = QCheck.Gen.(pair (int_bound ((1 lsl w) - 1)) (int_bound ((1 lsl w) - 1))) in
+  let prop (a, b) =
+    let inputs = bits "a" w a @ bits "b" w b in
+    (* hold for two cycles: the edge captures the previous inputs *)
+    ignore (Sim.Engine.run_cycle engine inputs);
+    Sim.Kernel.run_cycle_broadcast kernel inputs;
+    let outs = Sim.Engine.run_cycle engine inputs in
+    Sim.Kernel.run_cycle_broadcast kernel inputs;
+    let kouts = Sim.Kernel.output_sample kernel ~lane:0 in
+    let mask = (1 lsl w) - 1 in
+    word_of outs "sum" (w + 1) = a + b
+    && word_of outs "prod" (2 * w) = a * b
+    && word_of outs "lt" 1 = (if a < b then 1 else 0)
+    && word_of outs "eq2" 1 = (if a = b then 1 else 0)
+    && word_of outs "sh" w = (a lsl (b land 3)) land mask
+    (* kernel lane 0 must agree with the event-driven engine bit for bit *)
+    && List.for_all
+         (fun (n, v) -> L.equal v (List.assoc n kouts))
+         outs
+  in
+  let cell = QCheck.Test.make ~count:100 ~name:"elab arithmetic vs ints"
+      (QCheck.make gen) prop
+  in
+  QCheck.Test.check_exn cell
+
+(* --- end-to-end: vendored RTL through the 3-phase flow --- *)
+
+let read_file path =
+  let ic = open_in path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let test_mulpipe_flow () =
+  let src = read_file "../examples/rtl/mulpipe.sv" in
+  let d = Elab.Elaborate.read ~file:"mulpipe.sv" ~library src in
+  let config = Phase3.Flow.default_config ~period:2.0 in
+  let result = Phase3.Flow.run ~config d in
+  (match result.Phase3.Flow.equivalence with
+   | Some (Sim.Equivalence.Equivalent _) -> ()
+   | Some (Sim.Equivalence.Mismatch _) -> Alcotest.fail "not equivalent"
+   | None -> Alcotest.fail "equivalence not run");
+  (* converted design: kernel lane 0 bit-exact vs engine *)
+  let final = result.Phase3.Flow.final in
+  let clocks = Phase3.Flow.clocks_of config in
+  let engine = Sim.Engine.create final ~clocks in
+  let kernel = Sim.Kernel.create final ~clocks in
+  let stim =
+    Sim.Stimulus.random ~seed:7 ~cycles:32 ~toggle_probability:0.4
+      (Sim.Stimulus.inputs_of final)
+  in
+  List.iter
+    (fun inputs ->
+      let outs = Sim.Engine.run_cycle engine inputs in
+      Sim.Kernel.run_cycle_broadcast kernel inputs;
+      let kouts = Sim.Kernel.output_sample kernel ~lane:0 in
+      List.iter
+        (fun (n, v) ->
+          if not (L.equal v (List.assoc n kouts)) then
+            Alcotest.failf "kernel/engine mismatch on %s" n)
+        outs)
+    stim
+
+let test_aesround_behaviour () =
+  (* the toy core consumes din and raises done after ROUNDS steps *)
+  let src = read_file "../examples/rtl/aesround.sv" in
+  let d = Elab.Elaborate.read ~file:"aesround.sv" ~library src in
+  let e = Sim.Engine.create d ~clocks:clk in
+  let step ?(rst = 0) ?(start = 0) din key =
+    Sim.Engine.run_cycle e
+      ([ ("rst", L.of_bool (rst = 1)); ("start", L.of_bool (start = 1)) ]
+       @ bits "din" 16 din @ bits "key" 16 key)
+  in
+  ignore (step ~rst:1 0 0);
+  ignore (step ~start:1 0x1234 0xBEEF);
+  let rec run n outs =
+    if word_of outs "done" 1 = 1 then n
+    else if n > 20 then Alcotest.fail "done never rose"
+    else run (n + 1) (step 0x1234 0xBEEF)
+  in
+  let cycles = run 0 (step 0x1234 0xBEEF) in
+  Alcotest.(check int) "done after 10 rounds" 10 cycles
+
+let suite =
+  [ Alcotest.test_case "located errors" `Quick test_located_errors;
+    Alcotest.test_case "comb completeness errors" `Quick test_comb_latch_error;
+    Alcotest.test_case "parameter override" `Quick test_parameter_override;
+    Alcotest.test_case "clog2 parameter" `Quick test_clog2_param;
+    Alcotest.test_case "part/bit select" `Quick test_part_select;
+    Alcotest.test_case "concat and replication" `Quick test_concat_repl;
+    Alcotest.test_case "async vs sync reset" `Quick test_async_vs_sync_reset;
+    Alcotest.test_case "reset to ones" `Quick test_reset_to_ones;
+    Alcotest.test_case "missing reset value" `Quick test_missing_reset_value;
+    Alcotest.test_case "qcheck arithmetic" `Quick test_qcheck_arith;
+    Alcotest.test_case "mulpipe through the flow" `Quick test_mulpipe_flow;
+    Alcotest.test_case "aesround behaviour" `Quick test_aesround_behaviour ]
