@@ -96,6 +96,15 @@ let period_of period suite_period =
   | None, Some p -> p
   | None, None -> 1.0
 
+(* clock spec from a design's declared clock ports: three ports is a
+   converted 3-phase design, one (or none) is a plain FF design *)
+let clocks_of_design d ~period =
+  match d.Netlist.Design.clock_ports with
+  | [p1; p2; p3] -> Sim.Clock_spec.three_phase ~period ~p1 ~p2 ~p3 ()
+  | [port] -> Sim.Clock_spec.single ~period ~port
+  | [] -> Sim.Clock_spec.single ~period ~port:"clock"
+  | _ :: _ -> failwith "unsupported clocking"
+
 let solver_conv =
   Arg.enum [("auto", `Auto); ("ilp", `Ilp); ("mis", `Mis); ("greedy", `Greedy)]
 
@@ -350,13 +359,7 @@ let power_cmd =
     | exception Failure msg -> `Error (false, msg)
     | d, suite_period ->
     let period = period_of period suite_period in
-    let clocks =
-      match d.Netlist.Design.clock_ports with
-      | [p1; p2; p3] -> Sim.Clock_spec.three_phase ~period ~p1 ~p2 ~p3 ()
-      | [port] -> Sim.Clock_spec.single ~period ~port
-      | [] -> Sim.Clock_spec.single ~period ~port:"clock"
-      | _ :: _ -> failwith "unsupported clocking"
-    in
+    let clocks = clocks_of_design d ~period in
     let impl = Physical.Implement.run d in
     let engine = Sim.Engine.create d ~clocks in
     let stim =
@@ -389,13 +392,7 @@ let report_cmd =
     let period = period_of period suite_period in
     let paths = Sta.Timing_report.worst_paths ~count:5 d in
     Format.printf "%a" (Sta.Timing_report.pp d) paths;
-    let clocks =
-      match d.Netlist.Design.clock_ports with
-      | [p1; p2; p3] -> Sim.Clock_spec.three_phase ~period ~p1 ~p2 ~p3 ()
-      | [port] -> Sim.Clock_spec.single ~period ~port
-      | [] -> Sim.Clock_spec.single ~period ~port:"clock"
-      | _ :: _ -> failwith "unsupported clocking"
-    in
+    let clocks = clocks_of_design d ~period in
     List.iter
       (fun ((c : Sta.Corners.corner), r) ->
         Format.printf "corner %-8s %a@." c.Sta.Corners.corner_name
@@ -405,6 +402,112 @@ let report_cmd =
   in
   Cmd.v (Cmd.info "report" ~doc:"Report critical paths and corner timing.")
     Term.(ret (const run $ input_arg $ period_arg))
+
+(* --- lint: the standalone static analyzer ----------------------------- *)
+
+let lint_format_conv =
+  Arg.enum [("text", `Text); ("json", `Json); ("sarif", `Sarif)]
+
+let lint_format_arg =
+  Arg.(value & opt lint_format_conv `Text
+       & info ["format"] ~docv:"FMT"
+           ~doc:"Report format: text (one finding per line), json, or \
+                 sarif (SARIF 2.1.0, for code-scanning upload).")
+
+let lint_output_arg =
+  Arg.(value & opt (some string) None
+       & info ["o"; "output"] ~docv:"FILE"
+           ~doc:"Write the report to $(docv) instead of standard output.")
+
+let waiver_arg =
+  Arg.(value & opt (some string) None
+       & info ["waiver"] ~docv:"FILE"
+           ~doc:"Waiver file suppressing accepted findings; one \
+                 'RULE-GLOB LOCATION-GLOB' pair per line (see \
+                 docs/LINT.md).")
+
+let show_waived_arg =
+  Arg.(value & flag
+       & info ["show-waived"]
+           ~doc:"Include waived diagnostics in the text listing.")
+
+let lint_cmd =
+  let run input output period format waiver show_waived top constraints =
+    match
+      (* elaborating under [Diag.collect] gathers RTL-* findings from
+         .sv inputs; the other front ends contribute none *)
+      Elab.Diag.collect (fun () -> resolve_input ?top input)
+    with
+    | exception Failure msg -> `Error (false, msg)
+    | (d, suite_period), rtl_findings ->
+      match
+        match constraints with
+        | None -> None
+        | Some path ->
+          let ic = open_in path in
+          let src = really_input_string ic (in_channel_length ic) in
+          close_in ic;
+          (match Netlist_io.Sdc.parse ~file:path src with
+           | cs -> Netlist_io.Sdc.period cs
+           | exception Netlist_io.Sdc.Error (_, msg) -> failwith msg)
+      with
+      | exception Failure msg -> `Error (false, msg)
+      | sdc_period ->
+      let period =
+        match period with
+        | Some p -> p
+        | None -> period_of sdc_period suite_period
+      in
+      (match clocks_of_design d ~period with
+       | exception Failure msg -> `Error (false, msg)
+       | clocks ->
+         let waivers =
+           match waiver with
+           | None -> Ok []
+           | Some path -> Lint_core.Waiver.load path
+         in
+         (match waivers with
+          | Error msg -> `Error (false, msg)
+          | Ok waivers ->
+            let report =
+              Lint.Engine.run d ~clocks ~waivers ~extra:rtl_findings
+            in
+            let emit ppf =
+              let ds = report.Lint.Engine.diagnostics in
+              match format with
+              | `Text -> Lint_core.Emit.text ~show_waived ppf ds
+              | `Json -> Lint_core.Emit.json ppf ds
+              | `Sarif -> Lint_core.Emit.sarif ppf ds
+            in
+            (match output with
+             | Some path ->
+               let oc = open_out path in
+               let ppf = Format.formatter_of_out_channel oc in
+               emit ppf;
+               Format.pp_print_flush ppf ();
+               close_out oc;
+               Printf.printf "wrote %s\n" path
+             | None ->
+               emit Format.std_formatter;
+               Format.pp_print_flush Format.std_formatter ());
+            if report.Lint.Engine.errors > 0 then
+              `Error
+                (false,
+                 Printf.sprintf "%d lint error(s) in %s"
+                   report.Lint.Engine.errors
+                   d.Netlist.Design.design_name)
+            else `Ok ()))
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:"Run the static analyzer: structural netlist checks, the \
+             independent phase-legality and min-delay audits, \
+             clock-network and reset audits, and RTL lints for .sv \
+             inputs.  Exits non-zero when any unwaived error-severity \
+             finding remains.")
+    Term.(ret (const run $ input_arg $ lint_output_arg $ period_arg
+               $ lint_format_arg $ waiver_arg $ show_waived_arg $ top_arg
+               $ constraints_arg))
 
 (* --- qor: run-record diffing and the regression gate ----------------- *)
 
@@ -568,4 +671,4 @@ let qor_cmd =
 let () =
   let doc = "flip-flop to 3-phase latch conversion flow" in
   let info = Cmd.info "ff2latch" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [convert_cmd; master_slave_cmd; stats_cmd; power_cmd; report_cmd; qor_cmd]))
+  exit (Cmd.eval (Cmd.group info [convert_cmd; master_slave_cmd; stats_cmd; power_cmd; report_cmd; lint_cmd; qor_cmd]))

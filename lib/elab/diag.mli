@@ -4,7 +4,12 @@
     the source position (file, 1-based line/column) of the offending
     token and a message that already embeds a ["file:line:col:"] prefix
     plus a one-line source excerpt with a caret — see
-    {!Netlist_io.Srcloc}. *)
+    {!Netlist_io.Srcloc}.
+
+    Non-fatal findings (the [RTL-*] lint rules) go through {!lintf}:
+    inside a {!collect} they accumulate as {!Lint_core.Diagnostic.t}s,
+    outside one they are dropped, so elaboration behaves identically
+    whether or not anyone is listening. *)
 
 exception Error of Netlist_io.Srcloc.t option * string
 
@@ -17,3 +22,15 @@ val fail :
 (** The human-readable message of an {!Error} (already located), or
     [Printexc.to_string] for any other exception. *)
 val message_of : exn -> string
+
+(** Record a lint finding at an (optional) source location.  A no-op
+    unless a {!collect} is active. *)
+val lintf :
+  rule:string -> severity:Lint_core.Diagnostic.severity ->
+  ?loc:Netlist_io.Srcloc.t ->
+  ('a, Format.formatter, unit, unit) format4 -> 'a
+
+(** [collect f] runs [f] with lint collection enabled and returns its
+    result along with the findings, in emission order.  Nests: the
+    enclosing collector is restored afterwards (also on exceptions). *)
+val collect : (unit -> 'a) -> 'a * Lint_core.Diagnostic.t list

@@ -10,6 +10,7 @@ type var = {
   nets : Techmap.word;
   v_lsb : int;
   driven : bool array;
+  mutable v_read : bool;  (* any bit read anywhere, for RTL-003 *)
 }
 
 type ctx = {
@@ -142,6 +143,7 @@ let read_word sc mode (env : pval Env.t) name loc : Techmap.word =
   | Some v -> Techmap.const_word sc.ctx.b ~width:(bits_needed v) v
   | None ->
     let v = find_var sc name loc in
+    v.v_read <- true;
     let proc =
       match mode with Mcomb targets -> SSet.mem name targets | _ -> false
     in
@@ -331,6 +333,24 @@ and lower_binary sc mode env op a bx loc : Techmap.word =
     Techmap.uge b wa wb ~prefix:(gpfx sc "ge")
   | _ -> errf sc.ctx loc "unsupported operator '%s'" op
 
+(* RTL-001: [resize] zero-extends silently, which is what SystemVerilog
+   asks for, but silent *truncation* at a drive site is the classic
+   width bug — flag it before resizing. *)
+let resize_lint sc ~loc what w n =
+  let ww = Techmap.width w in
+  if ww > n then
+    Diag.lintf ~rule:"RTL-001" ~severity:Lint_core.Diagnostic.Warning ~loc
+      "%s truncates a %d-bit value to %d bits" what ww n;
+  resize sc w n
+
+let loc_of_lval = function
+  | Lid (_, l) | Lbit (_, _, l) | Lpart (_, _, _, l) | Lconcat (_, l) -> l
+
+let desc_of_lval = function
+  | Lid (n, _) | Lbit (n, _, _) | Lpart (n, _, _, _) ->
+    Printf.sprintf "assignment to '%s'" n
+  | Lconcat _ -> "assignment to concatenation"
+
 (* --- Assignment targets inside procedural blocks --- *)
 
 let rec lval_width sc = function
@@ -376,7 +396,9 @@ let rec lval_dest_bits sc = function
 (* Continuous drive: buffer each value bit onto the canonical net. *)
 let drive_bits sc lv (w : Techmap.word) =
   let dests = lval_dest_bits sc lv in
-  let w = resize sc w (List.length dests) in
+  let w =
+    resize_lint sc ~loc:(loc_of_lval lv) (desc_of_lval lv) w (List.length dests)
+  in
   List.iteri
     (fun k (name, v, i, loc) ->
       mark_driven sc name v i loc;
@@ -395,7 +417,9 @@ let rec assign_env sc mode (env : pval Env.t) lv (w : Techmap.word) =
   match lv with
   | Lid (n, loc) ->
     let v = find_var sc n loc in
-    let w = resize sc w (var_width v) in
+    let w =
+      resize_lint sc ~loc (Printf.sprintf "assignment to '%s'" n) w (var_width v)
+    in
     Env.add n (Array.map (fun x -> Some x) w) env
   | Lbit (n, idx, loc) ->
     let v = find_var sc n loc in
@@ -413,7 +437,9 @@ let rec assign_env sc mode (env : pval Env.t) lv (w : Techmap.word) =
         | Some pv -> Array.copy pv
         | None -> base_pval mode v
       in
-      base.(i) <- Some (resize sc w 1).(0);
+      base.(i) <-
+        Some
+          (resize_lint sc ~loc (Printf.sprintf "assignment to '%s'" n) w 1).(0);
       Env.add n base env
     end
   | Lpart (n, msb, lsb, loc) ->
@@ -423,7 +449,9 @@ let rec assign_env sc mode (env : pval Env.t) lv (w : Techmap.word) =
       errf sc.ctx loc "part-select is outside %s" n
     else begin
       let span = im - il + 1 in
-      let w = resize sc w span in
+      let w =
+        resize_lint sc ~loc (Printf.sprintf "assignment to '%s'" n) w span
+      in
       let base =
         match Env.find_opt n env with
         | Some pv -> Array.copy pv
@@ -434,9 +462,9 @@ let rec assign_env sc mode (env : pval Env.t) lv (w : Techmap.word) =
       done;
       Env.add n base env
     end
-  | Lconcat (parts, _) ->
+  | Lconcat (parts, cloc) ->
     let total = lval_width sc lv in
-    let w = resize sc w total in
+    let w = resize_lint sc ~loc:cloc "assignment to concatenation" w total in
     let off = ref 0 in
     List.fold_left
       (fun env p ->
@@ -489,6 +517,31 @@ let rec exec sc mode (env : pval Env.t) (s : Ast.stmt) : pval Env.t =
   | Scase (subj, arms, dflt, _) ->
     let sw = lower sc mode env subj in
     let n = Techmap.width sw in
+    (* RTL-002: constant labels that cannot match (wider than the
+       subject, with high bits set) or duplicate an earlier arm *)
+    let seen = Hashtbl.create 8 in
+    List.iter
+      (fun (labels, _) ->
+        List.iter
+          (fun l ->
+            match try_const sc l with
+            | None -> ()
+            | Some v ->
+              let lloc = loc_of_expr l in
+              if n < 62 && v >= 0 && v lsr n > 0 then
+                Diag.lintf ~rule:"RTL-002"
+                  ~severity:Lint_core.Diagnostic.Warning ~loc:lloc
+                  "case label %d is wider than the %d-bit subject and can \
+                   never match"
+                  v n
+              else if Hashtbl.mem seen v then
+                Diag.lintf ~rule:"RTL-002"
+                  ~severity:Lint_core.Diagnostic.Warning ~loc:lloc
+                  "duplicate case label %d: an earlier arm already matches it"
+                  v
+              else Hashtbl.add seen v ())
+          labels)
+      arms;
     let rec chain = function
       | [] -> (match dflt with Some d -> exec sc mode env d | None -> env)
       | (labels, body) :: rest ->
@@ -562,6 +615,7 @@ let ff_pins (cell : Cell_lib.Cell.t) =
 
 let scalar_net sc name loc =
   let v = find_var sc name loc in
+  v.v_read <- true;
   if var_width v <> 1 then
     errf sc.ctx loc "'%s' must be 1 bit wide here" name
   else v.nets.(0)
@@ -711,7 +765,9 @@ let rec elab_body ctx ~depth (m : Ast.module_) ~params ~prefix
         | None -> invalid_arg "Elaborate.elab_body: unbound port"
       in
       let driven = Array.make (Array.length w) (p.dir = Input) in
-      declare p.port_name { nets = w; v_lsb = lsb; driven } p.port_loc)
+      declare p.port_name
+        { nets = w; v_lsb = lsb; driven; v_read = false }
+        p.port_loc)
     m.ports;
   (* pass 1: parameters and net declarations, in order *)
   List.iter
@@ -736,7 +792,7 @@ let rec elab_body ctx ~depth (m : Ast.module_) ~params ~prefix
               (bitname prefix net_name ~scalar ~lsb i))
         in
         declare net_name
-          { nets; v_lsb = lsb; driven = Array.make width false }
+          { nets; v_lsb = lsb; driven = Array.make width false; v_read = false }
           net_loc
       | _ -> ())
     m.items;
@@ -773,6 +829,32 @@ let rec elab_body ctx ~depth (m : Ast.module_) ~params ~prefix
       | Iinst { target; inst_name; param_overrides; conns; inst_loc } ->
         elab_inst sc ~depth ~target ~inst_name ~param_overrides ~conns
           ~inst_loc)
+    m.items;
+  (* RTL-003/RTL-004: scan declared nets in declaration order (ports are
+     exempt — an unread input or undriven output is the parent's business) *)
+  List.iter
+    (function
+      | Inet { net_name; net_loc; _ } ->
+        (match Hashtbl.find_opt sc.vars net_name with
+         | None -> ()
+         | Some v ->
+           let width = var_width v in
+           let undriven =
+             Array.fold_left (fun acc b -> if b then acc else acc + 1) 0 v.driven
+           in
+           if not v.v_read then
+             Diag.lintf ~rule:"RTL-003" ~severity:Lint_core.Diagnostic.Warning
+               ~loc:net_loc "signal '%s%s' is never read" prefix net_name;
+           if undriven = width && v.v_read then
+             Diag.lintf ~rule:"RTL-004" ~severity:Lint_core.Diagnostic.Warning
+               ~loc:net_loc "signal '%s%s' is read but never driven" prefix
+               net_name
+           else if undriven > 0 && undriven < width then
+             Diag.lintf ~rule:"RTL-004" ~severity:Lint_core.Diagnostic.Warning
+               ~loc:net_loc "%d of %d bits of signal '%s%s' are never driven"
+               undriven width prefix net_name)
+      | Ilocalparam _ | Iassign _ | Ialways_comb _ | Ialways_ff _ | Iinst _ ->
+        ())
     m.items
 
 and elab_inst sc ~depth ~target ~inst_name ~param_overrides ~conns
@@ -815,7 +897,10 @@ and elab_inst sc ~depth ~target ~inst_name ~param_overrides ~conns
         let word =
           match (dir, conn) with
           | Input, Some (Some e) ->
-            resize sc (lower sc Mcont Env.empty e) pw
+            resize_lint sc ~loc:(loc_of_expr e)
+              (Printf.sprintf "connection to input port '%s' of %s" pname
+                 target)
+              (lower sc Mcont Env.empty e) pw
           | Input, (Some None | None) ->
             errf ctx inst_loc "input port '%s' of %s is unconnected" pname
               target

@@ -45,7 +45,12 @@ let clock_gating ?(bench = "s13207") () =
         ("CG cells", T.Right); ("gated latches", T.Right) ]
   in
   let b = bench_exn bench in
-  let base = Phase3.Flow.default_config ~period:b.Circuits.Suite.period_ns in
+  (* experiment flows measure benchmarks at their published periods, where
+     timing violations are table data, not sign-off failures *)
+  let base =
+    { (Phase3.Flow.default_config ~period:b.Circuits.Suite.period_ns) with
+      Phase3.Flow.lint = false }
+  in
   let off = { Phase3.Clock_gating.default_options with
               Phase3.Clock_gating.common_enable = false;
               m2_latch_removal = false; ddcg = false } in
@@ -113,7 +118,7 @@ let retiming ?(bench = "deep-pipeline") () =
     (fun retime ->
       let config =
         { (Phase3.Flow.default_config ~period:0.6) with
-          Phase3.Flow.retime; verify_equivalence = true }
+          Phase3.Flow.retime; verify_equivalence = true; lint = false }
       in
       let flow = Phase3.Flow.run ~config d in
       let stats = Netlist.Stats.compute flow.Phase3.Flow.final in
@@ -142,7 +147,8 @@ let ddcg_fanout ?(bench = "s35932") ?(fanouts = [4; 8; 16; 32; 64]) () =
                  Phase3.Clock_gating.max_fanout } in
       let config =
         { (Phase3.Flow.default_config ~period:b.Circuits.Suite.period_ns) with
-          Phase3.Flow.clock_gating = cg; verify_equivalence = false }
+          Phase3.Flow.clock_gating = cg; verify_equivalence = false;
+          lint = false }
       in
       let flow, power = flow_power bench config in
       let cg_cells, ddcg =
@@ -173,7 +179,7 @@ let skew_tolerance ?(bench = "plasma") ?(skews = [0.02; 0.05; 0.08; 0.12]) () =
   let ff_clocks = Phase3.Flow.reference_clocks d ~period in
   let ms = Phase3.Master_slave.convert d in
   let config = { (Phase3.Flow.default_config ~period) with
-                 Phase3.Flow.verify_equivalence = false } in
+                 Phase3.Flow.verify_equivalence = false; lint = false } in
   let flow = Phase3.Flow.run ~config d in
   let threep_clocks = Phase3.Flow.clocks_of config in
   List.iter
@@ -203,7 +209,7 @@ let pvt ?(bench = "s13207") () =
   let ff_clocks = Phase3.Flow.reference_clocks d ~period in
   let ms = Phase3.Master_slave.convert d in
   let config = { (Phase3.Flow.default_config ~period) with
-                 Phase3.Flow.verify_equivalence = false } in
+                 Phase3.Flow.verify_equivalence = false; lint = false } in
   let flow = Phase3.Flow.run ~config d in
   let styles =
     [ (d, ff_clocks); (ms, ff_clocks);

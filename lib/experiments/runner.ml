@@ -101,7 +101,11 @@ let run ?(cycles = 384) ?(verify = true) (bench : Circuits.Suite.benchmark) =
     let config =
       { (Phase3.Flow.default_config ~period) with
         Phase3.Flow.verify_equivalence = verify;
-        activity_cycles = cycles }
+        activity_cycles = cycles;
+        (* benchmarks at their published periods can carry real setup
+           violations (plasma does) — the harness reports them as data
+           in the tables instead of refusing to measure *)
+        lint = false }
     in
     let flow = Phase3.Flow.run ~config original in
     let threep_clocks = Phase3.Flow.clocks_of config in

@@ -226,7 +226,10 @@ let fig2 () =
       let d = fig2_design ~gated in
       let asg = Phase3.Assignment.solve d in
       let g = asg.Phase3.Assignment.graph in
-      let config = Phase3.Flow.default_config ~period:2.0 in
+      let config =
+        { (Phase3.Flow.default_config ~period:2.0) with
+          Phase3.Flow.lint = false }
+      in
       let flow = Phase3.Flow.run ~config d in
       let power =
         Runner.power_of flow.Phase3.Flow.final
@@ -316,7 +319,7 @@ let fig4 ?(cycles = 384) () =
       let ms = Phase3.Master_slave.convert original in
       let config =
         { (Phase3.Flow.default_config ~period) with
-          Phase3.Flow.verify_equivalence = false }
+          Phase3.Flow.verify_equivalence = false; lint = false }
       in
       let flow = Phase3.Flow.run ~config original in
       let threep_clocks = Phase3.Flow.clocks_of config in
@@ -429,7 +432,7 @@ let baselines ?(bench = "plasma") ?(skew = 0.05) () =
   let d = b.Circuits.Suite.build () in
   let ff_clocks = Phase3.Flow.reference_clocks d ~period in
   let config = { (Phase3.Flow.default_config ~period) with
-                 Phase3.Flow.verify_equivalence = false } in
+                 Phase3.Flow.verify_equivalence = false; lint = false } in
   let flow = Phase3.Flow.run ~config d in
   let t =
     T.create
@@ -484,7 +487,7 @@ let frequency_sweep ?(bench = "s15850") ?(periods = [0.4; 0.55; 0.8; 1.0; 1.5; 2
     (fun period ->
       let ff_clocks = Phase3.Flow.reference_clocks d ~period in
       let config = { (Phase3.Flow.default_config ~period) with
-                     Phase3.Flow.verify_equivalence = false } in
+                     Phase3.Flow.verify_equivalence = false; lint = false } in
       let flow = Phase3.Flow.run ~config d in
       let measure design clocks =
         let padded, _ = Sta.Hold_fix.run design ~clocks in

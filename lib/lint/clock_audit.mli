@@ -1,0 +1,14 @@
+(** Clock-network lint.
+
+    - [CLK-001] (error): a clock-gate clock (or auxiliary phase) pin
+      does not trace back to a declared clock port;
+    - [CLK-002] (error): a clock-network net feeds a data pin — of a
+      register or of ordinary combinational logic outside the tree;
+    - [CLK-003] (error): a clock-gate enable cone contains a
+      clock-network net, so the gated clock can glitch;
+    - [CLK-004] (error): a latchless (M2) clock gate whose enable cone
+      has a start point on the gate's own phase — the simplification
+      that justified removing the internal latch does not hold. *)
+
+val run :
+  Netlist.Design.t -> clocks:Sim.Clock_spec.t -> Lint_core.Diagnostic.t list

@@ -1,0 +1,82 @@
+type severity = Error | Warning | Info
+
+type pos = {
+  file : string;
+  line : int;
+  col : int;
+}
+
+type location =
+  | Design_level
+  | Object of string
+  | Src of pos
+
+type t = {
+  rule : string;
+  severity : severity;
+  message : string;
+  loc : location;
+  waived : bool;
+}
+
+let make ~rule ~severity ?(loc = Design_level) message =
+  { rule; severity; message; loc; waived = false }
+
+let makef ~rule ~severity ?loc fmt =
+  Format.kasprintf (fun message -> make ~rule ~severity ?loc message) fmt
+
+let severity_name = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+
+let loc_string = function
+  | Design_level -> "design"
+  | Object o -> o
+  | Src { file; line; col } -> Printf.sprintf "%s:%d:%d" file line col
+
+let loc_rank = function Design_level -> 0 | Object _ -> 1 | Src _ -> 2
+
+let compare_loc a b =
+  match (a, b) with
+  | Design_level, Design_level -> 0
+  | Object x, Object y -> String.compare x y
+  | Src x, Src y ->
+    let c = String.compare x.file y.file in
+    if c <> 0 then c
+    else
+      let c = Int.compare x.line y.line in
+      if c <> 0 then c else Int.compare x.col y.col
+  | _ -> Int.compare (loc_rank a) (loc_rank b)
+
+let compare a b =
+  let c = Int.compare (severity_rank a.severity) (severity_rank b.severity) in
+  if c <> 0 then c
+  else
+    let c = String.compare a.rule b.rule in
+    if c <> 0 then c
+    else
+      let c = compare_loc a.loc b.loc in
+      if c <> 0 then c else String.compare a.message b.message
+
+let counts ds =
+  List.fold_left
+    (fun (e, w, i) d ->
+      if d.waived then (e, w, i)
+      else
+        match d.severity with
+        | Error -> (e + 1, w, i)
+        | Warning -> (e, w + 1, i)
+        | Info -> (e, w, i + 1))
+    (0, 0, 0) ds
+
+let is_error d = (not d.waived) && d.severity = Error
+
+let pp ppf d =
+  Format.fprintf ppf "%s[%s] %s: %s%s" (severity_name d.severity) d.rule
+    (loc_string d.loc) d.message
+    (if d.waived then " (waived)" else "")
+
+let to_string d = Format.asprintf "%a" pp d

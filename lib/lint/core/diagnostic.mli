@@ -1,0 +1,57 @@
+(** The unified lint diagnostic: every static-analysis pass — netlist
+    structure checks, the phase-legality auditor, clock-network and
+    reset audits, RTL lints in the elaborator — reports findings as a
+    {!t} so one engine can sort, waive, count and emit them.
+
+    Diagnostics order deterministically ({!compare}): errors first,
+    then by rule id, location and message, independent of pass order
+    and of [THREEPHASE_JOBS]. *)
+
+type severity = Error | Warning | Info
+
+(** A source position, structurally identical to [Netlist_io.Srcloc.t]
+    but duplicated here so the core has no netlist dependencies (the
+    netlist library itself reports through this module). *)
+type pos = {
+  file : string;
+  line : int;  (** 1-based *)
+  col : int;   (** 1-based *)
+}
+
+type location =
+  | Design_level        (** about the whole design *)
+  | Object of string    (** a net, instance, port or path name *)
+  | Src of pos          (** a source file position (RTL lints) *)
+
+type t = {
+  rule : string;      (** e.g. ["PHASE-001"] *)
+  severity : severity;
+  message : string;
+  loc : location;
+  waived : bool;      (** matched a waiver; kept but not counted *)
+}
+
+val make : rule:string -> severity:severity -> ?loc:location -> string -> t
+
+val makef :
+  rule:string -> severity:severity -> ?loc:location ->
+  ('a, Format.formatter, unit, t) format4 -> 'a
+
+val severity_name : severity -> string
+
+(** ["design"], the object name, or ["file:line:col"]. *)
+val loc_string : location -> string
+
+(** Total deterministic order: severity (errors first), rule, location,
+    message. *)
+val compare : t -> t -> int
+
+(** [counts ds] is [(errors, warnings, infos)] over unwaived entries. *)
+val counts : t list -> int * int * int
+
+val is_error : t -> bool
+
+(** ["severity[RULE] loc: message"], with a ["(waived)"] suffix. *)
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

@@ -1,0 +1,116 @@
+open Diagnostic
+
+let text ?(show_waived = false) ppf ds =
+  List.iter
+    (fun d ->
+      if show_waived || not d.waived then Format.fprintf ppf "%a@." Diagnostic.pp d)
+    ds;
+  let e, w, i = counts ds in
+  Format.fprintf ppf "%d error(s), %d warning(s), %d info(s)@." e w i
+
+(* Hand-rolled JSON so the emitters stay dependency-free.  Only the
+   escapes JSON requires; diagnostics never carry control characters in
+   practice but we escape them anyway. *)
+let json_string s =
+  let b = Buffer.create (String.length s + 2) in
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"';
+  Buffer.contents b
+
+let sep_iter ppf f = function
+  | [] -> ()
+  | x :: rest ->
+    f x;
+    List.iter
+      (fun x ->
+        Format.fprintf ppf ",@ ";
+        f x)
+      rest
+
+let json_loc ppf = function
+  | Design_level -> Format.fprintf ppf {|{ "kind": "design" }|}
+  | Object o -> Format.fprintf ppf {|{ "kind": "object", "name": %s }|} (json_string o)
+  | Src { file; line; col } ->
+    Format.fprintf ppf {|{ "kind": "source", "file": %s, "line": %d, "col": %d }|}
+      (json_string file) line col
+
+let json ppf ds =
+  let e, w, i = counts ds in
+  Format.fprintf ppf "@[<v 2>{@ ";
+  Format.fprintf ppf "@[<v 2>\"diagnostics\": [@ ";
+  sep_iter ppf
+    (fun d ->
+      Format.fprintf ppf
+        {|@[<h>{ "rule": %s, "severity": %s, "message": %s, "location": %a, "waived": %b }@]|}
+        (json_string d.rule)
+        (json_string (severity_name d.severity))
+        (json_string d.message) json_loc d.loc d.waived)
+    ds;
+  Format.fprintf ppf "@]@ ],@ ";
+  Format.fprintf ppf
+    {|"summary": { "errors": %d, "warnings": %d, "infos": %d }|} e w i;
+  Format.fprintf ppf "@]@ }@."
+
+let sarif_level = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "note"
+
+let sarif ?(tool_name = "ff2latch-lint") ppf ds =
+  let rules =
+    List.sort_uniq String.compare (List.map (fun d -> d.rule) ds)
+  in
+  let rule_index r =
+    let rec go i = function
+      | [] -> -1
+      | x :: rest -> if String.equal x r then i else go (i + 1) rest
+    in
+    go 0 rules
+  in
+  Format.fprintf ppf "@[<v 2>{@ ";
+  Format.fprintf ppf
+    {|"$schema": "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json",@ |};
+  Format.fprintf ppf {|"version": "2.1.0",@ |};
+  Format.fprintf ppf "@[<v 2>\"runs\": [@ @[<v 2>{@ ";
+  Format.fprintf ppf "@[<v 2>\"tool\": { \"driver\": { \"name\": %s,@ "
+    (json_string tool_name);
+  Format.fprintf ppf "@[<v 2>\"rules\": [@ ";
+  sep_iter ppf
+    (fun r -> Format.fprintf ppf {|@[<h>{ "id": %s }@]|} (json_string r))
+    rules;
+  Format.fprintf ppf "@]@ ] } },@]@ ";
+  Format.fprintf ppf "@[<v 2>\"results\": [@ ";
+  sep_iter ppf
+    (fun d ->
+      Format.fprintf ppf "@[<v 2>{@ ";
+      Format.fprintf ppf {|"ruleId": %s,@ |} (json_string d.rule);
+      Format.fprintf ppf {|"ruleIndex": %d,@ |} (rule_index d.rule);
+      Format.fprintf ppf {|"level": %s,@ |} (json_string (sarif_level d.severity));
+      Format.fprintf ppf {|"message": { "text": %s }|} (json_string d.message);
+      (match d.loc with
+       | Design_level -> ()
+       | Object o ->
+         Format.fprintf ppf
+           {|,@ "locations": [ { "logicalLocations": [ { "name": %s } ] } ]|}
+           (json_string o)
+       | Src { file; line; col } ->
+         Format.fprintf ppf
+           {|,@ "locations": [ { "physicalLocation": { "artifactLocation": { "uri": %s }, "region": { "startLine": %d, "startColumn": %d } } } ]|}
+           (json_string file) line col);
+      if d.waived then
+        Format.fprintf ppf {|,@ "suppressions": [ { "kind": "external" } ]|};
+      Format.fprintf ppf "@]@ }")
+    ds;
+  Format.fprintf ppf "@]@ ]@]@ }@]@ ]@]@ }@."

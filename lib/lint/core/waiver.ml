@@ -1,0 +1,77 @@
+type entry = {
+  rule_pattern : string;
+  loc_pattern : string;
+  line : int;
+}
+
+type t = entry list
+
+let strip_comment line =
+  match String.index_opt line '#' with
+  | Some i -> String.sub line 0 i
+  | None -> line
+
+let fields line =
+  String.split_on_char ' ' (String.map (fun c -> if c = '\t' then ' ' else c) line)
+  |> List.filter (fun f -> f <> "")
+
+let parse text =
+  let lines = String.split_on_char '\n' text in
+  let rec go acc n = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest ->
+      (match fields (strip_comment line) with
+       | [] -> go acc (n + 1) rest
+       | [rule_pattern] ->
+         go ({ rule_pattern; loc_pattern = "*"; line = n } :: acc) (n + 1) rest
+       | [rule_pattern; loc_pattern] ->
+         go ({ rule_pattern; loc_pattern; line = n } :: acc) (n + 1) rest
+       | _ ->
+         Error
+           (Printf.sprintf
+              "waiver line %d: expected 'RULE [LOCATION]', got %S" n
+              (String.trim line)))
+  in
+  go [] 1 lines
+
+let load path =
+  match
+    let ic = open_in path in
+    let text = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    text
+  with
+  | text -> parse text
+  | exception Sys_error msg -> Error msg
+
+(* anchored glob: '*' matches any run of characters *)
+let glob_match ~pattern s =
+  let np = String.length pattern and ns = String.length s in
+  (* memoized on (pi, si) via a simple worklist-free recursion; patterns
+     are tiny so exponential corner cases do not matter in practice, but
+     the two-pointer backtracking form is linear anyway *)
+  let rec go pi si star_pi star_si =
+    if si = ns then
+      (* consume trailing stars *)
+      let rec stars pi = pi = np || (pattern.[pi] = '*' && stars (pi + 1)) in
+      stars pi
+    else if pi < np && pattern.[pi] = '*' then go (pi + 1) si pi si
+    else if pi < np && pattern.[pi] = s.[si] then go (pi + 1) (si + 1) star_pi star_si
+    else if star_pi >= 0 then go (star_pi + 1) (star_si + 1) star_pi (star_si + 1)
+    else false
+  in
+  go 0 0 (-1) (-1)
+
+let matches entry (d : Diagnostic.t) =
+  glob_match ~pattern:entry.rule_pattern d.Diagnostic.rule
+  && glob_match ~pattern:entry.loc_pattern (Diagnostic.loc_string d.Diagnostic.loc)
+
+let apply t ds =
+  if t = [] then ds
+  else
+    List.map
+      (fun d ->
+        if (not d.Diagnostic.waived) && List.exists (fun e -> matches e d) t
+        then { d with Diagnostic.waived = true }
+        else d)
+      ds

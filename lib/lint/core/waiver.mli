@@ -1,0 +1,38 @@
+(** Waiver files: suppress known-and-accepted findings without editing
+    the design.
+
+    One waiver per line: a rule pattern, whitespace, and an optional
+    location pattern (default ["*"]).  [*] matches any run of
+    characters; matching is case-sensitive and anchored at both ends.
+    [#] starts a comment; blank lines are ignored.
+
+    {v
+    # borrow on the legacy multiplier is reviewed and accepted
+    PHASE-003  mul$acc*
+    RST-*
+    v}
+
+    A waived diagnostic stays in the report (flagged [waived]) so the
+    emitters can show it, but it no longer counts toward the error /
+    warning totals that gate a flow. *)
+
+type entry = {
+  rule_pattern : string;
+  loc_pattern : string;
+  line : int;  (** 1-based line in the waiver file, for messages *)
+}
+
+type t = entry list
+
+(** [parse text] rejects lines with more than two fields. *)
+val parse : string -> (t, string) result
+
+(** [load path] reads and {!parse}s a waiver file. *)
+val load : string -> (t, string) result
+
+(** Anchored glob match where [*] matches any (possibly empty) run. *)
+val glob_match : pattern:string -> string -> bool
+
+(** Marks every diagnostic whose rule and location match an entry as
+    waived; order is preserved. *)
+val apply : t -> Diagnostic.t list -> Diagnostic.t list

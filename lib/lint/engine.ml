@@ -1,0 +1,58 @@
+module D = Lint_core.Diagnostic
+
+type config = {
+  setup_margin : float;
+  hold_margin : float;
+  input_delay : float * float;
+}
+
+let default_config =
+  { setup_margin = 0.03; hold_margin = 0.02; input_delay = (0.05, 0.10) }
+
+type report = {
+  diagnostics : D.t list;
+  errors : int;
+  warnings : int;
+  infos : int;
+}
+
+let ok r = r.errors = 0
+
+let run ?(wire = Sta.Delay.no_wire) ?(config = default_config) ?(waivers = [])
+    ?(extra = []) d ~clocks =
+  Obs.span "lint.run" @@ fun () ->
+  let structural = Netlist.Check.diagnostics d in
+  let clock = Clock_audit.run d ~clocks in
+  let views, view_diags = Seq_view.of_design ~wire d ~clocks in
+  let paths = Sta.Paths.compute ~wire d in
+  let phase =
+    Phase_audit.run ~setup_margin:config.setup_margin
+      ~input_delay:config.input_delay d ~clocks ~views ~paths
+  in
+  let hold =
+    Hold_audit.run ~hold_margin:config.hold_margin
+      ~input_delay:config.input_delay d ~clocks ~views ~paths
+  in
+  let reset = Reset_audit.run d in
+  let all = structural @ clock @ view_diags @ phase @ hold @ reset @ extra in
+  let all = Lint_core.Waiver.apply waivers all in
+  let diagnostics = List.stable_sort D.compare all in
+  let errors, warnings, infos = D.counts diagnostics in
+  Obs.count "lint.diagnostics" (List.length diagnostics);
+  Obs.count "lint.errors" errors;
+  Obs.count "lint.warnings" warnings;
+  Obs.count "lint.info" infos;
+  let by_rule = Hashtbl.create 16 in
+  List.iter
+    (fun (dg : D.t) ->
+      if not dg.D.waived then
+        Hashtbl.replace by_rule dg.D.rule
+          (1 + Option.value ~default:0 (Hashtbl.find_opt by_rule dg.D.rule)))
+    diagnostics;
+  List.iter
+    (fun rule -> Obs.count ("lint.rule." ^ rule) (Hashtbl.find by_rule rule))
+    (List.sort String.compare
+       (Hashtbl.fold (fun k _ acc -> k :: acc) by_rule []));
+  { diagnostics; errors; warnings; infos }
+
+let pp ppf r = Lint_core.Emit.text ~show_waived:true ppf r.diagnostics

@@ -1,0 +1,48 @@
+(** The lint engine: runs every pass over a design, applies waivers,
+    sorts deterministically and produces a report.
+
+    Passes, in rule-id order of what they emit:
+    - structural netlist checks ([NET-*], {!Netlist.Check.diagnostics});
+    - clock-network audit ([CLK-*], {!Clock_audit});
+    - min-delay audit ([HOLD-*], {!Hold_audit});
+    - phase-legality audit ([PHASE-*], {!Phase_audit} + {!Seq_view});
+    - reset audit ([RST-*], {!Reset_audit}).
+
+    RTL lints ([RTL-*]) are collected during elaboration and handed in
+    through [extra].
+
+    The report's diagnostic list is sorted with
+    {!Lint_core.Diagnostic.compare}, so output is byte-identical across
+    runs and worker counts. *)
+
+type config = {
+  setup_margin : float;       (** ns, default 0.03 — mirrors [Sta.Smo] *)
+  hold_margin : float;        (** ns, default 0.02 *)
+  input_delay : float * float; (** (min, max) ns, default (0.05, 0.10) *)
+}
+
+val default_config : config
+
+type report = {
+  diagnostics : Lint_core.Diagnostic.t list;
+  errors : int;    (** unwaived error count *)
+  warnings : int;
+  infos : int;
+}
+
+val ok : report -> bool
+
+(** [run ?wire ?config ?waivers ?extra d ~clocks] runs all passes.
+    Records [lint.*] Obs counters (total, per severity, and
+    [lint.rule.<ID>] per rule that fired). *)
+val run :
+  ?wire:Sta.Delay.wire_model ->
+  ?config:config ->
+  ?waivers:Lint_core.Waiver.t ->
+  ?extra:Lint_core.Diagnostic.t list ->
+  Netlist.Design.t ->
+  clocks:Sim.Clock_spec.t ->
+  report
+
+(** Render the report with {!Lint_core.Emit}. *)
+val pp : Format.formatter -> report -> unit

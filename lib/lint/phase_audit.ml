@@ -1,0 +1,197 @@
+module Design = Netlist.Design
+module D = Lint_core.Diagnostic
+
+let forward_shift period e_from e_to =
+  let diff = Float.rem (e_to -. e_from) period in
+  if diff <= 1e-12 then diff +. period else diff
+
+(* circular overlap of two half-open windows (s, s+len] within a period *)
+let windows_overlap period s1 len1 s2 len2 =
+  let wrap x =
+    let r = Float.rem x period in
+    if r < 0.0 then r +. period else r
+  in
+  wrap (s2 -. s1) < len1 -. 1e-9 || wrap (s1 -. s2) < len2 -. 1e-9
+
+let endpoint_name d = function
+  | Sta.Paths.Reg i -> Design.inst_name d i
+  | Sta.Paths.Port p -> p
+
+let run ?(setup_margin = 0.03) ?(input_delay = (0.05, 0.10)) d ~clocks ~views
+    ~paths =
+  let _, input_delay_max = input_delay in
+  let period = clocks.Sim.Clock_spec.period in
+  let view_of = Hashtbl.create 64 in
+  List.iter (fun v -> Hashtbl.replace view_of v.Seq_view.inst v) views;
+  let arcs = Sta.Paths.all paths in
+  let diags = ref [] in
+  let add dg = diags := dg :: !diags in
+  let arc_obj src (v : Seq_view.t) =
+    D.Object
+      (Printf.sprintf "%s -> %s" (endpoint_name d src) (Design.inst_name d v.inst))
+  in
+  (* the 3-phase discipline's C2: with three phases, the cycle boundary
+     must be crossed through the middle phase, so a data arc from the
+     latest-closing phase straight to the earliest-closing one is
+     illegal even when its timing happens to close *)
+  let first_phase, last_phase =
+    match
+      List.filter_map
+        (fun (port, _) ->
+          Option.map (fun c -> (port, c)) (Sim.Clock_spec.closing_time clocks port))
+        clocks.Sim.Clock_spec.ports
+    with
+    | ([] | [_] | [_; _]) -> (None, None)
+    | closes ->
+      let by_close (_, a) (_, b) = Float.compare a b in
+      ( Some (fst (List.hd (List.sort by_close closes))),
+        Some (fst (List.hd (List.sort (fun a b -> by_close b a) closes))) )
+  in
+  (* window legality: latch-to-latch arcs must connect non-overlapping
+     transparency windows *)
+  List.iter
+    (fun (p : Sta.Paths.path) ->
+      match (p.src, p.dst) with
+      | Sta.Paths.Reg js, Sta.Paths.Reg jd ->
+        (match (Hashtbl.find_opt view_of js, Hashtbl.find_opt view_of jd) with
+         | Some vs, Some vd when vs.Seq_view.width > 0.0 && vd.Seq_view.width > 0.0
+           ->
+           let same_phase =
+             String.equal vs.Seq_view.port vd.Seq_view.port
+             && Float.abs (vs.Seq_view.close -. vd.Seq_view.close) <= 1e-9
+           in
+           if
+             (not same_phase)
+             && Some vs.Seq_view.port = last_phase
+             && Some vd.Seq_view.port = first_phase
+           then
+             add
+               (D.makef ~rule:"PHASE-007" ~severity:D.Error ~loc:(arc_obj p.src vd)
+                  "latch %s (%s, the last phase) feeds latch %s (%s, the \
+                   first phase) directly: the cycle boundary must be \
+                   crossed through the middle phase"
+                  (Design.inst_name d js) vs.Seq_view.port
+                  (Design.inst_name d jd) vd.Seq_view.port);
+           if same_phase then
+             add
+               (D.makef ~rule:"PHASE-001" ~severity:D.Error ~loc:(arc_obj p.src vd)
+                  "latch %s feeds latch %s on the same phase (%s closing at \
+                   %.4f ns): data races through both transparent windows"
+                  (Design.inst_name d js) (Design.inst_name d jd)
+                  vd.Seq_view.port vd.Seq_view.close)
+           else if
+             windows_overlap period
+               (vs.Seq_view.close -. vs.Seq_view.width)
+               vs.Seq_view.width
+               (vd.Seq_view.close -. vd.Seq_view.width)
+               vd.Seq_view.width
+           then
+             add
+               (D.makef ~rule:"PHASE-005" ~severity:D.Error ~loc:(arc_obj p.src vd)
+                  "transparency windows of latch %s (%s) and latch %s (%s) \
+                   overlap on a connecting path"
+                  (Design.inst_name d js) vs.Seq_view.port
+                  (Design.inst_name d jd) vd.Seq_view.port)
+         | _ -> ())
+      | _ -> ())
+    arcs;
+  (* arcs into each viewed destination register *)
+  let into = Hashtbl.create 64 in
+  List.iter
+    (fun (p : Sta.Paths.path) ->
+      match p.dst with
+      | Sta.Paths.Reg jd when Hashtbl.mem view_of jd ->
+        let keep =
+          match p.src with
+          | Sta.Paths.Port _ -> true
+          | Sta.Paths.Reg js -> Hashtbl.mem view_of js
+        in
+        if keep then
+          Hashtbl.replace into jd
+            (p :: (Option.value ~default:[] (Hashtbl.find_opt into jd)))
+      | Sta.Paths.Reg _ | Sta.Paths.Port _ -> ())
+    arcs;
+  (* departure-time fixed point, exactly the SMO recurrence but with one
+     launch time per register instead of per class *)
+  let departures = Hashtbl.create 64 in
+  List.iter
+    (fun v -> Hashtbl.replace departures v.Seq_view.inst (-.v.Seq_view.width))
+    views;
+  let arc_arrival (v : Seq_view.t) (p : Sta.Paths.path) =
+    match p.src with
+    | Sta.Paths.Port _ ->
+      let shift = forward_shift period 0.0 v.Seq_view.close in
+      Some (input_delay_max +. p.max_delay -. shift)
+    | Sta.Paths.Reg js ->
+      (match Hashtbl.find_opt view_of js with
+       | None -> None
+       | Some vs ->
+         let shift = forward_shift period vs.Seq_view.close v.Seq_view.close in
+         Some
+           (Hashtbl.find departures js
+            +. vs.Seq_view.clk2q_max +. p.max_delay -. shift))
+  in
+  let arrival_of v =
+    List.fold_left
+      (fun acc p ->
+        match arc_arrival v p with None -> acc | Some a -> Float.max acc a)
+      Float.neg_infinity
+      (Option.value ~default:[] (Hashtbl.find_opt into v.Seq_view.inst))
+  in
+  let iterations = ref 0 in
+  let changed = ref true in
+  let diverged = ref false in
+  while !changed && not !diverged do
+    incr iterations;
+    if !iterations > List.length views + 8 then diverged := true
+    else begin
+      changed := false;
+      List.iter
+        (fun v ->
+          let dep = Float.max (-.v.Seq_view.width) (arrival_of v) in
+          let old = Hashtbl.find departures v.Seq_view.inst in
+          if dep > old +. 1e-9 then begin
+            Hashtbl.replace departures v.Seq_view.inst dep;
+            changed := true
+          end)
+        views
+    end
+  done;
+  if !diverged then
+    add
+      (D.makef ~rule:"PHASE-004" ~severity:D.Error
+         "latch departure times failed to converge after %d iterations: \
+          time borrowing accumulates around a loop"
+         !iterations)
+  else
+    (* per-arc setup / borrow audit at the fixed point *)
+    List.iter
+      (fun v ->
+        List.iter
+          (fun (p : Sta.Paths.path) ->
+            match arc_arrival v p with
+            | None -> ()
+            | Some arr ->
+              let slack = -.arr -. setup_margin in
+              if slack < -1e-9 then
+                if v.Seq_view.width <= 0.0 then
+                  add
+                    (D.makef ~rule:"PHASE-002" ~severity:D.Error
+                       ~loc:(arc_obj p.src v)
+                       "setup violation at %s on the arc from %s: data \
+                        arrives %.4f ns after the capturing edge allows \
+                        (slack %.4f ns)"
+                       (Design.inst_name d v.Seq_view.inst)
+                       (endpoint_name d p.src) arr slack)
+                else
+                  add
+                    (D.makef ~rule:"PHASE-003" ~severity:D.Error
+                       ~loc:(arc_obj p.src v)
+                       "latch %s borrows %.4f ns on the arc from %s but its \
+                        transparency window is only %.4f ns (slack %.4f ns)"
+                       (Design.inst_name d v.Seq_view.inst)
+                       (arr +. v.Seq_view.width)
+                       (endpoint_name d p.src) v.Seq_view.width slack))
+          (Option.value ~default:[] (Hashtbl.find_opt into v.Seq_view.inst)))
+      views;
+  List.rev !diags

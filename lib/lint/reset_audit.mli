@@ -1,0 +1,12 @@
+(** Reset / X-reachability audit.
+
+    - [RST-001] (info, design-level): the design has sequential state
+      but no resettable register at all — simulation and silicon
+      bring-up must initialise every register explicitly (the ISCAS
+      benchmarks are in this class);
+    - [RST-002] (warning): some registers have resets, but this one is
+      not reachable-defined from the reset state: it has no reset pin
+      and its data cone depends (transitively) on unreset state, so it
+      can hold X indefinitely after reset. *)
+
+val run : Netlist.Design.t -> Lint_core.Diagnostic.t list

@@ -1,0 +1,65 @@
+module Design = Netlist.Design
+module D = Lint_core.Diagnostic
+
+type t = {
+  inst : Design.inst;
+  port : string;
+  close : float;
+  width : float;
+  clk2q_max : float;
+  clk2q_min : float;
+}
+
+let of_design ?(wire = Sta.Delay.no_wire) d ~clocks =
+  let period = clocks.Sim.Clock_spec.period in
+  let diags = ref [] in
+  let views =
+    List.filter_map
+      (fun i ->
+        let c = Design.cell d i in
+        match Design.clock_net_of d i with
+        | None -> None
+        | Some cn ->
+          (match Netlist.Clocking.trace_to_root d cn with
+           | None -> None
+           | Some { Netlist.Clocking.root_port = port; _ } ->
+             (match
+                List.find_opt (fun (p, _) -> String.equal p port)
+                  clocks.Sim.Clock_spec.ports
+              with
+              | None ->
+                diags :=
+                  D.makef ~rule:"PHASE-006" ~severity:D.Error
+                    ~loc:(D.Object (Design.inst_name d i))
+                    "register %s is clocked by port %s which has no \
+                     waveform in the clock specification"
+                    (Design.inst_name d i) port
+                  :: !diags;
+                None
+              | Some (_, w) ->
+                let rise = w.Sim.Clock_spec.rise_at *. period in
+                let fall = w.Sim.Clock_spec.fall_at *. period in
+                let close, width =
+                  match c.Cell_lib.Cell.kind with
+                  | Cell_lib.Cell.Flip_flop _ -> (rise, 0.0)
+                  | Cell_lib.Cell.Latch
+                      { transparent = Cell_lib.Cell.Active_high; _ } ->
+                    (fall, fall -. rise)
+                  | Cell_lib.Cell.Latch
+                      { transparent = Cell_lib.Cell.Active_low; _ } ->
+                    (rise, period -. (fall -. rise))
+                  | Cell_lib.Cell.Combinational | Cell_lib.Cell.Clock_gate _ ->
+                    (0.0, 0.0)
+                in
+                let load =
+                  List.fold_left
+                    (fun acc n -> acc +. Sta.Delay.net_load d wire n)
+                    0.0 (Design.output_nets d i)
+                in
+                Some
+                  { inst = i; port; close; width;
+                    clk2q_max = Cell_lib.Cell.delay_through c ~load;
+                    clk2q_min = Cell_lib.Cell.min_delay_through c ~load })))
+      (Design.sequential_insts d)
+  in
+  (views, List.rev !diags)

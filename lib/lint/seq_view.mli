@@ -1,0 +1,25 @@
+(** Timing views of sequential elements, recomputed from the netlist and
+    the clock waveform specification alone.
+
+    This module deliberately shares no code with
+    [Phase3.Assignment]/[Phase3.Convert]: the phase auditor derives each
+    register's closing edge and transparency window from first
+    principles (cell kind + clock trace + waveform), so a bug in the
+    conversion flow cannot silently vouch for itself. *)
+
+type t = {
+  inst : Netlist.Design.inst;
+  port : string;    (** root clock port (after buffers/ICGs) *)
+  close : float;    (** closing-edge time within the period, ns *)
+  width : float;    (** transparency window, 0 for flip-flops, ns *)
+  clk2q_max : float;
+  clk2q_min : float;
+}
+
+(** [of_design ?wire d ~clocks] returns the views plus diagnostics:
+    [PHASE-006] (error) when a register's root clock port has no
+    waveform in [clocks].  Registers whose clock pin does not trace to
+    any port are skipped here — [NET-003] reports those. *)
+val of_design :
+  ?wire:Sta.Delay.wire_model -> Netlist.Design.t -> clocks:Sim.Clock_spec.t ->
+  t list * Lint_core.Diagnostic.t list

@@ -3,18 +3,22 @@ type issue = {
   message : string;
 }
 
-let err fmt = Format.kasprintf (fun message -> { severity = `Error; message }) fmt
-let warn fmt = Format.kasprintf (fun message -> { severity = `Warning; message }) fmt
+module D = Lint_core.Diagnostic
 
-let check_drivers d issues =
-  let issues = ref issues in
+let err ~rule ~obj fmt = D.makef ~rule ~severity:D.Error ~loc:(D.Object obj) fmt
+let warn ~rule ~obj fmt = D.makef ~rule ~severity:D.Warning ~loc:(D.Object obj) fmt
+
+(* NET-001: every instance input pin and primary output must be driven *)
+let check_drivers d diags =
+  let diags = ref diags in
   for i = 0 to Design.num_insts d - 1 do
     List.iter
       (fun net ->
         match d.Design.net_driver.(net) with
         | Design.Undriven ->
-          issues := err "instance %s reads undriven net %s"
-              (Design.inst_name d i) (Design.net_name d net) :: !issues
+          diags := err ~rule:"NET-001" ~obj:(Design.inst_name d i)
+              "instance %s reads undriven net %s"
+              (Design.inst_name d i) (Design.net_name d net) :: !diags
         | Design.Driven_by _ | Design.Driven_by_input _ | Design.Driven_const _ -> ())
       (Design.input_nets d i)
   done;
@@ -22,68 +26,78 @@ let check_drivers d issues =
     (fun (port, net) ->
       match d.Design.net_driver.(net) with
       | Design.Undriven ->
-        issues := err "primary output %s is undriven" port :: !issues
+        diags := err ~rule:"NET-001" ~obj:port
+            "primary output %s is undriven" port :: !diags
       | Design.Driven_by _ | Design.Driven_by_input _ | Design.Driven_const _ -> ())
     d.Design.primary_outputs;
-  !issues
+  !diags
 
-let check_comb_cycles d issues =
+(* NET-002: the combinational network must be acyclic *)
+let check_comb_cycles d diags =
   match Traverse.comb_topo d with
-  | Ok _ -> issues
+  | Ok _ -> diags
   | Error insts ->
-    err "combinational cycle involving %d instances (e.g. %s)"
-      (List.length insts)
-      (match insts with [] -> "?" | i :: _ -> Design.inst_name d i)
-    :: issues
+    let example = match insts with [] -> "?" | i :: _ -> Design.inst_name d i in
+    err ~rule:"NET-002" ~obj:example
+      "combinational cycle involving %d instances (e.g. %s)"
+      (List.length insts) example
+    :: diags
 
-let check_clock_roots d issues =
+(* NET-003: every sequential clock pin traces back to a clock port *)
+let check_clock_roots d diags =
   List.fold_left
-    (fun issues i ->
+    (fun diags i ->
       match Design.clock_net_of d i with
       | None ->
-        err "sequential instance %s has no clock connection" (Design.inst_name d i)
-        :: issues
+        err ~rule:"NET-003" ~obj:(Design.inst_name d i)
+          "sequential instance %s has no clock connection" (Design.inst_name d i)
+        :: diags
       | Some net ->
         (match Clocking.trace_to_root d net with
-         | Some _ -> issues
+         | Some _ -> diags
          | None ->
-           err "clock pin of %s does not trace to a clock port (net %s)"
+           err ~rule:"NET-003" ~obj:(Design.inst_name d i)
+             "clock pin of %s does not trace to a clock port (net %s)"
              (Design.inst_name d i) (Design.net_name d net)
-           :: issues))
-    issues (Design.sequential_insts d)
+           :: diags))
+    diags (Design.sequential_insts d)
 
-let check_unique_names d issues =
-  let dup what names issues =
+(* NET-004: instance and net names are unique *)
+let check_unique_names d diags =
+  let dup what names diags =
     let seen = Hashtbl.create (Array.length names) in
     Array.fold_left
-      (fun issues name ->
-        if Hashtbl.mem seen name then warn "duplicate %s name %s" what name :: issues
+      (fun diags name ->
+        if Hashtbl.mem seen name then
+          warn ~rule:"NET-004" ~obj:name "duplicate %s name %s" what name :: diags
         else begin
           Hashtbl.add seen name ();
-          issues
+          diags
         end)
-      issues names
+      diags names
   in
-  issues |> dup "net" d.Design.net_names |> dup "instance" d.Design.inst_names
+  diags |> dup "net" d.Design.net_names |> dup "instance" d.Design.inst_names
 
-let check_dangling d issues =
+(* NET-005: driven nets should be read somewhere *)
+let check_dangling d diags =
   let used = Array.make (Design.num_nets d) false in
   List.iter (fun (_, n) -> used.(n) <- true) d.Design.primary_outputs;
   for i = 0 to Design.num_insts d - 1 do
     List.iter (fun n -> used.(n) <- true) (Design.input_nets d i)
   done;
-  let issues = ref issues in
+  let diags = ref diags in
   for i = 0 to Design.num_insts d - 1 do
     List.iter
       (fun n ->
         if not used.(n) then
-          issues := warn "output net %s of %s drives nothing"
-              (Design.net_name d n) (Design.inst_name d i) :: !issues)
+          diags := warn ~rule:"NET-005" ~obj:(Design.net_name d n)
+              "output net %s of %s drives nothing"
+              (Design.net_name d n) (Design.inst_name d i) :: !diags)
       (Design.output_nets d i)
   done;
-  !issues
+  !diags
 
-let run d =
+let diagnostics d =
   []
   |> check_drivers d
   |> check_comb_cycles d
@@ -92,11 +106,20 @@ let run d =
   |> check_dangling d
   |> List.rev
 
+(* Compatibility layer over the unified diagnostics. *)
+
+let issue_of (dg : D.t) =
+  { severity =
+      (match dg.D.severity with D.Error -> `Error | D.Warning | D.Info -> `Warning);
+    message = dg.D.message }
+
+let run d = List.map issue_of (diagnostics d)
+
 let validate d =
   let errors =
     List.filter_map
-      (fun i -> match i.severity with `Error -> Some i.message | `Warning -> None)
-      (run d)
+      (fun dg -> if D.is_error dg then Some dg.D.message else None)
+      (diagnostics d)
   in
   if errors = [] then Ok () else Error errors
 

@@ -1,20 +1,32 @@
 (** Structural validation of a design.  Used before and after conversion
-    to catch netlist-rewrite bugs early. *)
+    to catch netlist-rewrite bugs early, and as the structural pass of
+    the lint engine.
+
+    Rules:
+    - [NET-001] (error): an instance input pin or primary output reads
+      an undriven net;
+    - [NET-002] (error): combinational cycle;
+    - [NET-003] (error): a sequential clock pin does not trace back to a
+      declared clock port;
+    - [NET-004] (warning): duplicate instance or net names;
+    - [NET-005] (warning): a driven net is read nowhere. *)
+
+(** [diagnostics d] performs all checks, reporting through the unified
+    diagnostic type (locations are {!Lint_core.Diagnostic.Object}s
+    naming the offending instance, net or port). *)
+val diagnostics : Design.t -> Lint_core.Diagnostic.t list
 
 type issue = {
   severity : [ `Error | `Warning ];
   message : string;
 }
 
-(** [run d] performs all checks:
-    - every instance input pin and primary output is driven;
-    - no combinational cycles;
-    - every sequential clock pin traces back to a declared clock port;
-    - instance and net names are unique. *)
+(** [run d] is {!diagnostics} rendered as legacy issues (same order,
+    same messages). *)
 val run : Design.t -> issue list
 
-(** [validate d] returns [Ok ()] when {!run} finds no [`Error]-severity
-    issue, otherwise [Error messages]. *)
+(** [validate d] returns [Ok ()] when {!diagnostics} finds no
+    error-severity finding, otherwise [Error messages]. *)
 val validate : Design.t -> (unit, string list) result
 
 val pp_issue : Format.formatter -> issue -> unit

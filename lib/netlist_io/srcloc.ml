@@ -23,18 +23,29 @@ let nth_line source n =
 let excerpt ~source loc =
   match nth_line source loc.line with
   | None -> None
-  | Some text ->
+  | Some raw ->
+    (* Expand tabs to 8-column stops and build the caret line out of
+       plain spaces: byte-counting columns against a raw line misplaces
+       the caret as soon as the line mixes tabs and spaces, and a caret
+       line carrying tabs of its own renders differently once the
+       two-space prefix shifts the stops. *)
+    let b = Buffer.create (String.length raw + 8) in
+    let caret_col = ref (-1) in
+    String.iteri
+      (fun i c ->
+        if i = loc.col - 1 then caret_col := Buffer.length b;
+        match c with
+        | '\t' -> Buffer.add_string b (String.make (8 - (Buffer.length b mod 8)) ' ')
+        | c -> Buffer.add_char b c)
+      raw;
+    let text = Buffer.contents b in
+    let caret_col = if !caret_col < 0 then String.length text else !caret_col in
     let text =
       (* keep the excerpt one readable line *)
       if String.length text > 120 then String.sub text 0 117 ^ "..." else text
     in
-    let caret_col = max 0 (min (loc.col - 1) (String.length text)) in
-    let caret =
-      String.map (fun c -> if c = '\t' then '\t' else ' ')
-        (String.sub text 0 caret_col)
-      ^ "^"
-    in
-    Some (Printf.sprintf "  %s\n  %s" text caret)
+    let caret_col = max 0 (min caret_col (String.length text)) in
+    Some (Printf.sprintf "  %s\n  %s" text (String.make caret_col ' ' ^ "^"))
 
 let message ?source ?loc msg =
   match loc with

@@ -10,6 +10,7 @@ type config = {
   activity_seed : int;
   verify_equivalence : bool;
   verify_cycles : int;
+  lint : bool;
 }
 
 let default_config ~period = {
@@ -24,6 +25,7 @@ let default_config ~period = {
   activity_seed = 1;
   verify_equivalence = true;
   verify_cycles = 256;
+  lint = true;
 }
 
 type result = {
@@ -36,12 +38,13 @@ type result = {
   retime_stats : Retime.stats option;
   cg_stats : Clock_gating.stats option;
   timing : Sta.Smo.report;
+  lint : Lint.Engine.report option;
   equivalence : Sim.Equivalence.verdict option;
   stage_times : (string * float) list;
 }
 
 let stage_names =
-  [ "validate"; "assign"; "convert"; "retime"; "clock_gating"; "smo";
+  [ "validate"; "assign"; "convert"; "retime"; "clock_gating"; "smo"; "lint";
     "equivalence" ]
 
 exception Flow_error of string
@@ -146,6 +149,27 @@ let run ~config d =
    | Ok () -> ()
    | Error errors -> fail "final design invalid: %s" (String.concat "; " errors));
   let timing = stage "smo" (fun () -> Sta.Smo.check final ~clocks) in
+  let lint_report =
+    if config.lint then
+      stage "lint" (fun () ->
+          (* the independent auditor: recomputes phase legality from the
+             netlist and clock spec without consulting the assignment *)
+          let report = Lint.Engine.run final ~clocks in
+          if not (Lint.Engine.ok report) then begin
+            let firsts =
+              List.filteri
+                (fun i _ -> i < 3)
+                (List.filter Lint_core.Diagnostic.is_error
+                   report.Lint.Engine.diagnostics)
+            in
+            fail "converted design fails lint with %d error(s): %s"
+              report.Lint.Engine.errors
+              (String.concat "; "
+                 (List.map Lint_core.Diagnostic.to_string firsts))
+          end;
+          Some report)
+    else None
+  in
   let equivalence =
     if config.verify_equivalence then
       stage "equivalence" (fun () ->
@@ -168,5 +192,5 @@ let run ~config d =
     else None
   in
   { config; original = d; assignment; converted; retimed; final;
-    retime_stats; cg_stats; timing; equivalence;
+    retime_stats; cg_stats; timing; lint = lint_report; equivalence;
     stage_times = List.rev !times }

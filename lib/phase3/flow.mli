@@ -2,7 +2,7 @@
 
     validate -> phase assignment (ILP) -> netlist conversion ->
     modified retiming -> clock gating -> timing sign-off (SMO) ->
-    stream-equivalence validation.
+    lint audit -> stream-equivalence validation.
 
     Each step can be disabled for ablation studies.  The flow never
     modifies its input; every step yields a new design.
@@ -27,6 +27,10 @@ type config = {
   activity_seed : int;
   verify_equivalence : bool;  (** stream-compare against the FF design *)
   verify_cycles : int;
+  lint : bool;
+  (** run the {!Lint.Engine} audit on the final design; the flow fails
+      when any error-severity finding survives — the conversion cannot
+      vouch for itself, the independent phase auditor must concur *)
 }
 
 val default_config : period:float -> config
@@ -41,15 +45,16 @@ type result = {
   retime_stats : Retime.stats option;
   cg_stats : Clock_gating.stats option;
   timing : Sta.Smo.report;
+  lint : Lint.Engine.report option;  (** [None] when [config.lint] is off *)
   equivalence : Sim.Equivalence.verdict option;
   stage_times : (string * float) list;
   (** wall-clock seconds per executed stage, in execution order; keys
       are {!stage_names} entries (plus ["optimize"] when enabled) *)
 }
 
-(** The seven pipeline stages, in order: [validate], [assign],
-    [convert], [retime], [clock_gating], [smo], [equivalence].  Span
-    names prefix these with ["flow."]. *)
+(** The eight pipeline stages, in order: [validate], [assign],
+    [convert], [retime], [clock_gating], [smo], [lint], [equivalence].
+    Span names prefix these with ["flow."]. *)
 val stage_names : string list
 
 (** Three-phase clock spec matching the flow's config. *)

@@ -44,7 +44,8 @@ let config_json (c : Phase3.Flow.config) =
     ("activity_cycles", Json.Num (float_of_int c.Phase3.Flow.activity_cycles));
     ("activity_seed", Json.Num (float_of_int c.Phase3.Flow.activity_seed));
     ("verify_equivalence", Json.Bool c.Phase3.Flow.verify_equivalence);
-    ("verify_cycles", Json.Num (float_of_int c.Phase3.Flow.verify_cycles)) ]
+    ("verify_cycles", Json.Num (float_of_int c.Phase3.Flow.verify_cycles));
+    ("lint", Json.Bool c.Phase3.Flow.lint) ]
 
 let obs_rollup () =
   let spans =
@@ -138,6 +139,15 @@ let of_flow ?(with_obs = true) ?(measure_power = true) ?(power_cycles = 256)
         ("cg.cells_added", f s.Phase3.Clock_gating.cg_cells_added) ]
     | None -> []
   in
+  let lint_metrics =
+    match result.Phase3.Flow.lint with
+    | Some r ->
+      [ ("lint.diagnostics", f (List.length r.Lint.Engine.diagnostics));
+        ("lint.errors", f r.Lint.Engine.errors);
+        ("lint.warnings", f r.Lint.Engine.warnings);
+        ("lint.info", f r.Lint.Engine.infos) ]
+    | None -> []
+  in
   let equivalence_metrics =
     match result.Phase3.Flow.equivalence with
     | Some (Sim.Equivalence.Equivalent { shift }) ->
@@ -192,7 +202,7 @@ let of_flow ?(with_obs = true) ?(measure_power = true) ?(power_cycles = 256)
   Record.make
     ~config:(config_json config)
     ~metrics:
-      (base_metrics @ retime_metrics @ cg_metrics @ equivalence_metrics
-       @ power_metrics)
+      (base_metrics @ retime_metrics @ cg_metrics @ lint_metrics
+       @ equivalence_metrics @ power_metrics)
     ~counters ~wall ~gauges ~spans
     (provenance ~kind:"flow" ~circuit)

@@ -16,5 +16,6 @@ let () =
       ("obs", Test_obs.suite);
       ("qor", Test_qor.suite);
       ("elab", Test_elab.suite);
+      ("lint", Test_lint.suite);
       ("artifacts", Test_artifacts.suite);
       ("fuzz", Test_fuzz.suite) ]

@@ -219,7 +219,10 @@ let test_suite_variants () =
       let config =
         { (Phase3.Flow.default_config ~period) with
           Phase3.Flow.verify_equivalence = false;
-          activity_cycles = 32 }
+          activity_cycles = 32;
+          (* plasma carries known SMO setup violations at its published
+             period; this test exercises simulation, not sign-off *)
+          lint = false }
       in
       let flow = Phase3.Flow.run ~config original in
       let threep_clocks = Phase3.Flow.clocks_of config in
