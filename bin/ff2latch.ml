@@ -384,7 +384,7 @@ let power_cmd =
   Cmd.v (Cmd.info "power" ~doc:"Place, simulate and estimate power.")
     Term.(ret (const run $ input_arg $ period_arg $ saif_arg))
 
-let report_cmd =
+let timing_cmd =
   let run input period =
     match resolve_input input with
     | exception Failure msg -> `Error (false, msg)
@@ -400,8 +400,97 @@ let report_cmd =
       (Sta.Corners.check_all d ~clocks);
     `Ok ()
   in
-  Cmd.v (Cmd.info "report" ~doc:"Report critical paths and corner timing.")
+  Cmd.v (Cmd.info "timing" ~doc:"Report critical paths and corner timing.")
     Term.(ret (const run $ input_arg $ period_arg))
+
+(* --- report: the self-contained HTML flow report ---------------------- *)
+
+let load_record what path =
+  match Qor.Store.load path with
+  | Ok r -> Ok r
+  | Error msg -> Error (Printf.sprintf "%s %s: %s" what path msg)
+
+let report_cmd =
+  let out_arg =
+    Arg.(value & opt string "report.html"
+         & info ["o"; "output"] ~docv:"FILE"
+             ~doc:"Output HTML path (default report.html).")
+  in
+  let baseline_arg =
+    Arg.(value & opt (some file) None
+         & info ["baseline"] ~docv:"FILE"
+             ~doc:"Baseline run record; switches the metric table into \
+                   diff mode with the gate verdict and regression suspects \
+                   at the top.")
+  in
+  let trend_dir_arg =
+    Arg.(value & opt (some string) None
+         & info ["qor-dir"] ~docv:"DIR"
+             ~doc:"QoR store to read trend history from (and append this \
+                   run's record to).")
+  in
+  let run input output baseline qor_dir period top constraints =
+    match
+      let d = resolve_input ?top input in
+      let sdc_period =
+        match constraints with
+        | None -> None
+        | Some path ->
+          let ic = open_in path in
+          let src = really_input_string ic (in_channel_length ic) in
+          close_in ic;
+          (match Netlist_io.Sdc.parse ~file:path src with
+           | cs -> Netlist_io.Sdc.period cs
+           | exception Netlist_io.Sdc.Error (_, msg) -> failwith msg)
+      in
+      (d, sdc_period)
+    with
+    | exception Failure msg -> `Error (false, msg)
+    | (d, suite_period), sdc_period ->
+      let period =
+        match period with
+        | Some p -> p
+        | None -> period_of sdc_period suite_period
+      in
+      let config = Phase3.Flow.default_config ~period in
+      (match Phase3.Flow.run ~config d with
+       | exception Phase3.Flow.Flow_error msg -> `Error (false, msg)
+       | result ->
+         let record =
+           Qor.Collect.of_flow ~circuit:d.Netlist.Design.design_name result
+         in
+         let baseline =
+           match baseline with
+           | None -> Ok None
+           | Some path -> Result.map Option.some (load_record "baseline" path)
+         in
+         (match baseline with
+          | Error msg -> `Error (false, msg)
+          | Ok baseline ->
+            (* append first so the trend section includes this run *)
+            (match qor_dir with
+             | Some dir -> ignore (Qor.Store.append ~dir record)
+             | None -> ());
+            let history =
+              match qor_dir with
+              | Some dir -> Qor.Store.history ~dir
+              | None -> []
+            in
+            let html = Qor.Report_html.page ?baseline ~history record in
+            let oc = open_out output in
+            output_string oc html;
+            close_out oc;
+            Printf.printf "wrote %s\n" output;
+            `Ok ()))
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:"Run the conversion flow and write a self-contained HTML \
+             report: stage waterfall, span tree, histograms, QoR metrics \
+             (diffed against --baseline when given) and trend sparklines \
+             from the --qor-dir store.  No external assets; one file.")
+    Term.(ret (const run $ input_arg $ out_arg $ baseline_arg
+               $ trend_dir_arg $ period_arg $ top_arg $ constraints_arg))
 
 (* --- lint: the standalone static analyzer ----------------------------- *)
 
@@ -511,11 +600,6 @@ let lint_cmd =
 
 (* --- qor: run-record diffing and the regression gate ----------------- *)
 
-let load_record what path =
-  match Qor.Store.load path with
-  | Ok r -> Ok r
-  | Error msg -> Error (Printf.sprintf "%s %s: %s" what path msg)
-
 let noise_band_arg =
   Arg.(value & opt float 0.30
        & info ["noise-band"] ~docv:"FRAC"
@@ -557,6 +641,9 @@ let finish ~fail_on_wall ~markdown diff =
       (String.concat ", "
          (diff.Qor.Diff.gate_failures
           @ if fail_on_wall then diff.Qor.Diff.wall_regressions else []));
+    List.iter
+      (Printf.printf "  suspect: %s\n")
+      (Qor.Diff.attribution_lines diff);
     exit 1
   end
 
@@ -633,8 +720,12 @@ let qor_check_cmd =
     Term.(ret (const run $ baseline_arg $ record_pos $ store_dir_arg
                $ noise_band_arg $ fail_on_wall_arg $ markdown_arg))
 
+let limit_arg =
+  Arg.(value & opt (some int) None
+       & info ["limit"] ~docv:"N" ~doc:"Show at most $(docv) entries.")
+
 let qor_list_cmd =
-  let run dir =
+  let run dir limit =
     match Qor.Store.history ~dir with
     | [] -> Printf.printf "no runs recorded in %s\n" dir; `Ok ()
     | records ->
@@ -643,6 +734,13 @@ let qor_list_cmd =
           [ ("timestamp", Report.Table.Left); ("kind", Report.Table.Left);
             ("circuit", Report.Table.Left); ("metrics", Report.Table.Right);
             ("power mW", Report.Table.Right) ]
+      in
+      (* newest first; the history file is append-order (oldest first) *)
+      let records = List.rev records in
+      let records =
+        match limit with
+        | None -> records
+        | Some n -> List.filteri (fun i _ -> i < n) records
       in
       List.iter
         (fun (r : Qor.Record.t) ->
@@ -659,16 +757,78 @@ let qor_list_cmd =
       `Ok ()
   in
   Cmd.v
-    (Cmd.info "list" ~doc:"List every run recorded in the QoR store.")
-    Term.(ret (const run $ store_dir_arg))
+    (Cmd.info "list"
+       ~doc:"List runs recorded in the QoR store, newest first.")
+    Term.(ret (const run $ store_dir_arg $ limit_arg))
+
+let qor_trend_cmd =
+  let circuit_arg =
+    Arg.(value & opt (some string) None
+         & info ["circuit"] ~docv:"NAME" ~doc:"Only this circuit.")
+  in
+  let kind_arg =
+    Arg.(value & opt (some string) None
+         & info ["kind"] ~docv:"KIND" ~doc:"Only this run kind (e.g. flow).")
+  in
+  let metric_arg =
+    Arg.(value & opt (some string) None
+         & info ["metric"] ~docv:"SUBSTR"
+             ~doc:"Only metrics whose name contains $(docv).")
+  in
+  let check_arg =
+    Arg.(value & flag
+         & info ["check"]
+             ~doc:"Exit 1 when a deterministic metric's latest value is a \
+                   robust outlier against its own history (modified \
+                   z-score over median/MAD; needs at least 4 runs).  \
+                   Wall-clock and gauge anomalies stay advisory.")
+  in
+  let all_arg =
+    Arg.(value & flag
+         & info ["all"]
+             ~doc:"Also show series whose values never change.")
+  in
+  let run dir circuit kind metric limit check all =
+    let series =
+      Qor.Trend.of_store ~dir ?kind ?circuit ?metric ?limit ()
+    in
+    if series = [] then begin
+      Printf.printf "no matching runs recorded in %s\n" dir;
+      `Ok ()
+    end
+    else begin
+      Report.Table.print (Qor.Trend.table ~all series);
+      let anomalies = Qor.Trend.anomalies series in
+      if anomalies <> [] then begin
+        Printf.printf "deterministic anomalies: %s\n"
+          (String.concat ", "
+             (List.map
+                (fun (s : Qor.Trend.series) ->
+                  Printf.sprintf "%s/%s" s.Qor.Trend.sr_circuit
+                    s.Qor.Trend.sr_name)
+                anomalies));
+        if check then exit 1
+      end;
+      if check && anomalies = [] then Printf.printf "trend check: PASS\n";
+      `Ok ()
+    end
+  in
+  Cmd.v
+    (Cmd.info "trend"
+       ~doc:"Per-metric time series over the store history with robust \
+             outlier detection; --check turns deterministic anomalies \
+             into a non-zero exit for CI.")
+    Term.(ret (const run $ store_dir_arg $ circuit_arg $ kind_arg
+               $ metric_arg $ limit_arg $ check_arg $ all_arg))
 
 let qor_cmd =
   Cmd.group
     (Cmd.info "qor"
-       ~doc:"Persistent QoR run records: diff, regression gate, history.")
-    [qor_diff_cmd; qor_check_cmd; qor_list_cmd]
+       ~doc:"Persistent QoR run records: diff, regression gate, history, \
+             trends.")
+    [qor_diff_cmd; qor_check_cmd; qor_list_cmd; qor_trend_cmd]
 
 let () =
   let doc = "flip-flop to 3-phase latch conversion flow" in
   let info = Cmd.info "ff2latch" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [convert_cmd; master_slave_cmd; stats_cmd; power_cmd; report_cmd; lint_cmd; qor_cmd]))
+  exit (Cmd.eval (Cmd.group info [convert_cmd; master_slave_cmd; stats_cmd; power_cmd; timing_cmd; report_cmd; lint_cmd; qor_cmd]))

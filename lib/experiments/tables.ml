@@ -368,18 +368,29 @@ let runtime (results : Runner.t list) =
   in
   List.iter
     (fun (r : Runner.t) ->
-      let s = r.Runner.flow.Phase3.Flow.assignment.Phase3.Assignment.stats in
       T.add_row t
         [ r.Runner.bench.Circuits.Suite.bench_name;
           Printf.sprintf "%.3f" r.Runner.ilp_time_s;
           Printf.sprintf "%.2f" r.Runner.threep.Runner.runtime_s;
           T.f1 (100.0 *. r.Runner.ilp_time_s /. Float.max 1e-9 r.Runner.threep.Runner.runtime_s);
-          string_of_int s.Phase3.Assignment.components;
-          string_of_int s.Phase3.Assignment.nodes_explored;
-          string_of_int s.Phase3.Assignment.lp_solves;
-          string_of_int s.Phase3.Assignment.propagations;
+          "-"; "-"; "-"; "-";
           Printf.sprintf "%.2f" r.Runner.total_time_s ])
     results;
+  (* Solver search statistics come from the process-global Obs counters
+     (ilp.* on the exact path, mis.* above the size threshold).  Runner
+     variants build on parallel domains, so per-design deltas cannot be
+     read race-free mid-suite; the footer reports the suite-wide totals
+     — per-design attribution lives in the QoR run records
+     (ff2latch convert --qor-dir). *)
+  T.add_rule t;
+  let c = Obs.counter_of in
+  T.add_row t
+    [ "all designs (Obs)"; "-"; "-"; "-";
+      string_of_int (c "ilp.components" + c "mis.components");
+      string_of_int (c "ilp.nodes" + c "mis.nodes");
+      string_of_int (c "ilp.lp_solves");
+      string_of_int (c "ilp.propagations");
+      "-" ];
   t
 
 let runtime_stages (results : Runner.t list) =

@@ -290,18 +290,21 @@ type comp_outcome = {
   co_nodes : int;
   co_lps : int;
   co_props : int;
+  co_depth : int;        (* deepest branching depth explored *)
 }
 
 type node = {
   nd_fixed : int array;  (* -1 free, 0, 1 *)
   nd_bound : float;      (* parent LP bound: optimistic for the subtree *)
   nd_seq : int;          (* insertion order, the deterministic tie-break *)
+  nd_depth : int;        (* branching decisions from the root *)
 }
 
 let solve_component ~node_budget ~brute_max (t : Model.t) =
   let n = t.Model.num_vars in
   if n <= brute_max then
-    { co_solution = Brute_force.solve t; co_nodes = 0; co_lps = 0; co_props = 0 }
+    { co_solution = Brute_force.solve t; co_nodes = 0; co_lps = 0;
+      co_props = 0; co_depth = 0 }
   else begin
     let minimize = t.Model.sense = Lp.Problem.Minimize in
     let better a b = if minimize then a < b -. 1e-9 else a > b +. 1e-9 in
@@ -330,6 +333,7 @@ let solve_component ~node_budget ~brute_max (t : Model.t) =
       end
     in
     let nodes = ref 0 and lps = ref 0 and props = ref 0 in
+    let max_depth = ref 0 in
     let exhausted = ref false in
     let open_bound = ref None in
     let seq = ref 0 in
@@ -342,11 +346,12 @@ let solve_component ~node_budget ~brute_max (t : Model.t) =
             a.nd_bound > b.nd_bound
             || (a.nd_bound = b.nd_bound && a.nd_seq < b.nd_seq))
     in
-    let push fixed bound =
-      Heap.push heap { nd_fixed = fixed; nd_bound = bound; nd_seq = !seq };
+    let push fixed bound depth =
+      Heap.push heap
+        { nd_fixed = fixed; nd_bound = bound; nd_seq = !seq; nd_depth = depth };
       incr seq
     in
-    push (Array.make n (-1)) (if minimize then neg_infinity else infinity);
+    push (Array.make n (-1)) (if minimize then neg_infinity else infinity) 0;
     (* Pop the globally best node, then *plunge*: dive depth-first from
        it, fixing the most fractional variable to its rounded value and
        stacking the sibling.  Dead ends (infeasible, pruned, integral)
@@ -390,7 +395,9 @@ let solve_component ~node_budget ~brute_max (t : Model.t) =
              while !locals <> [] && not !stop do
                if !plunged >= plunge_cap then begin
                  (* flush what the plunge did not consume *)
-                 List.iter (fun nd -> push nd.nd_fixed nd.nd_bound) !locals;
+                 List.iter
+                   (fun nd -> push nd.nd_fixed nd.nd_bound nd.nd_depth)
+                   !locals;
                  locals := []
                end
                else begin
@@ -416,6 +423,7 @@ let solve_component ~node_budget ~brute_max (t : Model.t) =
                        let fixed = Array.copy cur.nd_fixed in
                        let diving = ref true in
                        let dive_bound = ref cur.nd_bound in
+                       let ddepth = ref cur.nd_depth in
                        while !diving do
                          if !nodes >= node_budget then begin
                            exhausted := true;
@@ -428,6 +436,7 @@ let solve_component ~node_budget ~brute_max (t : Model.t) =
                          else begin
                            incr nodes;
                            incr plunged;
+                           if !ddepth > !max_depth then max_depth := !ddepth;
                            match propagate t fixed with
                            | None -> diving := false  (* wipe-out *)
                            | Some n_fixings ->
@@ -503,10 +512,12 @@ let solve_component ~node_budget ~brute_max (t : Model.t) =
                                        locals :=
                                          { nd_fixed = sibling;
                                            nd_bound = bound;
-                                           nd_seq = !seq }
+                                           nd_seq = !seq;
+                                           nd_depth = !ddepth + 1 }
                                          :: !locals;
                                        incr seq;
-                                       fixed.(j) <- first
+                                       fixed.(j) <- first;
+                                       incr ddepth
                                    end))
                          end
                        done
@@ -533,7 +544,8 @@ let solve_component ~node_budget ~brute_max (t : Model.t) =
         in
         Some { Model.values; objective; optimal; best_bound }
     in
-    { co_solution; co_nodes = !nodes; co_lps = !lps; co_props = !props }
+    { co_solution; co_nodes = !nodes; co_lps = !lps; co_props = !props;
+      co_depth = !max_depth }
   end
 
 (* --- decomposed, parallel top level -------------------------------- *)
@@ -578,14 +590,19 @@ let solve ?(node_budget = 200_000) ?(brute_max = 10) ?(parallel = true)
            let outcomes =
              map
                (fun (c : Model.component) ->
-                 (* counters land on the worker domain's buffer; the
-                    merged sums are identical for any THREEPHASE_JOBS *)
+                 (* counters and histogram samples land on the worker
+                    domain's buffer; counter sums and bucket-count sums
+                    are identical for any THREEPHASE_JOBS *)
                  let o =
                    solve_component ~node_budget ~brute_max c.Model.comp_model
                  in
                  Obs.count "ilp.nodes" o.co_nodes;
                  Obs.count "ilp.lp_solves" o.co_lps;
                  Obs.count "ilp.propagations" o.co_props;
+                 Obs.hist "ilp.component_vars"
+                   (float_of_int c.Model.comp_model.Model.num_vars);
+                 Obs.hist "ilp.component_nodes" (float_of_int o.co_nodes);
+                 Obs.hist "ilp.component_depth" (float_of_int o.co_depth);
                  o)
                comps
            in

@@ -416,7 +416,8 @@ let solve ?(node_budget = 2_000_000) ?(parallel = true) g =
      Returns (set, optimal, upper bound, nodes explored). *)
   let solve_component mem =
     let size = List.length mem in
-    if size <= exact_component_threshold then begin
+    let result =
+      if size <= exact_component_threshold then begin
       (* exact branch and bound *)
       let s = {
         g;
@@ -441,35 +442,43 @@ let solve ?(node_budget = 2_000_000) ?(parallel = true) g =
       search_component s mem [] 0 trail;
       if s.exhausted then (s.best_set, false, root_ub, s.explored)
       else (s.best_set, true, s.best_size, s.explored)
-    end
-    else
-      match two_colour g mem with
-      | Some side ->
-        let set = bipartite_mis g mem side in
-        (set, true, List.length set, 0)
-      | None ->
-        let cid = match mem with v :: _ -> comp.(v) | [] -> -1 in
-        let restrict set = List.filter (fun v -> comp.(v) = cid) set in
-        let candidates =
-          [ List.filter (fun v -> warm.(v)) mem;
-            colour_class_set g mem 0;
-            colour_class_set g mem 1 ]
-        in
-        let improved =
-          List.fold_left
-            (fun best cand ->
-              let improved = restrict (local_search g cand) in
-              if List.length improved > List.length best then improved else best)
-            [] candidates
-        in
-        let s_dummy = {
-          g; alive = Array.make g.n false; deg = Array.make g.n 0;
-          budget = 0; explored = 0; best_size = 0; best_set = [];
-          exhausted = false;
-        } in
-        List.iter (fun v -> s_dummy.alive.(v) <- true) mem;
-        let ub = matching_bound s_dummy mem in
-        (improved, List.length improved = ub, ub, 0)
+      end
+      else
+        match two_colour g mem with
+        | Some side ->
+          let set = bipartite_mis g mem side in
+          (set, true, List.length set, 0)
+        | None ->
+          let cid = match mem with v :: _ -> comp.(v) | [] -> -1 in
+          let restrict set = List.filter (fun v -> comp.(v) = cid) set in
+          let candidates =
+            [ List.filter (fun v -> warm.(v)) mem;
+              colour_class_set g mem 0;
+              colour_class_set g mem 1 ]
+          in
+          let improved =
+            List.fold_left
+              (fun best cand ->
+                let improved = restrict (local_search g cand) in
+                if List.length improved > List.length best then improved
+                else best)
+              [] candidates
+          in
+          let s_dummy = {
+            g; alive = Array.make g.n false; deg = Array.make g.n 0;
+            budget = 0; explored = 0; best_size = 0; best_set = [];
+            exhausted = false;
+          } in
+          List.iter (fun v -> s_dummy.alive.(v) <- true) mem;
+          let ub = matching_bound s_dummy mem in
+          (improved, List.length improved = ub, ub, 0)
+    in
+    (* per-component search-shape distributions; recorded on whichever
+       domain solved the component, merged order-independently *)
+    let _, _, _, nodes = result in
+    Obs.hist "mis.component_vars" (float_of_int size);
+    Obs.hist "mis.component_nodes" (float_of_int nodes);
+    result
   in
   let outcomes =
     (if parallel then Jobs.parallel_map else List.map) solve_component ordered

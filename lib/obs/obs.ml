@@ -1,6 +1,6 @@
-(* Flow-wide observability: hierarchical timed spans, counters and
-   gauges, recorded into per-domain append-only buffers and merged on
-   read.
+(* Flow-wide observability: hierarchical timed spans, counters, gauges
+   and log-bucketed histograms, recorded into per-domain append-only
+   buffers and merged on read.
 
    Recording is always on and cheap — one allocation plus an array
    append per event — so the flow, the solvers and the simulators
@@ -18,6 +18,7 @@ type event =
   | End of { name : string; ts : float }
   | Count of { name : string; ts : float; incr : int }
   | Gauge of { name : string; ts : float; value : float }
+  | Hist of { name : string; value : float; exec : bool }
 
 type buffer = {
   dom : int;
@@ -67,6 +68,12 @@ let count name incr =
 
 let gauge name value = push (buffer ()) (Gauge { name; ts = now (); value })
 
+(* Histogram samples carry no timestamp: they aggregate into a
+   distribution, never into a time series, and skipping the clock read
+   keeps sampling cheap enough for simulator inner loops. *)
+let hist ?(exec = false) name value =
+  push (buffer ()) (Hist { name; value; exec })
+
 let gc_sample ?(prefix = "gc") () =
   let s = Gc.quick_stat () in
   gauge (prefix ^ ".minor_words") s.Gc.minor_words;
@@ -105,6 +112,168 @@ let events () =
   |> List.sort (fun a b -> compare a.dom b.dom)
   |> List.map (fun b -> (b.dom, Array.to_list (Array.sub b.events 0 b.len)))
 
+(* --- histograms ------------------------------------------------------ *)
+
+module Histogram = struct
+  (* Quarter-octave log buckets addressed through [Float.frexp], so the
+     index is exact float arithmetic — no libm, no platform drift.  For
+     v > 0 with frexp giving v = m * 2^e, m in [0.5, 1): the mantissa
+     quarter is s = trunc ((m - 0.5) * 8) in 0..3 ([m - 0.5] is exact by
+     Sterbenz, [* 8] is a power of two), and bucket 4*(e-1) + s covers
+     [2^(e-1) * (1 + s/4), 2^(e-1) * (1 + (s+1)/4)).  Sub-unit values
+     get negative indices; v <= 0 and NaN land in the underflow count.
+
+     No floating-point sum is kept — cross-domain addition order would
+     leak into the value — only integer bucket counts, the underflow
+     count and the raw maximum, all of which merge order-independently.
+     Percentiles and the mean are derived from the buckets alone, so
+     every readout is byte-identical for any THREEPHASE_JOBS. *)
+
+  type t = {
+    count : int;                  (* all samples, underflow included *)
+    underflow : int;              (* samples <= 0 (and NaN) *)
+    max_value : float;            (* raw max; neg_infinity when empty *)
+    buckets : (int * int) list;   (* index -> count, sorted, counts > 0 *)
+  }
+
+  let empty = { count = 0; underflow = 0; max_value = neg_infinity; buckets = [] }
+
+  let bucket_index v =
+    let m, e = Float.frexp v in
+    let s = int_of_float ((m -. 0.5) *. 8.0) in
+    (4 * (e - 1)) + s
+
+  let bucket_lower i =
+    let o = if i >= 0 then i / 4 else (i - 3) / 4 in
+    let s = i - (4 * o) in
+    Float.ldexp (1.0 +. (float_of_int s /. 4.0)) o
+
+  let bucket_upper i = bucket_lower (i + 1)
+
+  let rec bump i = function
+    | [] -> [(i, 1)]
+    | (j, c) :: rest when j = i -> (j, c + 1) :: rest
+    | (j, _) :: _ as l when j > i -> (i, 1) :: l
+    | b :: rest -> b :: bump i rest
+
+  let add t v =
+    if v > 0.0 then
+      { count = t.count + 1;
+        underflow = t.underflow;
+        max_value = Float.max t.max_value v;
+        buckets = bump (bucket_index v) t.buckets }
+    else
+      { t with
+        count = t.count + 1;
+        underflow = t.underflow + 1;
+        max_value = (if v = v then Float.max t.max_value v else t.max_value) }
+
+  let merge a b =
+    let rec go xs ys =
+      match xs, ys with
+      | [], l | l, [] -> l
+      | (i, c) :: xr, (j, _) :: _ when i < j -> (i, c) :: go xr ys
+      | (i, _) :: _, (j, d) :: yr when j < i -> (j, d) :: go xs yr
+      | (i, c) :: xr, (_, d) :: yr -> (i, c + d) :: go xr yr
+    in
+    { count = a.count + b.count;
+      underflow = a.underflow + b.underflow;
+      max_value = Float.max a.max_value b.max_value;
+      buckets = go a.buckets b.buckets }
+
+  let count t = t.count
+  let underflow t = t.underflow
+  let max_value t = t.max_value
+  let bucket_counts t = t.buckets
+
+  let of_parts ~count ~underflow ~max_value ~buckets =
+    { count; underflow; max_value;
+      buckets =
+        List.filter (fun (_, c) -> c > 0) buckets
+        |> List.sort (fun (a, _) (b, _) -> compare a b) }
+
+  let midpoint i = (bucket_lower i +. bucket_upper i) /. 2.0
+
+  (* Nearest-rank on the bucketed distribution; underflow samples read
+     as 0.  The representative is the bucket midpoint clamped by the raw
+     max (the max lives in the highest occupied bucket, so the clamp
+     only sharpens the top bucket). *)
+  let percentile t q =
+    if t.count = 0 then 0.0
+    else begin
+      let rank =
+        min t.count (max 1 (int_of_float (Float.ceil (q *. float_of_int t.count))))
+      in
+      if rank <= t.underflow then 0.0
+      else begin
+        let rec go seen = function
+          | [] -> t.max_value
+          | (i, c) :: rest ->
+            let seen = seen + c in
+            if rank <= seen then Float.min (midpoint i) t.max_value
+            else go seen rest
+        in
+        go t.underflow t.buckets
+      end
+    end
+
+  let mean t =
+    if t.count = 0 then 0.0
+    else
+      let s =
+        List.fold_left
+          (fun acc (i, c) -> acc +. (float_of_int c *. midpoint i))
+          0.0 t.buckets
+      in
+      s /. float_of_int t.count
+
+  let to_string t =
+    let b = Buffer.create 96 in
+    Buffer.add_string b
+      (Printf.sprintf "count=%d underflow=%d max=%g p50=%g p90=%g p99=%g"
+         t.count t.underflow
+         (if t.count = 0 then 0.0 else t.max_value)
+         (percentile t 0.50) (percentile t 0.90) (percentile t 0.99));
+    Buffer.add_string b " buckets=[";
+    List.iteri
+      (fun k (i, c) ->
+        if k > 0 then Buffer.add_char b ' ';
+        Buffer.add_string b (Printf.sprintf "%d:%d" i c))
+      t.buckets;
+    Buffer.add_char b ']';
+    Buffer.contents b
+end
+
+let histograms_of ~exec:want_exec () =
+  let acc : (string, Histogram.t ref) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun (_, evs) ->
+      List.iter
+        (function
+          | Hist { name; value; exec } when exec = want_exec ->
+            (match Hashtbl.find_opt acc name with
+             | Some r -> r := Histogram.add !r value
+             | None -> Hashtbl.add acc name (ref (Histogram.add Histogram.empty value)))
+          | Hist _ | Begin _ | End _ | Count _ | Gauge _ -> ())
+        evs)
+    (events ());
+  Hashtbl.fold (fun name r l -> (name, !r) :: l) acc []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let histograms () = histograms_of ~exec:false ()
+let exec_histograms () = histograms_of ~exec:true ()
+
+let render_histograms () =
+  let b = Buffer.create 256 in
+  List.iter
+    (fun (name, h) ->
+      Buffer.add_string b name;
+      Buffer.add_string b ": ";
+      Buffer.add_string b (Histogram.to_string h);
+      Buffer.add_char b '\n')
+    (histograms ());
+  Buffer.contents b
+
 (* --- aggregation ---------------------------------------------------- *)
 
 type span_stat = {
@@ -141,7 +310,7 @@ let span_stats () =
                stack := rest;
                bump name (ts -. t0)
              | _ -> () (* unmatched End: drop rather than guess *))
-          | Count _ | Gauge _ -> ())
+          | Count _ | Gauge _ | Hist _ -> ())
         evs)
     (events ());
   Hashtbl.fold
@@ -149,6 +318,77 @@ let span_stats () =
       { span_name; calls = !calls; total_s = !total } :: l)
     acc []
   |> List.sort (fun a b -> String.compare a.span_name b.span_name)
+
+(* --- span trees ------------------------------------------------------ *)
+
+type span_node = {
+  node_name : string;
+  path : string;
+  n_calls : int;
+  n_total_s : float;
+  n_self_s : float;
+  n_children : span_node list;
+}
+
+(* Mutable reconstruction trie; one per call of [span_tree]. *)
+type trie = {
+  mutable t_calls : int;
+  mutable t_total : float;
+  mutable t_child : float;
+  t_children : (string, trie) Hashtbl.t;
+}
+
+let span_tree () =
+  let fresh () =
+    { t_calls = 0; t_total = 0.0; t_child = 0.0; t_children = Hashtbl.create 4 }
+  in
+  let root = fresh () in
+  let child_of node name =
+    match Hashtbl.find_opt node.t_children name with
+    | Some c -> c
+    | None ->
+      let c = fresh () in
+      Hashtbl.add node.t_children name c;
+      c
+  in
+  (* One stack walk per domain, all merging into the same trie: a
+     worker's "ilp.solve" at top level lands on the same root child as
+     the main domain's, so the tree is the union of the call shapes. *)
+  List.iter
+    (fun (_, evs) ->
+      let stack = ref [] in
+      List.iter
+        (function
+          | Begin { name; ts } ->
+            let parent = match !stack with [] -> root | (_, _, n) :: _ -> n in
+            stack := (name, ts, child_of parent name) :: !stack
+          | End { name; ts } ->
+            (match !stack with
+             | (n, t0, node) :: rest when String.equal n name ->
+               stack := rest;
+               let dur = ts -. t0 in
+               node.t_calls <- node.t_calls + 1;
+               node.t_total <- node.t_total +. dur;
+               (match rest with
+                | (_, _, parent) :: _ -> parent.t_child <- parent.t_child +. dur
+                | [] -> ())
+             | _ -> () (* unmatched End: drop, as in span_stats *))
+          | Count _ | Gauge _ | Hist _ -> ())
+        evs)
+    (events ());
+  let rec freeze path node =
+    Hashtbl.fold (fun name c l -> (name, c) :: l) node.t_children []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+    |> List.map (fun (name, c) ->
+           let p = if String.equal path "" then name else path ^ "/" ^ name in
+           { node_name = name;
+             path = p;
+             n_calls = c.t_calls;
+             n_total_s = c.t_total;
+             n_self_s = Float.max 0.0 (c.t_total -. c.t_child);
+             n_children = freeze p c })
+  in
+  freeze "" root
 
 let counters () =
   let acc : (string, int ref) Hashtbl.t = Hashtbl.create 32 in
@@ -160,7 +400,7 @@ let counters () =
             (match Hashtbl.find_opt acc name with
              | Some r -> r := !r + incr
              | None -> Hashtbl.add acc name (ref incr))
-          | Begin _ | End _ | Gauge _ -> ())
+          | Begin _ | End _ | Gauge _ | Hist _ -> ())
         evs)
     (events ());
   Hashtbl.fold (fun name r l -> (name, !r) :: l) acc []
@@ -176,7 +416,7 @@ let gauges () =
             (match Hashtbl.find_opt acc name with
              | Some r -> if value > !r then r := value
              | None -> Hashtbl.add acc name (ref value))
-          | Begin _ | End _ | Count _ -> ())
+          | Begin _ | End _ | Count _ | Hist _ -> ())
         evs)
     (events ());
   Hashtbl.fold (fun name r l -> (name, !r) :: l) acc []
@@ -234,19 +474,36 @@ let chrome_trace () =
            "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%d,\
             \"args\":{\"name\":\"domain %d\"}}"
            tid tid);
+      (* the same stack walk as [span_tree], so every E event can carry
+         its duration and self time (duration minus nested spans) *)
+      let stack = ref [] in
       List.iter
         (fun ev ->
           match ev with
           | Begin { name; ts } ->
+            stack := (name, ts, ref 0.0) :: !stack;
             emit
               (Printf.sprintf
                  "{\"name\":\"%s\",\"ph\":\"B\",\"pid\":1,\"tid\":%d,\"ts\":%.1f}"
                  (json_escape name) tid (us ts))
           | End { name; ts } ->
+            let args =
+              match !stack with
+              | (n, t0, child) :: rest when String.equal n name ->
+                stack := rest;
+                let dur = ts -. t0 in
+                (match rest with
+                 | (_, _, pchild) :: _ -> pchild := !pchild +. dur
+                 | [] -> ());
+                Printf.sprintf ",\"args\":{\"dur_us\":%.1f,\"self_us\":%.1f}"
+                  (dur *. 1e6)
+                  (Float.max 0.0 (dur -. !child) *. 1e6)
+              | _ -> ""
+            in
             emit
               (Printf.sprintf
-                 "{\"name\":\"%s\",\"ph\":\"E\",\"pid\":1,\"tid\":%d,\"ts\":%.1f}"
-                 (json_escape name) tid (us ts))
+                 "{\"name\":\"%s\",\"ph\":\"E\",\"pid\":1,\"tid\":%d,\"ts\":%.1f%s}"
+                 (json_escape name) tid (us ts) args)
           | Count { name; ts; incr } ->
             let r =
               match Hashtbl.find_opt totals name with
@@ -267,7 +524,11 @@ let chrome_trace () =
               (Printf.sprintf
                  "{\"name\":\"%s\",\"ph\":\"C\",\"pid\":1,\"tid\":%d,\"ts\":%.1f,\
                   \"args\":{\"value\":%g}}"
-                 (json_escape name) tid (us ts) value))
+                 (json_escape name) tid (us ts) value)
+          | Hist _ ->
+            (* histogram samples are timestamp-free aggregates; they
+               have no sensible place on a timeline *)
+            ())
         evs)
     (events ());
   Buffer.add_string buf "\n]}\n";
@@ -285,27 +546,49 @@ let summary_table () =
     Report.Table.create ~title:"Observability summary"
       [ ("metric", Report.Table.Left); ("kind", Report.Table.Left);
         ("calls", Report.Table.Right); ("total s", Report.Table.Right);
-        ("mean ms", Report.Table.Right); ("value", Report.Table.Right) ]
+        ("self s", Report.Table.Right); ("mean ms", Report.Table.Right);
+        ("value", Report.Table.Right) ]
   in
-  let spans = span_stats () in
-  List.iter
-    (fun s ->
-      Report.Table.add_row t
-        [ s.span_name; "span"; string_of_int s.calls;
-          Printf.sprintf "%.4f" s.total_s;
-          Printf.sprintf "%.3f" (1e3 *. s.total_s /. float_of_int (max 1 s.calls));
-          "" ])
-    spans;
+  (* spans render as their reconstructed call tree, two spaces of indent
+     per level, with self time split out from nested children *)
+  let tree = span_tree () in
+  let rec add_node depth n =
+    Report.Table.add_row t
+      [ String.make (2 * depth) ' ' ^ n.node_name; "span";
+        string_of_int n.n_calls;
+        Printf.sprintf "%.4f" n.n_total_s;
+        Printf.sprintf "%.4f" n.n_self_s;
+        Printf.sprintf "%.3f"
+          (1e3 *. n.n_total_s /. float_of_int (max 1 n.n_calls));
+        "" ];
+    List.iter (add_node (depth + 1)) n.n_children
+  in
+  List.iter (add_node 0) tree;
   let cs = counters () in
-  if spans <> [] && cs <> [] then Report.Table.add_rule t;
+  if tree <> [] && cs <> [] then Report.Table.add_rule t;
   List.iter
     (fun (name, v) ->
-      Report.Table.add_row t [name; "counter"; ""; ""; ""; string_of_int v])
+      Report.Table.add_row t [name; "counter"; ""; ""; ""; ""; string_of_int v])
     cs;
+  let hist_row kind (name, h) =
+    Report.Table.add_row t
+      [ name; kind; string_of_int (Histogram.count h); ""; ""; "";
+        Printf.sprintf "p50=%g p99=%g max=%g"
+          (Histogram.percentile h 0.50) (Histogram.percentile h 0.99)
+          (if Histogram.count h = 0 then 0.0 else Histogram.max_value h) ]
+  in
+  let hs = histograms () and xhs = exec_histograms () in
+  if tree <> [] || cs <> [] then
+    if hs <> [] || xhs <> [] then Report.Table.add_rule t;
+  List.iter (hist_row "hist") hs;
+  (* "hist~": execution-shaped distributions, noisy by nature *)
+  List.iter (hist_row "hist~") xhs;
   let gs = gauges () in
-  if (spans <> [] || cs <> []) && gs <> [] then Report.Table.add_rule t;
+  if (tree <> [] || cs <> [] || hs <> [] || xhs <> []) && gs <> [] then
+    Report.Table.add_rule t;
   List.iter
     (fun (name, v) ->
-      Report.Table.add_row t [name; "gauge"; ""; ""; ""; Printf.sprintf "%g" v])
+      Report.Table.add_row t
+        [name; "gauge"; ""; ""; ""; ""; Printf.sprintf "%g" v])
     gs;
   t

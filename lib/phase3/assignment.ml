@@ -8,16 +8,6 @@ type plan =
 
 type solver = [ `Auto | `Ilp | `Mis | `Greedy ]
 
-type solver_stats = {
-  components : int;
-  nodes_explored : int;
-  lp_solves : int;
-  propagations : int;
-}
-
-let no_stats =
-  { components = 0; nodes_explored = 0; lp_solves = 0; propagations = 0 }
-
 type t = {
   graph : Ff_graph.t;
   plans : plan array;
@@ -26,7 +16,6 @@ type t = {
   optimal : bool;
   solver_used : solver;
   solve_time_s : float;
-  stats : solver_stats;
 }
 
 let total_latches t =
@@ -183,18 +172,17 @@ let solve ?(solver = `Auto) ?(node_budget = 2_000_000) d =
     | (`Ilp | `Mis | `Greedy) as s -> s
   in
   let t0 = now () in
-  let plans, pi_latches, optimal, stats =
+  (* solver internals are published as Obs counters and histograms
+     under the ilp./mis. prefixes by the solvers themselves; read them
+     with Obs.counter_of / Obs.histograms *)
+  let plans, pi_latches, optimal =
     match strategy with
     | `Ilp ->
       let model = build_model g in
       (match Ilp.Branch_bound.solve ~node_budget:(min node_budget 20_000) model with
-       | Some (sol, s) ->
+       | Some (sol, _) ->
          let plans, pi = decode_ilp g sol in
-         (plans, pi, sol.Ilp.Model.optimal,
-          { components = s.Ilp.Branch_bound.components;
-            nodes_explored = s.Ilp.Branch_bound.nodes_explored;
-            lp_solves = s.Ilp.Branch_bound.lp_solves;
-            propagations = s.Ilp.Branch_bound.propagations })
+         (plans, pi, sol.Ilp.Model.optimal)
        | None ->
          (* The formulation is always feasible (all pairs); cannot happen. *)
          assert false)
@@ -204,15 +192,12 @@ let solve ?(solver = `Auto) ?(node_budget = 2_000_000) d =
       Obs.count "mis.components" r.Ilp.Indep_set.components;
       Obs.count "mis.nodes" r.Ilp.Indep_set.nodes_explored;
       let plans, pi = decode_mis g r.Ilp.Indep_set.chosen eligible in
-      (plans, pi, r.Ilp.Indep_set.optimal,
-       { no_stats with
-         components = r.Ilp.Indep_set.components;
-         nodes_explored = r.Ilp.Indep_set.nodes_explored })
+      (plans, pi, r.Ilp.Indep_set.optimal)
     | `Greedy ->
       let graph, eligible = build_augmented g in
       let chosen = Ilp.Indep_set.greedy graph in
       let plans, pi = decode_mis g chosen eligible in
-      (plans, pi, false, no_stats)
+      (plans, pi, false)
   in
   let solve_time_s = now () -. t0 in
   Obs.count "assign.registers" n;
@@ -223,8 +208,7 @@ let solve ?(solver = `Auto) ?(node_budget = 2_000_000) d =
     inserted_latches = count_inserted plans pi_latches;
     optimal;
     solver_used = strategy;
-    solve_time_s;
-    stats }
+    solve_time_s }
 
 let validate d t =
   ignore d;

@@ -30,25 +30,15 @@ type plan =
 
 type solver = [ `Auto | `Ilp | `Mis | `Greedy ]
 
-(** Unified solver instrumentation.  The [`Ilp] path fills every field
-    from {!Ilp.Branch_bound.stats}; the combinatorial [`Mis] path reports
-    its components and search nodes with zero LP activity; [`Greedy]
-    reports all zeros.
-
-    @deprecated Superseded by the {!Obs} counters the solvers now emit
-    ([ilp.components], [ilp.nodes], [ilp.lp_solves], [ilp.propagations]
-    on the [`Ilp] path; [mis.components], [mis.nodes] on [`Mis]) — read
-    them with {!Obs.counter_of}.  The record and the {!t.stats} field
-    are kept, still fully populated, as a compatibility alias so
-    existing callers ({!Experiments.Tables.runtime}, tests) keep
-    compiling; new code should prefer the counters. *)
-type solver_stats = {
-  components : int;      (** independent sub-problems solved *)
-  nodes_explored : int;
-  lp_solves : int;
-  propagations : int;    (** implied fixings applied before LP solves *)
-}
-
+(** Solver internals (search nodes, LP solves, propagations,
+    components) are published through {!Obs}: the counters
+    [ilp.components]/[ilp.nodes]/[ilp.lp_solves]/[ilp.propagations] on
+    the [`Ilp] path and [mis.components]/[mis.nodes] on [`Mis] — read
+    them with {!Obs.counter_of} — plus the per-component histograms
+    [ilp.component_vars]/[ilp.component_nodes]/[ilp.component_depth]
+    and [mis.component_vars]/[mis.component_nodes] via
+    {!Obs.histograms}.  (The [solver_stats] compatibility alias that
+    duplicated the counters was removed.) *)
 type t = {
   graph : Netlist.Ff_graph.t;
   plans : plan array;            (** per graph position *)
@@ -57,7 +47,6 @@ type t = {
   optimal : bool;
   solver_used : solver;
   solve_time_s : float;
-  stats : solver_stats;
 }
 
 (** Number of latches the 3-phase design will contain

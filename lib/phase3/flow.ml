@@ -73,7 +73,11 @@ let run ~config d =
   let stage name f =
     let t0 = Unix.gettimeofday () in
     let r = Obs.gc_span ("flow." ^ name) f in
-    times := (name, Unix.gettimeofday () -. t0) :: !times;
+    let dt = Unix.gettimeofday () -. t0 in
+    times := (name, dt) :: !times;
+    (* per-stage latency distribution across every flow run in the
+       process — wall clock, hence execution-shaped *)
+    Obs.hist ~exec:true "flow.stage_ms" (1e3 *. dt);
     r
   in
   stage "validate" (fun () ->

@@ -47,6 +47,27 @@ let config_json (c : Phase3.Flow.config) =
     ("verify_cycles", Json.Num (float_of_int c.Phase3.Flow.verify_cycles));
     ("lint", Json.Bool c.Phase3.Flow.lint) ]
 
+(* Summarise execution-shaped histograms (chunk balance, stage
+   latencies) into the noisy gauge channel: they are machine-shaped,
+   so per-bucket gating would be meaningless, but their percentiles
+   are worth tracking under the noise band like any other gauge. *)
+let exec_hist_gauges () =
+  List.concat_map
+    (fun (name, h) ->
+      if Obs.Histogram.count h = 0 then []
+      else
+        [ (name ^ ".p50", Obs.Histogram.percentile h 0.50);
+          (name ^ ".p99", Obs.Histogram.percentile h 0.99);
+          (name ^ ".max", Obs.Histogram.max_value h) ])
+    (Obs.exec_histograms ())
+
+let rec tree_of_span_node (n : Obs.span_node) =
+  { Record.t_name = n.Obs.node_name;
+    t_calls = n.Obs.n_calls;
+    t_total_s = n.Obs.n_total_s;
+    t_self_s = n.Obs.n_self_s;
+    t_children = List.map tree_of_span_node n.Obs.n_children }
+
 let obs_rollup () =
   let spans =
     List.map
@@ -56,7 +77,9 @@ let obs_rollup () =
           total_s = s.Obs.total_s })
       (Obs.span_stats ())
   in
-  (Obs.counters (), Obs.gauges (), spans)
+  let gauges = Obs.gauges () @ exec_hist_gauges () in
+  let tree = List.map tree_of_span_node (Obs.span_tree ()) in
+  (Obs.counters (), gauges, spans, Obs.histograms (), tree)
 
 let implement_and_power design ~clocks ~cycles ~seed =
   let design, hold = Sta.Hold_fix.run design ~clocks in
@@ -196,13 +219,13 @@ let of_flow ?(with_obs = true) ?(measure_power = true) ?(power_cycles = 256)
         ("assign.solve_s", assignment.Phase3.Assignment.solve_time_s) ]
     @ extra_wall
   in
-  let counters, gauges, spans =
-    if with_obs then obs_rollup () else ([], [], [])
+  let counters, gauges, spans, hists, tree =
+    if with_obs then obs_rollup () else ([], [], [], [], [])
   in
   Record.make
     ~config:(config_json config)
     ~metrics:
       (base_metrics @ retime_metrics @ cg_metrics @ lint_metrics
        @ equivalence_metrics @ power_metrics)
-    ~counters ~wall ~gauges ~spans
+    ~counters ~hists ~wall ~gauges ~spans ~tree
     (provenance ~kind:"flow" ~circuit)

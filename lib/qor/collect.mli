@@ -17,10 +17,20 @@ val provenance : kind:string -> circuit:string -> Record.provenance
 val config_json : Phase3.Flow.config -> (string * Json.t) list
 
 (** Snapshot of the global {!Obs} aggregates:
-    [(counters, gauges, spans)].  Call it from sequential code only
-    (after the flow / suite), like every other [Obs] reader. *)
+    [(counters, gauges, spans, hists, tree)].  [gauges] additionally
+    carries p50/p99/max readouts of the execution-shaped histograms
+    ({!Obs.exec_histograms}) — machine-shaped distributions belong in
+    the noisy channel; [hists] is the deterministic
+    {!Obs.histograms}; [tree] the {!Obs.span_tree} call tree.  Call it
+    from sequential code only (after the flow / suite), like every
+    other [Obs] reader. *)
 val obs_rollup :
-  unit -> (string * int) list * (string * float) list * Record.span list
+  unit ->
+  (string * int) list
+  * (string * float) list
+  * Record.span list
+  * (string * Obs.Histogram.t) list
+  * Record.tree_node list
 
 (** Physical implementation and power of a finished design: hold-fix
     under the given clocks, placement + CTS, Monte-Carlo activity via

@@ -5,7 +5,7 @@ type cls =
   | Missing_current
   | Missing_baseline
 
-type section = Metric | Counter | Wall | Gauge
+type section = Metric | Counter | Hist | Wall | Gauge
 
 type entry = {
   name : string;
@@ -15,12 +15,29 @@ type entry = {
   cls : cls;
 }
 
+(* One ranked piece of evidence for an attribution: a co-located
+   counter/histogram/gauge entry that also moved. *)
+type suspect = {
+  su_name : string;
+  su_section : section;
+  su_baseline : float option;
+  su_current : float option;
+  su_score : float;  (* |delta| / max(1, |baseline|); 1.0 when one-sided *)
+}
+
+type attribution = {
+  at_metric : string;       (* the gated metric that changed *)
+  at_stage : string;        (* the flow stage that owns it *)
+  at_suspects : suspect list;  (* ranked, best first, at most three *)
+}
+
 type t = {
   circuit : string;
   baseline_kind : string;
   entries : entry list;
   gate_failures : string list;
   wall_regressions : string list;
+  attributions : attribution list;
 }
 
 let cls_name = function
@@ -33,6 +50,7 @@ let cls_name = function
 let section_name = function
   | Metric -> "metric"
   | Counter -> "counter"
+  | Hist -> "hist"
   | Wall -> "wall"
   | Gauge -> "gauge"
 
@@ -71,6 +89,97 @@ let classify_noisy ~noise_band ~abs_floor name b c =
     let tol = Float.max (noise_band *. Float.abs b) abs_floor in
     if Float.abs delta <= tol then Unchanged
     else classify_direction name delta
+
+(* --- regression attribution ----------------------------------------- *)
+
+let starts_with p s =
+  String.length s >= String.length p && String.sub s 0 (String.length p) = p
+
+(* Which flow stage owns a gated metric.  The mapping follows the
+   metric vocabulary of Collect.of_flow (docs/QOR.md): register counts
+   and cell-level area come out of conversion, power/area/hold come out
+   of the physical+power measurement, and so on.  Unknown names (bench
+   headline metrics, experiment extras) get no attribution. *)
+let stage_of_metric name =
+  if starts_with "assign." name then Some "assign"
+  else if starts_with "retime." name
+          || String.equal name "inserted_p2.after_retime"
+  then Some "retime"
+  else if starts_with "cg." name || String.equal name "clock_gate.count" then
+    Some "clock_gating"
+  else if starts_with "timing." name then Some "smo"
+  else if starts_with "lint." name then Some "lint"
+  else if starts_with "equivalence." name then Some "equivalence"
+  else if
+    starts_with "power." name || starts_with "kernel." name
+    || starts_with "clock_tree." name || starts_with "hold." name
+    || String.equal name "area.impl_um2" || String.equal name "wirelength.um"
+  then Some "power"
+  else if
+    starts_with "area." name || starts_with "leakage." name
+    || starts_with "inserted_p2." name || String.equal name "ff.count"
+    || String.equal name "latch.count" || String.equal name "register.count"
+  then Some "convert"
+  else None
+
+(* Telemetry name prefixes co-located with a stage: the counters,
+   histograms and gauges its implementation emits. *)
+let suspect_prefixes = function
+  | "assign" -> ["ilp."; "mis."; "assign."]
+  | "convert" -> ["assign."; "convert."]
+  | "retime" -> ["retime."]
+  | "clock_gating" -> ["cg."; "sim.kernel."]
+  | "smo" -> ["sta."]
+  | "lint" -> ["lint."]
+  | "equivalence" -> ["sim."]
+  | "power" -> ["sim.kernel."; "physical."; "power."; "sta."; "qor.power"]
+  | _ -> []
+
+let suspect_score b c =
+  match b, c with
+  | Some b, Some c when Float.is_nan b || Float.is_nan c -> 1.0
+  | Some b, Some c -> Float.abs (c -. b) /. Float.max 1.0 (Float.abs b)
+  | _ -> 1.0 (* appeared or disappeared outright *)
+
+(* For one changed deterministic metric: rank the co-located telemetry
+   entries (counters, histogram readouts, gauges — not other gated
+   metrics) that also moved.  "Moved" reuses each section's own
+   classification, so gauges must leave the noise band to qualify. *)
+let attribute entries e =
+  match stage_of_metric e.name with
+  | None -> None
+  | Some stage ->
+    let prefixes = suspect_prefixes stage in
+    let candidates =
+      List.filter
+        (fun s ->
+          (match s.section with
+           | Counter | Hist | Gauge -> true
+           | Metric | Wall -> false)
+          && s.cls <> Unchanged
+          && (not (String.equal s.name e.name))
+          && List.exists (fun p -> starts_with p s.name) prefixes)
+        entries
+    in
+    let suspects =
+      List.map
+        (fun s ->
+          { su_name = s.name;
+            su_section = s.section;
+            su_baseline = s.baseline;
+            su_current = s.current;
+            su_score = suspect_score s.baseline s.current })
+        candidates
+      |> List.sort (fun a b ->
+             match compare b.su_score a.su_score with
+             | 0 -> String.compare a.su_name b.su_name
+             | o -> o)
+    in
+    let top =
+      List.filteri (fun i _ -> i < 3) suspects
+    in
+    if top = [] then None
+    else Some { at_metric = e.name; at_stage = stage; at_suspects = top }
 
 (* Walk two sorted assoc lists, pairing by name. *)
 let merge_sorted base cur f =
@@ -114,6 +223,10 @@ let run ?(noise_band = 0.30) ?(abs_floor = 0.01) ~baseline current =
       (exact Metric)
     @ merge_sorted (ints baseline.Record.counters)
         (ints current.Record.counters) (exact Counter)
+    @ merge_sorted
+        (Record.flatten_hists baseline.Record.hists)
+        (Record.flatten_hists current.Record.hists)
+        (exact Hist)
     @ merge_sorted baseline.Record.wall current.Record.wall (noisy Wall)
     @ merge_sorted baseline.Record.gauges current.Record.gauges (noisy Gauge)
   in
@@ -121,7 +234,8 @@ let run ?(noise_band = 0.30) ?(abs_floor = 0.01) ~baseline current =
     List.filter_map
       (fun e ->
         match e.section, e.cls with
-        | (Metric | Counter), (Improved | Regressed | Missing_current) ->
+        | (Metric | Counter | Hist), (Improved | Regressed | Missing_current)
+          ->
           Some e.name
         | _ -> None)
       entries
@@ -134,11 +248,20 @@ let run ?(noise_band = 0.30) ?(abs_floor = 0.01) ~baseline current =
         | _ -> None)
       entries
   in
+  let attributions =
+    List.filter_map
+      (fun e ->
+        match e.section, e.cls with
+        | Metric, (Regressed | Improved) -> attribute entries e
+        | _ -> None)
+      entries
+  in
   { circuit = current.Record.prov.circuit;
     baseline_kind = baseline.Record.prov.kind;
     entries;
     gate_failures;
-    wall_regressions }
+    wall_regressions;
+    attributions }
 
 let ok ?(fail_on_wall = false) t =
   t.gate_failures = [] && ((not fail_on_wall) || t.wall_regressions = [])
@@ -178,13 +301,32 @@ let table t =
   in
   let deterministic, rest =
     List.partition
-      (fun e -> match e.section with Metric | Counter -> true | _ -> false)
+      (fun e ->
+        match e.section with Metric | Counter | Hist -> true | _ -> false)
       t.entries
   in
   List.iter emit deterministic;
   if deterministic <> [] && rest <> [] then Report.Table.add_rule tab;
   List.iter emit rest;
   tab
+
+(* Human-readable attribution lines, one per changed metric:
+     power.total_mw (stage power): suspect sim.kernel.events 1200 -> 1800 (score 600)
+   Shared by `qor check` console output and CI failure messages. *)
+let attribution_lines t =
+  List.map
+    (fun a ->
+      let sus =
+        List.map
+          (fun s ->
+            Printf.sprintf "%s [%s] %s -> %s" s.su_name
+              (section_name s.su_section)
+              (value_str s.su_baseline) (value_str s.su_current))
+          a.at_suspects
+      in
+      Printf.sprintf "%s (stage %s): suspect %s" a.at_metric a.at_stage
+        (String.concat "; " sus))
+    t.attributions
 
 let markdown t =
   let buf = Buffer.create 1024 in
@@ -201,6 +343,10 @@ let markdown t =
       "Wall-clock outside the noise band (not gated): %s.\n"
       (String.concat ", "
          (List.map (Printf.sprintf "`%s`") t.wall_regressions));
+  if t.attributions <> [] then begin
+    Buffer.add_string buf "\n### Suspects\n\n";
+    List.iter (Printf.bprintf buf "- %s\n") (attribution_lines t)
+  end;
   let changed =
     List.filter (fun e -> e.cls <> Unchanged) t.entries
   in

@@ -6,7 +6,8 @@
     Metrics fall in two classes, decided by the record section they
     live in:
 
-    - {b Exact} ([metrics] and [counters] sections): counts,
+    - {b Exact} ([metrics], [counters] and [hists] sections —
+      histograms through their {!Record.hist_stats} readouts): counts,
       objectives, area, power, slack are deterministic, so {e any}
       numeric difference is a change.  [NaN = NaN] counts as
       unchanged (a power model that produced NaN yesterday and NaN
@@ -30,7 +31,18 @@
     fails the gate too — that is the point of a ratchet; refresh the
     baseline to bank it.  Noisy regressions are reported separately
     ({!wall_regressions}) and do not fail the gate unless the caller
-    opts in. *)
+    opts in.
+
+    {2 Attribution}
+
+    For every gated {e metric} that changed, the diff also asks {e why}:
+    it maps the metric to the flow stage that owns it, then ranks the
+    co-located telemetry — counters, histogram readouts and
+    out-of-band gauges emitted by that stage's implementation — that
+    moved in the same run.  The top suspects land in {!t.attributions}
+    and are printed by [qor check] under the failure verdict, so a CI
+    failure says not just "power regressed" but "and the clock-gating
+    simulation saw 40% more kernel events". *)
 
 type cls =
   | Improved
@@ -39,7 +51,7 @@ type cls =
   | Missing_current   (** in the baseline, absent from the new record *)
   | Missing_baseline  (** new metric, absent from the baseline *)
 
-type section = Metric | Counter | Wall | Gauge
+type section = Metric | Counter | Hist | Wall | Gauge
 
 type entry = {
   name : string;
@@ -49,13 +61,36 @@ type entry = {
   cls : cls;
 }
 
+(** One ranked piece of evidence behind an attribution: a co-located
+    counter/histogram/gauge entry that also moved. *)
+type suspect = {
+  su_name : string;
+  su_section : section;
+  su_baseline : float option;
+  su_current : float option;
+  su_score : float;
+  (** [|delta| / max 1 |baseline|]; [1.0] when one side is missing *)
+}
+
+type attribution = {
+  at_metric : string;  (** the gated metric that changed *)
+  at_stage : string;   (** the flow stage that owns it *)
+  at_suspects : suspect list;  (** ranked, best first, at most three *)
+}
+
 type t = {
   circuit : string;
   baseline_kind : string;
   entries : entry list;        (** deterministic sections first, then noisy *)
   gate_failures : string list; (** exact metrics changed or missing *)
   wall_regressions : string list; (** noisy metrics beyond the band *)
+  attributions : attribution list;
+  (** one per changed [Metric] entry with at least one suspect *)
 }
+
+(** The flow stage owning a gated metric name, when known — the same
+    mapping {!run} uses to pick suspects. *)
+val stage_of_metric : string -> string option
 
 (** [run ~baseline current] — [noise_band] is the relative tolerance
     for noisy metrics (default [0.30]), [abs_floor] the absolute floor
@@ -68,6 +103,12 @@ val run :
 val ok : ?fail_on_wall:bool -> t -> bool
 
 val cls_name : cls -> string
+val section_name : section -> string
+
+(** One line per attribution, e.g.
+    ["power.total_mw (stage power): suspect sim.kernel.events \[counter\] 1200 -> 1800"]
+    — for console output and CI failure messages. *)
+val attribution_lines : t -> string list
 
 (** Plain-text diff table (all entries; unchanged rows included so the
     table documents coverage). *)

@@ -17,32 +17,61 @@ type provenance = {
 
 type span = { span_name : string; calls : int; total_s : float }
 
+(* One node of the recorded span call tree (Obs.span_tree, flattened
+   into the record so reports can be built from records alone). *)
+type tree_node = {
+  t_name : string;
+  t_calls : int;
+  t_total_s : float;
+  t_self_s : float;
+  t_children : tree_node list;
+}
+
 type t = {
   version : int;
   prov : provenance;
   config : (string * Json.t) list;
   metrics : (string * float) list;
   counters : (string * int) list;
+  hists : (string * Obs.Histogram.t) list;  (* deterministic section *)
   headline : (string * Json.t) list;
   wall : (string * float) list;
   gauges : (string * float) list;
   spans : span list;
+  tree : tree_node list;
 }
 
 let by_name (a, _) (b, _) = String.compare a b
 
-let make ?(config = []) ?(metrics = []) ?(counters = []) ?(headline = [])
-    ?(wall = []) ?(gauges = []) ?(spans = []) prov =
+let make ?(config = []) ?(metrics = []) ?(counters = []) ?(hists = [])
+    ?(headline = []) ?(wall = []) ?(gauges = []) ?(spans = []) ?(tree = [])
+    prov =
   { version = schema_version;
     prov;
     config;
     metrics = List.sort by_name metrics;
     counters = List.sort by_name counters;
+    hists = List.sort by_name hists;
     headline;
     wall = List.sort by_name wall;
     gauges = List.sort by_name gauges;
     spans =
-      List.sort (fun a b -> String.compare a.span_name b.span_name) spans }
+      List.sort (fun a b -> String.compare a.span_name b.span_name) spans;
+    tree }
+
+(* Deterministic scalar readouts of a histogram, the per-hist entries
+   the regression gate ratchets: sample count, quartile readouts and
+   the raw max (0 when empty, like Obs.Histogram.to_string). *)
+let hist_stats name (h : Obs.Histogram.t) =
+  [ (name ^ ".count", float_of_int (Obs.Histogram.count h));
+    (name ^ ".p50", Obs.Histogram.percentile h 0.50);
+    (name ^ ".p90", Obs.Histogram.percentile h 0.90);
+    (name ^ ".p99", Obs.Histogram.percentile h 0.99);
+    (name ^ ".max",
+     if Obs.Histogram.count h = 0 then 0.0 else Obs.Histogram.max_value h) ]
+
+let flatten_hists hists =
+  List.concat_map (fun (name, h) -> hist_stats name h) hists
 
 (* --- writer ---------------------------------------------------------- *)
 
@@ -52,6 +81,32 @@ let to_json r =
     Json.Obj (List.map (fun (k, v) -> (k, Json.Num (float_of_int v))) kvs)
   in
   let opt_field name = function [] -> [] | kvs -> [(name, Json.Obj kvs)] in
+  let hist_json h =
+    Json.Obj
+      [ ("count", Json.Num (float_of_int (Obs.Histogram.count h)));
+        ("underflow", Json.Num (float_of_int (Obs.Histogram.underflow h)));
+        ("max",
+         Json.Num
+           (if Obs.Histogram.count h = 0 then 0.0
+            else Obs.Histogram.max_value h));
+        ("buckets",
+         Json.Arr
+           (List.map
+              (fun (i, c) ->
+                Json.Arr
+                  [Json.Num (float_of_int i); Json.Num (float_of_int c)])
+              (Obs.Histogram.bucket_counts h))) ]
+  in
+  let rec tree_json n =
+    Json.Obj
+      ([ ("name", Json.Str n.t_name);
+         ("calls", Json.Num (float_of_int n.t_calls));
+         ("total_s", Json.Num n.t_total_s);
+         ("self_s", Json.Num n.t_self_s) ]
+       @
+       if n.t_children = [] then []
+       else [("children", Json.Arr (List.map tree_json n.t_children))])
+  in
   Json.Obj
     ([ ("schema_version", Json.Num (float_of_int r.version));
        ("kind", Json.Str r.prov.kind);
@@ -59,6 +114,8 @@ let to_json r =
        ("config", Json.Obj r.config);
        ("metrics", num_map r.metrics);
        ("counters", int_map r.counters) ]
+     @ opt_field "hists"
+         (List.map (fun (name, h) -> (name, hist_json h)) r.hists)
      @ opt_field "headline" r.headline
      @ [ ("provenance",
           Json.Obj
@@ -79,7 +136,10 @@ let to_json r =
                    [ ("name", Json.Str s.span_name);
                      ("calls", Json.Num (float_of_int s.calls));
                      ("total_s", Json.Num s.total_s) ])
-               r.spans)) ])
+               r.spans)) ]
+     @
+     if r.tree = [] then []
+     else [("tree", Json.Arr (List.map tree_json r.tree))])
 
 let render r = Json.render (to_json r)
 
@@ -133,6 +193,44 @@ let of_json doc =
     let* m = num_map_field doc "counters" in
     Ok (List.map (fun (k, v) -> (k, int_of_float v)) m)
   in
+  let* hists =
+    match Json.member "hists" doc with
+    | None -> Ok []
+    | Some (Json.Obj kvs) ->
+      let hist_of (name, v) =
+        let int_field k = Option.bind (Json.member k v) Json.to_int in
+        match int_field "count", int_field "underflow",
+              Option.bind (Json.member "max" v) Json.to_float,
+              Json.member "buckets" v with
+        | Some count, Some underflow, Some max_value, Some (Json.Arr bs) ->
+          let bucket = function
+            | Json.Arr [i; c] ->
+              (match Json.to_int i, Json.to_int c with
+               | Some i, Some c -> Some (i, c)
+               | _ -> None)
+            | _ -> None
+          in
+          let buckets = List.filter_map bucket bs in
+          if List.length buckets <> List.length bs then
+            Error (Printf.sprintf "record: hists.%s has ill-formed buckets" name)
+          else
+            Ok
+              (name,
+               Obs.Histogram.of_parts ~count ~underflow
+                 ~max_value:(if count = 0 then neg_infinity else max_value)
+                 ~buckets)
+        | _ -> Error (Printf.sprintf "record: hists.%s is ill-formed" name)
+      in
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | kv :: rest ->
+          (match hist_of kv with
+           | Ok h -> go (h :: acc) rest
+           | Error _ as e -> e)
+      in
+      go [] kvs
+    | Some _ -> Error "record: hists is not an object"
+  in
   let headline =
     match Json.member "headline" doc with Some (Json.Obj kvs) -> kvs | _ -> []
   in
@@ -181,9 +279,37 @@ let of_json doc =
       go [] items
     | Some _ -> Error "record: spans is not an array"
   in
+  let* tree =
+    let rec node item =
+      match
+        ( Option.bind (Json.member "name" item) Json.to_string,
+          Option.bind (Json.member "calls" item) Json.to_int,
+          Option.bind (Json.member "total_s" item) Json.to_float,
+          Option.bind (Json.member "self_s" item) Json.to_float )
+      with
+      | Some t_name, Some t_calls, Some t_total_s, Some t_self_s ->
+        let* t_children =
+          match Json.member "children" item with
+          | None -> Ok []
+          | Some (Json.Arr items) -> nodes [] items
+          | Some _ -> Error "record: tree children is not an array"
+        in
+        Ok { t_name; t_calls; t_total_s; t_self_s; t_children }
+      | _ -> Error "record: ill-formed tree node"
+    and nodes acc = function
+      | [] -> Ok (List.rev acc)
+      | item :: rest ->
+        let* n = node item in
+        nodes (n :: acc) rest
+    in
+    match Json.member "tree" doc with
+    | None -> Ok []
+    | Some (Json.Arr items) -> nodes [] items
+    | Some _ -> Error "record: tree is not an array"
+  in
   Ok
-    { version; prov; config; metrics; counters; headline; wall; gauges;
-      spans }
+    { version; prov; config; metrics; counters; hists; headline; wall;
+      gauges; spans; tree }
 
 let parse text =
   let* doc = Json.parse text in

@@ -14,15 +14,16 @@
     The fields are split so diffing tools can hold the two classes to
     different standards:
 
-    - [kind], [circuit], [config], [metrics], [counters] are the
-      {b deterministic sections}: for a fixed tree and inputs their
+    - [kind], [circuit], [config], [metrics], [counters], [hists] are
+      the {b deterministic sections}: for a fixed tree and inputs their
       rendered bytes are identical for any [THREEPHASE_JOBS] setting
-      and any machine.  {!Diff} compares them exactly.
-    - [provenance], [wall], [gauges], [spans] (and the free-form
-      [headline]) are the {b wall sections}: timestamps, hostnames,
-      durations and sampled values.  {!Diff} compares [wall] and
-      [gauges] under a relative noise band and never gates on
-      [provenance].
+      and any machine.  {!Diff} compares them exactly (histograms
+      through their {!hist_stats} readouts).
+    - [provenance], [wall], [gauges], [spans], [tree] (and the
+      free-form [headline]) are the {b wall sections}: timestamps,
+      hostnames, durations and sampled values.  {!Diff} compares
+      [wall] and [gauges] under a relative noise band and never gates
+      on [provenance], [spans] or [tree].
 
     {!render} is canonical — fixed key order, metric maps sorted by
     name, one float format (see {!Json.float_token}) — so two records
@@ -51,18 +52,31 @@ type provenance = {
 (** One aggregated {!Obs} span: name, completed calls, summed seconds. *)
 type span = { span_name : string; calls : int; total_s : float }
 
+(** One node of the recorded span call tree ({!Obs.span_tree} with the
+    path dropped — it is recomputable from the nesting). *)
+type tree_node = {
+  t_name : string;
+  t_calls : int;
+  t_total_s : float;
+  t_self_s : float;
+  t_children : tree_node list;
+}
+
 type t = {
   version : int;
   prov : provenance;
   config : (string * Json.t) list;  (** flow/experiment knobs, as written *)
   metrics : (string * float) list;  (** deterministic QoR, sorted by name *)
   counters : (string * int) list;   (** deterministic Obs counters, sorted *)
+  hists : (string * Obs.Histogram.t) list;
+  (** deterministic Obs histograms, sorted; gated through {!hist_stats} *)
   headline : (string * Json.t) list;
   (** free-form summary for humans and dashboards (the [BENCH_*.json]
       headline); informational, never gated *)
   wall : (string * float) list;     (** wall-clock seconds, sorted *)
   gauges : (string * float) list;   (** max-merged Obs gauges, sorted *)
   spans : span list;                (** Obs span rollup, sorted by name *)
+  tree : tree_node list;            (** span call tree; wall section *)
 }
 
 (** Build a record; every metric map is sorted by name (canonical
@@ -71,11 +85,23 @@ val make :
   ?config:(string * Json.t) list ->
   ?metrics:(string * float) list ->
   ?counters:(string * int) list ->
+  ?hists:(string * Obs.Histogram.t) list ->
   ?headline:(string * Json.t) list ->
   ?wall:(string * float) list ->
   ?gauges:(string * float) list ->
   ?spans:span list ->
+  ?tree:tree_node list ->
   provenance -> t
+
+(** Deterministic scalar readouts of one histogram, namespaced under
+    its name: [<name>.count], [.p50], [.p90], [.p99], [.max] (max is 0
+    when empty).  These are the entries {!Diff} ratchets and
+    [qor trend] tracks. *)
+val hist_stats : string -> Obs.Histogram.t -> (string * float) list
+
+(** {!hist_stats} over a whole [hists] section, in order. *)
+val flatten_hists :
+  (string * Obs.Histogram.t) list -> (string * float) list
 
 val to_json : t -> Json.t
 

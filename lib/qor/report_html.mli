@@ -1,0 +1,22 @@
+(** The self-contained HTML flow report behind [ff2latch report].
+
+    One HTML string, no external assets — inline CSS, inline SVG, no
+    scripts — so the file can be archived as a CI artifact and opened
+    anywhere.  Built entirely from run {!Record}s (never from the live
+    {!Obs} registry), so a report can be regenerated from the store
+    long after the run.
+
+    Sections, in order: baseline diff verdict + suspects (only with
+    [baseline]), provenance and config, stage waterfall (from the
+    [stage.*] wall entries, in flow order), collapsible span tree,
+    deterministic histograms with bucket bars and percentile readouts,
+    the metric table (standalone mode) or the full diff table
+    (baseline mode), and trend sparklines (only with [history]). *)
+
+(** [page ?baseline ?history record] — the complete document.
+    [baseline] switches the metric table into diff-vs-baseline mode
+    with the {!Diff} verdict and attribution suspects at the top.
+    [history] (oldest first, as {!Store.history} returns it) adds
+    per-metric trend sparklines for the record's circuit; constant
+    series are hidden. *)
+val page : ?baseline:Record.t -> ?history:Record.t list -> Record.t -> string

@@ -1,0 +1,65 @@
+(** Per-metric time series over the store history, with robust outlier
+    detection — the engine behind [ff2latch qor trend].
+
+    Every record in [history.jsonl] contributes one point per metric
+    to the series keyed by [(kind, circuit, name)].  The deterministic
+    sections ([metrics], [counters], histogram readouts via
+    {!Record.flatten_hists}) form {e deterministic} series; [wall] and
+    [gauges] form {e noisy} ones.  The distinction matters for
+    {!anomalies}: only deterministic outliers are CI-worthy, a slow
+    machine is not.
+
+    {2 Outlier rule}
+
+    The latest point of a series is flagged by the modified z-score
+    (Iglewicz–Hoaglin): anomalous iff
+    [|latest - median| > 3.5 * 1.4826 * MAD] over the whole series.
+    A zero MAD (constant history) makes any deviation anomalous, and
+    fewer than four points is never flagged — not enough history to
+    know what normal looks like. *)
+
+type series = {
+  sr_circuit : string;
+  sr_kind : string;
+  sr_name : string;
+  sr_deterministic : bool;
+  sr_points : (string * float) list;
+  (** [(timestamp, value)], oldest first *)
+  sr_anomaly : bool;  (** latest point flagged by the outlier rule *)
+}
+
+(** The outlier rule on a raw value list (oldest first), as specified
+    above.  NaN as the latest value of a long-enough series is always
+    anomalous. *)
+val anomalous : float list -> bool
+
+(** Eight-level unicode sparkline of a value list; non-finite points
+    render as ["-"], a constant series renders mid-scale. *)
+val sparkline : float list -> string
+
+(** Group records (oldest first, as {!Store.history} returns them)
+    into series.  Order: first appearance of each [(kind, circuit,
+    metric)] key. *)
+val series_of_records : Record.t list -> series list
+
+(** Load the store history and filter: [kind]/[circuit] match exactly,
+    [metric] is a substring match on the series name, [limit] keeps
+    only the most recent N points of each series (the anomaly flag is
+    recomputed on the window). *)
+val of_store :
+  dir:string ->
+  ?kind:string ->
+  ?circuit:string ->
+  ?metric:string ->
+  ?limit:int ->
+  unit ->
+  series list
+
+(** The CI-worthy subset: anomalous {e and} deterministic.  Empty
+    means [qor trend --check] passes. *)
+val anomalies : series list -> series list
+
+(** Render series as a table (circuit, metric, class, runs, median,
+    latest, sparkline, flag).  By default series whose values never
+    change are hidden; [all:true] shows everything. *)
+val table : ?all:bool -> series list -> Report.Table.t

@@ -1,0 +1,85 @@
+(* Small HTML builders for the self-contained report pages: escaping,
+   inline-SVG sparklines and proportional bars.  Pure string producers
+   — no I/O, no document structure, so the composition (what a flow
+   report looks like) can live next to the data it renders. *)
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '&' -> Buffer.add_string buf "&amp;"
+      | '<' -> Buffer.add_string buf "&lt;"
+      | '>' -> Buffer.add_string buf "&gt;"
+      | '"' -> Buffer.add_string buf "&quot;"
+      | '\'' -> Buffer.add_string buf "&#39;"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let num v =
+  if Float.is_nan v then "nan"
+  else if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.4g" v
+
+(* Inline SVG polyline sparkline.  Non-finite values break the line.
+   Constant series draw a midline.  The viewBox is fixed so CSS can
+   size it; vector-effect keeps the stroke width stable. *)
+let spark_svg ?(width = 120) ?(height = 24) values =
+  let finite = List.filter Float.is_finite values in
+  let n = List.length values in
+  if n < 2 || finite = [] then ""
+  else begin
+    let lo = List.fold_left Float.min infinity finite in
+    let hi = List.fold_left Float.max neg_infinity finite in
+    let w = float_of_int width and h = float_of_int height in
+    let x i = float_of_int i /. float_of_int (n - 1) *. (w -. 4.0) +. 2.0 in
+    let y v =
+      if hi = lo then h /. 2.0
+      else h -. 3.0 -. ((v -. lo) /. (hi -. lo) *. (h -. 6.0))
+    in
+    let buf = Buffer.create 256 in
+    Printf.bprintf buf
+      "<svg class=\"spark\" viewBox=\"0 0 %d %d\" width=\"%d\" height=\"%d\" \
+       preserveAspectRatio=\"none\">"
+      width height width height;
+    let pending = Buffer.create 64 in
+    let flush_segment () =
+      if Buffer.length pending > 0 then begin
+        Printf.bprintf buf
+          "<polyline fill=\"none\" stroke=\"currentColor\" \
+           stroke-width=\"1.5\" vector-effect=\"non-scaling-stroke\" \
+           points=\"%s\"/>"
+          (Buffer.contents pending);
+        Buffer.clear pending
+      end
+    in
+    List.iteri
+      (fun i v ->
+        if Float.is_finite v then
+          Printf.bprintf pending "%s%.1f,%.1f"
+            (if Buffer.length pending = 0 then "" else " ")
+            (x i) (y v)
+        else flush_segment ())
+      values;
+    flush_segment ();
+    (* dot on the latest point *)
+    (match List.rev values with
+     | last :: _ when Float.is_finite last ->
+       Printf.bprintf buf
+         "<circle cx=\"%.1f\" cy=\"%.1f\" r=\"2\" fill=\"currentColor\"/>"
+         (x (n - 1)) (y last)
+     | _ -> ());
+    Buffer.add_string buf "</svg>";
+    Buffer.contents buf
+  end
+
+(* A proportional horizontal bar: [frac] of the track filled, label
+   beside it.  Clamped; CSS class hooks for colouring. *)
+let bar ?(cls = "bar") ~frac label =
+  let pct = 100.0 *. Float.max 0.0 (Float.min 1.0 frac) in
+  Printf.sprintf
+    "<span class=\"track\"><span class=\"%s\" style=\"width:%.1f%%\"></span>\
+     </span><span class=\"barlabel\">%s</span>"
+    cls pct (escape label)

@@ -1,0 +1,26 @@
+(** Small HTML fragment builders for self-contained report pages.
+
+    Pure string producers — no I/O, no page structure.  Everything
+    here emits standalone markup (inline SVG, style attributes), so a
+    page assembled from these fragments needs no external assets. *)
+
+(** Escape for text and attribute contexts (ampersand, angle
+    brackets, double and single quotes). *)
+val escape : string -> string
+
+(** Compact numeric rendering for table cells ([%.0f] for integers,
+    [%.4g] otherwise, ["nan"] for NaN). *)
+val num : float -> string
+
+(** Inline SVG polyline sparkline of a value series (oldest first),
+    with a dot on the latest point.  Non-finite values break the line;
+    a constant series draws a midline; fewer than two points (or none
+    finite) renders as [""].  Stroke colour is [currentColor], so it
+    follows the surrounding text colour. *)
+val spark_svg : ?width:int -> ?height:int -> float list -> string
+
+(** [bar ~frac label] — a proportional horizontal bar ([frac] clamped
+    to [0..1]) followed by an escaped label.  Styling hooks: the track
+    has class ["track"], the fill [cls] (default ["bar"]), the label
+    ["barlabel"]. *)
+val bar : ?cls:string -> frac:float -> string -> string

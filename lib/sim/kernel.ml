@@ -1018,7 +1018,13 @@ let run_bucket_parallel t pool c =
     done;
     if !wsum > !mx then mx := !wsum
   done;
-  t.par_max_w <- t.par_max_w + !mx
+  t.par_max_w <- t.par_max_w + !mx;
+  (* execution-shaped distributions: the per-wave width and the balance
+     of the weight split (slowest chunk over the perfect share, 1.0 =
+     ideal) depend on the domain count, hence ~exec *)
+  Obs.hist ~exec:true "sim.kernel.par.wave_units" (float_of_int count);
+  Obs.hist ~exec:true "sim.kernel.par.wave_imbalance"
+    (float_of_int (!mx * nd) /. float_of_int (max 1 total))
 
 let settle t =
   if t.queued = 0 then
@@ -1029,11 +1035,25 @@ let settle t =
     let budget = 64 * (Design.num_insts t.design + 16) in
     let steps = ref 0 in
     let w1 = t.nw = 1 in
+    (* last bucket sampled into the wave-size histogram: one sample per
+       cursor {e arrival} at a bucket.  Comb buckets receive wakes only
+       from strictly lower levels, so their occupancy is final when the
+       cursor reaches them whether the drain then proceeds pop-by-pop or
+       as one parallel batch; seq buckets are never parallel-drained and
+       cursor regressions come only from their (serial, identical)
+       wakes.  The sample sequence is therefore the same for any domain
+       count — this histogram is deterministic, not ~exec. *)
+    let c_prev = ref (-1) in
     while t.queued > 0 do
       while t.bq_head.(t.cursor) = t.bq_tail.(t.cursor) do
         t.cursor <- t.cursor + 1
       done;
       let c = t.cursor in
+      if c <> !c_prev then begin
+        c_prev := c;
+        Obs.hist "sim.kernel.wave.units"
+          (float_of_int (t.bq_tail.(c) - t.bq_head.(c)))
+      end;
       (match t.pool with
        | Some pool
          when c < t.par_limit

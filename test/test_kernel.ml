@@ -405,6 +405,49 @@ let test_parallel_auto_attach () =
   if Sim.Kernel.toggles auto <> Sim.Kernel.toggles serial then
     Alcotest.fail "auto-parallel run diverges from serial"
 
+(* The deterministic wave-size histogram must be byte-identical for
+   any THREEPHASE_JOBS: samples are taken at cursor arrival, before
+   the wave is split across domains, so serial and parallel drains see
+   the same occupancy sequence.  Heavy reuse + feedback (the xchunk
+   shape) makes wide multi-chunk waves, the case where a sample taken
+   inside the drain would diverge. *)
+let test_wave_histogram_jobs_invariant () =
+  let spec =
+    { Circuits.Generator.name = "xhist"; seed = 47; inputs = 8; outputs = 6;
+      layers = [|48|]; fanin = 5; cone_depth = 3; self_loop_fraction = 0.5;
+      cross_feedback = 0.5; reuse = 0.7; gated_fraction = 0.3; bank_size = 4;
+      po_cones = 6; frequency_mhz = 1000.0 }
+  in
+  let d = Circuits.Generator.synthesize spec in
+  let clocks = Sim.Clock_spec.single ~period:1.0 ~port:"clk" in
+  let streams =
+    Array.init 4 (fun l ->
+        Sim.Stimulus.random ~seed:(1100 + l) ~cycles:16
+          ~toggle_probability:0.4 (Sim.Stimulus.inputs_of d))
+  in
+  let run jobs =
+    Obs.reset ();
+    let k = Sim.Kernel.create ~lanes:4 ~par_threshold:1 d ~clocks in
+    if jobs > 1 then begin
+      Sim.Kernel.enable_parallel ~jobs k;
+      Fun.protect ~finally:(fun () -> Sim.Kernel.disable_parallel k)
+        (fun () -> Sim.Kernel.run_streams k streams);
+      if (Sim.Kernel.stats k).Sim.Kernel.stat_par_waves = 0 then
+        Alcotest.fail "parallel path never engaged"
+    end
+    else Sim.Kernel.run_streams k streams;
+    Obs.render_histograms ()
+  in
+  let serial = run 1 in
+  if not (Astring.String.is_infix ~affix:"sim.kernel.wave.units" serial) then
+    Alcotest.fail "wave histogram not populated";
+  List.iter
+    (fun jobs ->
+      check Alcotest.string
+        (Printf.sprintf "histograms byte-identical at jobs=%d" jobs)
+        serial (run jobs))
+    [2; 4]
+
 let suite =
   [ QCheck_alcotest.to_alcotest prop_kernel_matches_engine;
     QCheck_alcotest.to_alcotest prop_multiword_matches_engine;
@@ -417,6 +460,8 @@ let suite =
     Alcotest.test_case "parallel cross-chunk fanout" `Quick
       test_parallel_cross_chunk_fanout;
     Alcotest.test_case "parallel auto attach" `Quick test_parallel_auto_attach;
+    Alcotest.test_case "wave histogram is jobs-invariant" `Quick
+      test_wave_histogram_jobs_invariant;
     Alcotest.test_case "oscillation budget" `Quick test_oscillation_budget;
     Alcotest.test_case "popcount" `Quick test_popcount;
     Alcotest.test_case "word masks" `Quick test_word_masks ]

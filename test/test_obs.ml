@@ -212,7 +212,7 @@ let test_span_nesting () =
       (function
         | Obs.Begin { name; _ } -> Some ("B:" ^ name)
         | Obs.End { name; _ } -> Some ("E:" ^ name)
-        | Obs.Count _ | Obs.Gauge _ -> None)
+        | Obs.Count _ | Obs.Gauge _ | Obs.Hist _ -> None)
       evs
   in
   Alcotest.(check (list string)) "B/E order"
@@ -282,6 +282,174 @@ let test_summary_table () =
         (Astring.String.is_infix ~affix:needle text))
     ["sum.span"; "sum.counter"; "sum.gauge"; "11"]
 
+(* --- histograms ------------------------------------------------------- *)
+
+let test_hist_bucket_boundaries () =
+  let idx = Obs.Histogram.bucket_index in
+  (* quarter-octave buckets: [2^o * (1 + s/4), 2^o * (1 + (s+1)/4)) *)
+  Alcotest.(check int) "1.0 -> 0" 0 (idx 1.0);
+  Alcotest.(check int) "1.25 -> 1" 1 (idx 1.25);
+  Alcotest.(check int) "1.5 -> 2" 2 (idx 1.5);
+  Alcotest.(check int) "1.75 -> 3" 3 (idx 1.75);
+  Alcotest.(check int) "2.0 -> 4" 4 (idx 2.0);
+  Alcotest.(check int) "0.5 -> -4" (-4) (idx 0.5);
+  Alcotest.(check int) "0.75 -> -2" (-2) (idx 0.75);
+  (* the lower boundary belongs to its bucket; a hair below does not *)
+  Alcotest.(check int) "2.5 -> 5" 5 (idx 2.5);
+  Alcotest.(check int) "just below 2.5" 4 (idx 2.4999999);
+  (* lower/upper reconstruct the bucket the value hashed into *)
+  List.iter
+    (fun v ->
+      let i = idx v in
+      Alcotest.(check bool)
+        (Printf.sprintf "%g in [lower, upper) of bucket %d" v i)
+        true
+        (Obs.Histogram.bucket_lower i <= v
+         && v < Obs.Histogram.bucket_upper i))
+    [1.0; 1.1; 1.25; 2.0; 3.7; 0.5; 0.013; 1234.5; 7e18; 1e-12];
+  (* buckets tile: upper of i = lower of i+1 *)
+  List.iter
+    (fun i ->
+      Alcotest.(check (float 0.0))
+        (Printf.sprintf "bucket %d tiles" i)
+        (Obs.Histogram.bucket_upper i)
+        (Obs.Histogram.bucket_lower (i + 1)))
+    [-9; -4; -1; 0; 3; 4; 17]
+
+let test_hist_percentiles () =
+  let h =
+    List.fold_left Obs.Histogram.add Obs.Histogram.empty
+      (List.init 100 (fun i -> float_of_int (i + 1)))
+  in
+  Alcotest.(check int) "count" 100 (Obs.Histogram.count h);
+  Alcotest.(check (float 0.0)) "max is exact" 100.0 (Obs.Histogram.max_value h);
+  (* nearest-rank percentile lands in the right bucket: the readout is
+     the bucket midpoint, so check bucket membership not equality *)
+  let check_pct q lo hi =
+    let v = Obs.Histogram.percentile h q in
+    Alcotest.(check bool)
+      (Printf.sprintf "p%.0f in [%g, %g]" (100.0 *. q) lo hi)
+      true
+      (lo <= v && v <= hi)
+  in
+  (* rank 50 -> value 50, bucket [48, 56) *)
+  check_pct 0.50 48.0 56.0;
+  (* rank 99 -> value 99, bucket [96, 112) clamped by max *)
+  check_pct 0.99 96.0 100.0;
+  (* p100 is clamped by the exact max *)
+  Alcotest.(check (float 0.0)) "p100 <= max" 100.0
+    (Float.max (Obs.Histogram.percentile h 1.0) 100.0);
+  (* non-positive and NaN samples land in underflow, not buckets *)
+  let hu = Obs.Histogram.add (Obs.Histogram.add h 0.0) (-3.0) in
+  Alcotest.(check int) "underflow counted" 2 (Obs.Histogram.underflow hu);
+  Alcotest.(check int) "underflow in count" 102 (Obs.Histogram.count hu);
+  Alcotest.(check (float 0.0)) "underflow reads as 0" 0.0
+    (Obs.Histogram.percentile hu 0.01)
+
+let hist_arbitrary =
+  let gen =
+    QCheck.Gen.(
+      list_size (int_bound 60)
+        (map
+           (fun (sign, m) ->
+             (* spread across magnitudes, include non-positives *)
+             if sign = 0 then 0.0
+             else if sign = 1 then -.m
+             else m *. m *. m)
+           (pair (int_bound 4) (float_bound_inclusive 50.0))))
+  in
+  QCheck.make
+    ~print:(fun l -> String.concat ";" (List.map string_of_float l))
+    gen
+
+let prop_hist_merge_is_sequential_add =
+  QCheck.Test.make ~name:"hist merge == sequential add" ~count:200
+    (QCheck.pair hist_arbitrary hist_arbitrary)
+    (fun (xs, ys) ->
+      let of_list l = List.fold_left Obs.Histogram.add Obs.Histogram.empty l in
+      let merged = Obs.Histogram.merge (of_list xs) (of_list ys) in
+      let seq = of_list (xs @ ys) in
+      String.equal (Obs.Histogram.to_string merged)
+        (Obs.Histogram.to_string seq))
+
+let prop_hist_merge_commutes =
+  QCheck.Test.make ~name:"hist merge commutes and associates" ~count:200
+    (QCheck.triple hist_arbitrary hist_arbitrary hist_arbitrary)
+    (fun (xs, ys, zs) ->
+      let of_list l = List.fold_left Obs.Histogram.add Obs.Histogram.empty l in
+      let a = of_list xs and b = of_list ys and c = of_list zs in
+      let s = Obs.Histogram.to_string in
+      String.equal (s (Obs.Histogram.merge a b)) (s (Obs.Histogram.merge b a))
+      && String.equal
+           (s (Obs.Histogram.merge (Obs.Histogram.merge a b) c))
+           (s (Obs.Histogram.merge a (Obs.Histogram.merge b c))))
+
+let test_hist_cross_domain_merge () =
+  Obs.reset ();
+  let items = List.init 40 (fun i -> float_of_int (i + 1)) in
+  List.iter (fun v -> Obs.hist "h.serial" v) items;
+  ignore (Jobs.parallel_map (fun v -> Obs.hist "h.parallel" v) items);
+  let find name =
+    match List.assoc_opt name (Obs.histograms ()) with
+    | Some h -> h
+    | None -> Alcotest.failf "histogram %s missing" name
+  in
+  (* scattering samples across domain buffers must merge to the same
+     bytes as the single-buffer serial run *)
+  Alcotest.(check string) "order-independent merge"
+    (Obs.Histogram.to_string (find "h.serial"))
+    (Obs.Histogram.to_string (find "h.parallel"));
+  (* exec-shaped histograms live in a separate channel *)
+  Obs.hist ~exec:true "h.exec" 5.0;
+  Alcotest.(check bool) "exec hist not in deterministic set" true
+    (List.assoc_opt "h.exec" (Obs.histograms ()) = None);
+  Alcotest.(check bool) "exec hist in exec set" true
+    (List.assoc_opt "h.exec" (Obs.exec_histograms ()) <> None)
+
+(* --- span tree -------------------------------------------------------- *)
+
+let test_span_tree () =
+  Obs.reset ();
+  Obs.span "outer" (fun () ->
+      Obs.span "child_a" (fun () ->
+          Obs.span "grand" (fun () -> ()));
+      Obs.span "child_b" (fun () -> ()));
+  Obs.span "outer" (fun () -> Obs.span "child_a" (fun () -> ()));
+  let tree = Obs.span_tree () in
+  Alcotest.(check int) "one root" 1 (List.length tree);
+  let outer = List.hd tree in
+  Alcotest.(check string) "root name" "outer" outer.Obs.node_name;
+  Alcotest.(check int) "root calls merged" 2 outer.Obs.n_calls;
+  Alcotest.(check (list string)) "children sorted by name"
+    ["child_a"; "child_b"]
+    (List.map (fun n -> n.Obs.node_name) outer.Obs.n_children);
+  let child_a = List.hd outer.Obs.n_children in
+  Alcotest.(check int) "child_a calls merged" 2 child_a.Obs.n_calls;
+  Alcotest.(check string) "path is /-joined" "outer/child_a"
+    child_a.Obs.path;
+  (* self = total - child time, never negative *)
+  Alcotest.(check bool) "root self <= total" true
+    (0.0 <= outer.Obs.n_self_s && outer.Obs.n_self_s <= outer.Obs.n_total_s);
+  let child_total =
+    List.fold_left
+      (fun acc n -> acc +. n.Obs.n_total_s)
+      0.0 outer.Obs.n_children
+  in
+  Alcotest.(check bool) "self + children ~ total" true
+    (Float.abs (outer.Obs.n_self_s +. child_total -. outer.Obs.n_total_s)
+     < 1e-6)
+
+let test_summary_table_hists () =
+  Obs.reset ();
+  Obs.hist "sum.hist" 4.0;
+  Obs.hist ~exec:true "sum.exec_hist" 2.0;
+  let text = Report.Table.render (Obs.summary_table ()) in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (needle ^ " in summary") true
+        (Astring.String.is_infix ~affix:needle text))
+    ["sum.hist"; "sum.exec_hist"]
+
 (* --- flow-level guarantee -------------------------------------------- *)
 
 let quickstart_design () =
@@ -344,6 +512,18 @@ let suite =
       test_chrome_roundtrip;
     Alcotest.test_case "summary table renders every metric kind" `Quick
       test_summary_table;
+    Alcotest.test_case "histogram bucket boundaries are exact" `Quick
+      test_hist_bucket_boundaries;
+    Alcotest.test_case "histogram percentiles on known inputs" `Quick
+      test_hist_percentiles;
+    QCheck_alcotest.to_alcotest prop_hist_merge_is_sequential_add;
+    QCheck_alcotest.to_alcotest prop_hist_merge_commutes;
+    Alcotest.test_case "histogram merge is order-independent across domains"
+      `Quick test_hist_cross_domain_merge;
+    Alcotest.test_case "span tree reconstructs nesting with self time" `Quick
+      test_span_tree;
+    Alcotest.test_case "summary table renders histograms" `Quick
+      test_summary_table_hists;
     Alcotest.test_case "every enabled flow stage emits exactly one span" `Quick
       test_flow_stage_spans;
     Alcotest.test_case "disabled flow stages emit no span" `Quick

@@ -106,6 +106,145 @@ let test_band_boundary_inclusive () =
   check_cls d_beyond "flow.total_s" "REGRESSED";
   check_cls d_beyond "gc.heap" "improved"
 
+(* --- diff: histogram readouts and attribution ------------------------ *)
+
+let hist_of l = List.fold_left Obs.Histogram.add Obs.Histogram.empty l
+
+let test_hist_gate () =
+  let baseline =
+    Qor.Record.make
+      ~hists:[("ilp.component_nodes", hist_of [1.0; 2.0; 4.0])]
+      (prov ())
+  in
+  let same =
+    Qor.Record.make
+      ~hists:[("ilp.component_nodes", hist_of [1.0; 2.0; 4.0])]
+      (prov ())
+  in
+  let d = Qor.Diff.run ~baseline same in
+  Alcotest.(check (list string)) "identical hists gate clean" []
+    d.Qor.Diff.gate_failures;
+  (* one extra sample moves count and p99: both flagged, exactly *)
+  let moved =
+    Qor.Record.make
+      ~hists:[("ilp.component_nodes", hist_of [1.0; 2.0; 4.0; 64.0])]
+      (prov ())
+  in
+  let d = Qor.Diff.run ~baseline moved in
+  Alcotest.(check bool) "hist change fails the gate" false (Qor.Diff.ok d);
+  Alcotest.(check bool) "count flagged" true
+    (List.mem "ilp.component_nodes.count" d.Qor.Diff.gate_failures);
+  Alcotest.(check bool) "max flagged" true
+    (List.mem "ilp.component_nodes.max" d.Qor.Diff.gate_failures);
+  Alcotest.(check bool) "p50 not flagged" true
+    (not (List.mem "ilp.component_nodes.p50" d.Qor.Diff.gate_failures))
+
+let test_attribution () =
+  (* power regressed, and the power stage's own telemetry moved with
+     it: the diff must name the co-located counter as a suspect *)
+  let baseline =
+    Qor.Record.make
+      ~metrics:[("power.total_mw", 2.0); ("assign.objective", 3.0)]
+      ~counters:
+        [("sim.kernel.events", 1000); ("ilp.nodes", 40); ("lint.checks", 7)]
+      (prov ())
+  in
+  let current =
+    Qor.Record.make
+      ~metrics:[("power.total_mw", 2.5); ("assign.objective", 4.0)]
+      ~counters:
+        [("sim.kernel.events", 1800); ("ilp.nodes", 90); ("lint.checks", 7)]
+      (prov ())
+  in
+  let d = Qor.Diff.run ~baseline current in
+  let find metric =
+    match
+      List.find_opt
+        (fun a -> a.Qor.Diff.at_metric = metric)
+        d.Qor.Diff.attributions
+    with
+    | Some a -> a
+    | None -> Alcotest.failf "no attribution for %s" metric
+  in
+  let power = find "power.total_mw" in
+  Alcotest.(check string) "power owned by power stage" "power"
+    power.Qor.Diff.at_stage;
+  Alcotest.(check (list string)) "kernel counter is the suspect"
+    ["sim.kernel.events"]
+    (List.map (fun s -> s.Qor.Diff.su_name) power.Qor.Diff.at_suspects);
+  let assign = find "assign.objective" in
+  Alcotest.(check string) "objective owned by assign stage" "assign"
+    assign.Qor.Diff.at_stage;
+  Alcotest.(check (list string)) "solver counter is the suspect"
+    ["ilp.nodes"]
+    (List.map (fun s -> s.Qor.Diff.su_name) assign.Qor.Diff.at_suspects);
+  (* the unchanged lint counter accuses nobody *)
+  Alcotest.(check bool) "attribution lines name the stage" true
+    (List.exists
+       (fun l -> Astring.String.is_infix ~affix:"stage power" l)
+       (Qor.Diff.attribution_lines d))
+
+(* --- trend ------------------------------------------------------------ *)
+
+let test_trend_anomaly_rule () =
+  (* too little history: never flagged *)
+  Alcotest.(check bool) "3 points never flag" false
+    (Qor.Trend.anomalous [1.0; 1.0; 9.0]);
+  (* constant history, constant latest: clean *)
+  Alcotest.(check bool) "flat is clean" false
+    (Qor.Trend.anomalous [5.0; 5.0; 5.0; 5.0; 5.0]);
+  (* constant history (MAD = 0), any deviation flags *)
+  Alcotest.(check bool) "MAD=0 deviation flags" true
+    (Qor.Trend.anomalous [5.0; 5.0; 5.0; 5.0; 5.1]);
+  (* jittery history absorbs a small move *)
+  Alcotest.(check bool) "inside 3.5 sigma" false
+    (Qor.Trend.anomalous [10.0; 11.0; 9.0; 10.5; 10.2]);
+  (* far outlier flags *)
+  Alcotest.(check bool) "far outlier flags" true
+    (Qor.Trend.anomalous [10.0; 11.0; 9.0; 10.5; 30.0]);
+  Alcotest.(check bool) "NaN latest flags" true
+    (Qor.Trend.anomalous [1.0; 1.0; 1.0; Float.nan])
+
+let test_trend_series () =
+  let at ts metrics wall =
+    { (Qor.Record.make ~metrics ~wall (prov ())) with
+      Qor.Record.prov = { (prov ()) with Qor.Record.timestamp = ts } }
+  in
+  let records =
+    [ at "t1" [("ff.count", 5.0)] [("stage.assign", 0.1)];
+      at "t2" [("ff.count", 5.0)] [("stage.assign", 0.2)];
+      at "t3" [("ff.count", 5.0)] [("stage.assign", 0.1)];
+      at "t4" [("ff.count", 9.0)] [("stage.assign", 0.15)] ]
+  in
+  let series = Qor.Trend.series_of_records records in
+  let find name =
+    match
+      List.find_opt (fun s -> s.Qor.Trend.sr_name = name) series
+    with
+    | Some s -> s
+    | None -> Alcotest.failf "no series for %s" name
+  in
+  let ff = find "ff.count" in
+  Alcotest.(check int) "four points" 4 (List.length ff.Qor.Trend.sr_points);
+  Alcotest.(check (list string)) "points keep record order"
+    ["t1"; "t2"; "t3"; "t4"]
+    (List.map fst ff.Qor.Trend.sr_points);
+  Alcotest.(check bool) "deterministic series" true
+    ff.Qor.Trend.sr_deterministic;
+  Alcotest.(check bool) "MAD=0 jump is anomalous" true
+    ff.Qor.Trend.sr_anomaly;
+  let wall = find "stage.assign" in
+  Alcotest.(check bool) "wall series is noisy" false
+    wall.Qor.Trend.sr_deterministic;
+  (* only deterministic anomalies are CI-worthy *)
+  Alcotest.(check (list string)) "anomalies pick the metric"
+    ["ff.count"]
+    (List.map
+       (fun s -> s.Qor.Trend.sr_name)
+       (Qor.Trend.anomalies series));
+  Alcotest.(check bool) "sparkline renders" true
+    (String.length (Qor.Trend.sparkline [1.0; 2.0; 3.0]) > 0)
+
 (* --- record render / parse ------------------------------------------- *)
 
 let test_render_roundtrip () =
@@ -117,9 +256,23 @@ let test_render_roundtrip () =
           ("i.inf", Float.infinity); ("m.neg_inf", Float.neg_infinity);
           ("t.tiny", 1e-300); ("x.pi", 4.0 *. atan 1.0) ]
       ~counters:[("b.count", 2); ("a.count", 40)]
+      ~hists:
+        [ ("h.sizes", hist_of [1.0; 2.0; 2.1; 700.0]);
+          ("h.with_underflow", hist_of [0.0; -1.0; 3.0]) ]
       ~wall:[("stage.x", 0.25)]
       ~gauges:[("gc.heap_words", 12345.0)]
       ~spans:[{ Qor.Record.span_name = "flow.convert"; calls = 1; total_s = 0.1 }]
+      ~tree:
+        [ { Qor.Record.t_name = "flow.convert";
+            t_calls = 1;
+            t_total_s = 0.1;
+            t_self_s = 0.04;
+            t_children =
+              [ { Qor.Record.t_name = "qor.power";
+                  t_calls = 1;
+                  t_total_s = 0.06;
+                  t_self_s = 0.06;
+                  t_children = [] } ] } ]
       (prov ())
   in
   let text = Qor.Record.render r in
@@ -143,7 +296,20 @@ let test_render_roundtrip () =
    | None -> Alcotest.fail "i.inf lost");
   (* counters resolve through the unified metric lookup too *)
   Alcotest.(check (option (float 0.0))) "counter lookup" (Some 40.0)
-    (Qor.Record.metric r2 "a.count")
+    (Qor.Record.metric r2 "a.count");
+  (* histograms and the span tree survive the round-trip structurally *)
+  (match List.assoc_opt "h.with_underflow" r2.Qor.Record.hists with
+   | Some h ->
+     Alcotest.(check int) "hist underflow survives" 2
+       (Obs.Histogram.underflow h)
+   | None -> Alcotest.fail "h.with_underflow lost");
+  (match r2.Qor.Record.tree with
+   | [root] ->
+     Alcotest.(check string) "tree root survives" "flow.convert"
+       root.Qor.Record.t_name;
+     Alcotest.(check int) "tree child survives" 1
+       (List.length root.Qor.Record.t_children)
+   | _ -> Alcotest.fail "tree lost")
 
 let test_unknown_fields_tolerated () =
   let text = Qor.Record.render (mk ~metrics:[("ff.count", 5.0)] ()) in
@@ -230,20 +396,39 @@ let test_flow_record_gate () =
     self.Qor.Diff.gate_failures;
   Alcotest.(check (list string)) "self-diff wall" []
     self.Qor.Diff.wall_regressions;
-  (* perturb one deterministic metric in the baseline: the gate must
-     name exactly that metric, and the markdown must carry the verdict *)
+  (* perturb one deterministic metric plus a co-located stage counter
+     in the baseline: the gate must name exactly those entries, and
+     the attribution must rank the counter as a suspect for the
+     metric's owning stage *)
   let perturbed =
     { record with
       Qor.Record.metrics =
         List.map
           (fun (k, v) ->
             if k = "power.total_mw" then (k, v *. 0.9) else (k, v))
-          record.Qor.Record.metrics }
+          record.Qor.Record.metrics;
+      Qor.Record.counters =
+        List.map
+          (fun (k, v) ->
+            if k = "sim.kernel.lane_cycles" then (k, v / 2) else (k, v))
+          record.Qor.Record.counters }
   in
   let diff = Qor.Diff.run ~baseline:perturbed record in
-  Alcotest.(check (list string)) "gate names the metric"
-    ["power.total_mw"] diff.Qor.Diff.gate_failures;
+  Alcotest.(check (list string)) "gate names the entries"
+    ["power.total_mw"; "sim.kernel.lane_cycles"] diff.Qor.Diff.gate_failures;
   Alcotest.(check bool) "gate fails" false (Qor.Diff.ok diff);
+  (match
+     List.find_opt
+       (fun a -> a.Qor.Diff.at_metric = "power.total_mw")
+       diff.Qor.Diff.attributions
+   with
+   | Some a ->
+     Alcotest.(check string) "owning stage" "power" a.Qor.Diff.at_stage;
+     Alcotest.(check bool) "kernel counter among suspects" true
+       (List.exists
+          (fun s -> s.Qor.Diff.su_name = "sim.kernel.lane_cycles")
+          a.Qor.Diff.at_suspects)
+   | None -> Alcotest.fail "no attribution for power.total_mw");
   let md = Qor.Diff.markdown diff in
   List.iter
     (fun needle ->
@@ -251,7 +436,55 @@ let test_flow_record_gate () =
         (Astring.String.is_infix ~affix:needle md))
     ["Gate: FAIL"; "power.total_mw"];
   Alcotest.(check bool) "self markdown passes" true
-    (Astring.String.is_infix ~affix:"Gate: PASS" (Qor.Diff.markdown self))
+    (Astring.String.is_infix ~affix:"Gate: PASS" (Qor.Diff.markdown self));
+  (* the flow record carries the new telemetry: deterministic solver
+     and kernel histograms, and the span call tree *)
+  Alcotest.(check bool) "record has kernel wave histogram" true
+    (List.mem_assoc "sim.kernel.wave.units" record.Qor.Record.hists);
+  Alcotest.(check bool) "record has solver histograms" true
+    (List.mem_assoc "ilp.component_vars" record.Qor.Record.hists);
+  Alcotest.(check bool) "record has a span tree" true
+    (record.Qor.Record.tree <> [])
+
+let test_html_report () =
+  Obs.reset ();
+  let d = quickstart_design () in
+  let config = Phase3.Flow.default_config ~period:1.0 in
+  let result = Phase3.Flow.run ~config d in
+  let record = Qor.Collect.of_flow ~circuit:"quickstart" result in
+  let html = Qor.Report_html.page ~history:[record; record] record in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (needle ^ " in page") true
+        (Astring.String.is_infix ~affix:needle html))
+    [ "<!DOCTYPE html>"; "quickstart"; "Span tree"; "Histograms";
+      "sim.kernel.wave.units"; "power.total_mw"; "</html>" ];
+  (* self-contained: no external fetches of any kind *)
+  List.iter
+    (fun banned ->
+      Alcotest.(check bool) ("no " ^ banned) false
+        (Astring.String.is_infix ~affix:banned html))
+    ["src=\"http"; "href=\"http"; "<script"; "@import"; "url("];
+  (* diff mode carries the verdict and the suspects *)
+  let perturbed =
+    { record with
+      Qor.Record.metrics =
+        List.map
+          (fun (k, v) ->
+            if k = "power.total_mw" then (k, v *. 0.9) else (k, v))
+          record.Qor.Record.metrics;
+      Qor.Record.counters =
+        List.map
+          (fun (k, v) ->
+            if k = "sim.kernel.lane_cycles" then (k, v / 2) else (k, v))
+          record.Qor.Record.counters }
+  in
+  let html = Qor.Report_html.page ~baseline:perturbed record in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (needle ^ " in diff page") true
+        (Astring.String.is_infix ~affix:needle html))
+    ["Gate: FAIL"; "Suspects"; "sim.kernel.lane_cycles"]
 
 let suite =
   [ Alcotest.test_case "exact change fails the gate in either direction" `Quick
@@ -265,6 +498,13 @@ let suite =
       test_zero_baseline_abs_floor;
     Alcotest.test_case "noise band boundary is inclusive" `Quick
       test_band_boundary_inclusive;
+    Alcotest.test_case "histogram readouts gate exactly" `Quick test_hist_gate;
+    Alcotest.test_case "regressions attribute to co-located telemetry" `Quick
+      test_attribution;
+    Alcotest.test_case "trend anomaly rule (median/MAD)" `Quick
+      test_trend_anomaly_rule;
+    Alcotest.test_case "trend series split deterministic vs noisy" `Quick
+      test_trend_series;
     Alcotest.test_case "render/parse round-trip incl. NaN and inf" `Quick
       test_render_roundtrip;
     Alcotest.test_case "reader tolerates unknown fields" `Quick
@@ -273,4 +513,6 @@ let suite =
       test_reader_strictness;
     Alcotest.test_case "store appends, loads, lists history" `Quick test_store;
     Alcotest.test_case "flow record gates against itself and perturbation"
-      `Quick test_flow_record_gate ]
+      `Quick test_flow_record_gate;
+    Alcotest.test_case "html report is self-contained and carries suspects"
+      `Quick test_html_report ]
